@@ -1,0 +1,192 @@
+//===- bench/bench_propagation.cpp - propagation complexity ---------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the interprocedural propagation phase against the paper's
+// complexity claims (Section 3.1.5 / the 1986 bounds):
+//
+//  - the lattice is shallow, so each VAL entry lowers at most twice and
+//    work is O(sum of cost(J) * |support(J)|) — the lowering counters
+//    printed below grow linearly in the number of parameters even on
+//    pathological call-graph shapes;
+//  - pass-through chains of any depth converge in time linear in the
+//    chain length;
+//  - parallel (diamond) call sites with agreeing constants cost the same
+//    as one site; disagreeing sites lower twice and stop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BindingGraph.h"
+#include "core/Pipeline.h"
+#include "core/ValueNumbering.h"
+#include "frontend/Parser.h"
+#include "ir/AstLower.h"
+#include "workload/Generator.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace ipcp;
+
+namespace {
+
+/// A pass-through chain of the given depth: main -> p0 -> ... -> pN-1.
+std::string chainProgram(unsigned Depth) {
+  std::string Src;
+  for (unsigned I = 0; I != Depth; ++I) {
+    Src += "proc p" + std::to_string(I) + "(a, b) {\n";
+    if (I + 1 != Depth)
+      Src += "  call p" + std::to_string(I + 1) + "(a, b);\n";
+    Src += "  print a + b;\n}\n";
+  }
+  Src += "proc main() { call p0(7, 9); }\n";
+  return Src;
+}
+
+/// A fan: main calls every leaf directly (wide, shallow).
+std::string fanProgram(unsigned Width, bool Agree) {
+  std::string Src;
+  for (unsigned I = 0; I != Width; ++I)
+    Src += "proc leaf" + std::to_string(I) + "(x) { print x; }\n";
+  Src += "proc shared(y) { print y; }\n";
+  Src += "proc main() {\n";
+  for (unsigned I = 0; I != Width; ++I) {
+    Src += "  call leaf" + std::to_string(I) + "(5);\n";
+    Src += "  call shared(" + std::to_string(Agree ? 5 : I) + ");\n";
+  }
+  Src += "}\n";
+  return Src;
+}
+
+std::unique_ptr<Module> compile(const std::string &Source) {
+  DiagnosticsEngine Diags;
+  std::optional<Program> Ast = parseAndCheck(Source, Diags);
+  return lowerProgram(*Ast);
+}
+
+void BM_ChainDepth(benchmark::State &State) {
+  auto M = compile(chainProgram(State.range(0)));
+  for (auto _ : State) {
+    IPCPResult R = runIPCP(*M);
+    benchmark::DoNotOptimize(R.TotalConstantRefs);
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_ChainDepth)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->ArgName("depth");
+
+void BM_FanWidth(benchmark::State &State) {
+  auto M = compile(fanProgram(State.range(0), State.range(1)));
+  State.SetLabel(State.range(1) ? "agreeing" : "disagreeing");
+  for (auto _ : State) {
+    IPCPResult R = runIPCP(*M);
+    benchmark::DoNotOptimize(R.TotalConstantRefs);
+  }
+}
+BENCHMARK(BM_FanWidth)
+    ->ArgsProduct({{8, 32, 128}, {0, 1}})
+    ->ArgNames({"width", "agree"});
+
+/// Compares the two solver formulations (call-graph worklist vs the
+/// binding multigraph of [7]) on the same prebuilt jump functions.
+void BM_SolverFormulation(benchmark::State &State) {
+  GeneratorConfig Config;
+  Config.Seed = 17;
+  Config.NumProcs = State.range(0);
+  Config.NumGlobals = 8;
+  DiagnosticsEngine Diags;
+  std::optional<Program> Ast = parseAndCheck(generateProgram(Config), Diags);
+  auto M = lowerProgram(*Ast);
+
+  CallGraph CG(*M);
+  ModRefInfo MRI = ModRefInfo::compute(*M, CG);
+  SSAMap SSA;
+  for (const std::unique_ptr<Procedure> &P : M->procedures())
+    SSA.emplace(P.get(), constructSSA(*P, MRI));
+  SymExprContext Ctx;
+  ReturnJumpFunctions RJFs = ReturnJumpFunctions::build(CG, MRI, SSA, Ctx);
+  ForwardJumpFunctions FJFs = ForwardJumpFunctions::build(
+      CG, MRI, SSA, &RJFs, Ctx, JumpFunctionKind::Polynomial);
+  IPCPOptions Opts;
+
+  bool Binding = State.range(1);
+  State.SetLabel(Binding ? "binding-graph" : "call-graph");
+  for (auto _ : State) {
+    ConstantsMap CM =
+        Binding ? propagateConstantsBindingGraph(CG, MRI, FJFs, Opts)
+                : propagateConstants(CG, MRI, FJFs, Opts);
+    benchmark::DoNotOptimize(CM.totalConstants());
+  }
+}
+BENCHMARK(BM_SolverFormulation)
+    ->ArgsProduct({{16, 48}, {0, 1}})
+    ->ArgNames({"procs", "binding"});
+
+void printSolverComparison() {
+  std::printf("Solver formulations on one 48-procedure generated program "
+              "(identical fixpoints):\n");
+  GeneratorConfig Config;
+  Config.Seed = 17;
+  Config.NumProcs = 48;
+  Config.NumGlobals = 8;
+  DiagnosticsEngine Diags;
+  std::optional<Program> Ast = parseAndCheck(generateProgram(Config), Diags);
+  auto M = lowerProgram(*Ast);
+  CallGraph CG(*M);
+  ModRefInfo MRI = ModRefInfo::compute(*M, CG);
+  SSAMap SSA;
+  for (const std::unique_ptr<Procedure> &P : M->procedures())
+    SSA.emplace(P.get(), constructSSA(*P, MRI));
+  SymExprContext Ctx;
+  ReturnJumpFunctions RJFs = ReturnJumpFunctions::build(CG, MRI, SSA, Ctx);
+  ForwardJumpFunctions FJFs = ForwardJumpFunctions::build(
+      CG, MRI, SSA, &RJFs, Ctx, JumpFunctionKind::Polynomial);
+  IPCPOptions Opts;
+  PropagatorStats CGStats, BGStats;
+  ConstantsMap A = propagateConstants(CG, MRI, FJFs, Opts, &CGStats);
+  ConstantsMap B =
+      propagateConstantsBindingGraph(CG, MRI, FJFs, Opts, &BGStats);
+  std::printf("  call-graph worklist:      %6llu JF evaluations, %4llu "
+              "lowerings\n",
+              (unsigned long long)CGStats.JumpFunctionEvaluations,
+              (unsigned long long)CGStats.Lowerings);
+  std::printf("  binding multigraph [7]:   %6llu JF evaluations, %4llu "
+              "lowerings\n",
+              (unsigned long long)BGStats.JumpFunctionEvaluations,
+              (unsigned long long)BGStats.Lowerings);
+  std::printf("  fixpoints agree: %s; constants: %u\n",
+              A.equals(B) ? "yes" : "NO", A.totalConstants());
+  std::printf("  (lowering counts may differ: a cell can step T->_|_ "
+              "directly in one order\n   and T->c->_|_ in the other; "
+              "which formulation evaluates less depends on\n   call-graph "
+              "density — sparse support favors the binding graph.)\n\n");
+}
+
+void printLoweringLinearity() {
+  std::printf("Lowerings vs chain depth (each VAL entry lowers at most "
+              "twice; Figure-1 depth bound):\n");
+  std::printf("  depth  parameters  lowerings  evaluations  visits\n");
+  for (unsigned Depth : {4u, 16u, 64u, 256u}) {
+    auto M = compile(chainProgram(Depth));
+    IPCPResult R = runIPCP(*M);
+    std::printf("  %5u  %10u  %9llu  %11llu  %6llu\n", Depth, 2 * Depth,
+                static_cast<unsigned long long>(R.Stats.get("prop_lowerings")),
+                static_cast<unsigned long long>(
+                    R.Stats.get("prop_evaluations")),
+                static_cast<unsigned long long>(R.Stats.get("prop_visits")));
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printLoweringLinearity();
+  printSolverComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

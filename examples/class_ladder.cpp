@@ -1,0 +1,92 @@
+//===- examples/class_ladder.cpp - the 1986 paper's demonstration ---------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// "Callahan et al. showed a single simple example to demonstrate that
+// different jump function techniques produced different results." This
+// example reconstructs that demonstration: one program with four
+// constants, each discoverable by exactly one more jump function class
+// than the previous —
+//
+//   p1's formal: a literal actual               -> every class
+//   p2's formal: an intraprocedurally computed
+//                constant actual                 -> intra and above
+//   p3's formal: a formal passed through
+//                unchanged                       -> pass-through and above
+//   p4's formal: a polynomial of a formal        -> polynomial only
+//
+// (On the realistic benchmark suite the polynomial class never finds
+// more than pass-through — the 1993 study's headline — but the capability
+// difference is real, and this is the program shape that shows it.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "frontend/Parser.h"
+#include "ir/AstLower.h"
+
+#include <cstdio>
+
+using namespace ipcp;
+
+static const char *Source = R"(
+proc p1(a) { print a; }
+proc p2(b) { print b; }
+proc p3(c) { print c; }
+proc p4(d) { print d; }
+
+proc fwd(x) {
+  call p3(x);          // pass-through: x flows on unchanged
+  call p4(x * 2 + 1);  // polynomial: 2x + 1 of the incoming formal
+}
+
+proc main() {
+  var k;
+  call p1(1);          // literal constant at the call site
+  k = 2;
+  call p2(k);          // constant, but only gcp can see it
+  call fwd(3);
+}
+)";
+
+int main() {
+  DiagnosticsEngine Diags;
+  std::optional<Program> Ast = parseAndCheck(Source, Diags);
+  if (!Ast) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  std::unique_ptr<Module> M = lowerProgram(*Ast);
+
+  std::printf("CONSTANTS found per forward jump function class "
+              "(paper Section 3.1):\n\n");
+  std::printf("%-14s", "class");
+  for (const char *Proc : {"p1.a", "p2.b", "p3.c", "p4.d"})
+    std::printf("%8s", Proc);
+  std::printf("\n");
+
+  for (JumpFunctionKind Kind :
+       {JumpFunctionKind::Literal, JumpFunctionKind::IntraproceduralConstant,
+        JumpFunctionKind::PassThrough, JumpFunctionKind::Polynomial}) {
+    IPCPOptions Opts;
+    Opts.ForwardKind = Kind;
+    IPCPResult R = runIPCP(*M, Opts);
+    std::printf("%-14s", jumpFunctionKindName(Kind));
+    for (const char *Proc : {"p1", "p2", "p3", "p4"}) {
+      const ProcedureResult *PR = R.findProc(Proc);
+      if (PR && !PR->EntryConstants.empty())
+        std::printf("%8lld",
+                    static_cast<long long>(PR->EntryConstants[0].second));
+      else
+        std::printf("%8s", "-");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nEach class keeps everything the weaker classes found and "
+              "adds one more\ncolumn — the containment the paper states "
+              "and the test suite enforces.\n");
+  return 0;
+}

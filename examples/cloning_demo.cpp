@@ -1,0 +1,90 @@
+//===- examples/cloning_demo.cpp - specialization via cloning -------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Demonstrates the procedure-cloning application (paper Section 5,
+// Cooper/Hall/Kennedy and Metzger/Stroud): a generic kernel is called
+// with two different constant configurations; the meet destroys both, so
+// plain interprocedural constant propagation learns nothing. Cloning
+// splits the call sites by constant signature, after which each copy is
+// fully specialized — and the guarded debug path in one copy becomes
+// provably dead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Cloning.h"
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+#include "ir/AstLower.h"
+
+#include <cstdio>
+
+using namespace ipcp;
+
+static const char *Source = R"(
+global trace;
+
+proc stencil(n, radius, verbose) {
+  var i, acc;
+  if (verbose == 1) { print n; print radius; }
+  do i = radius, n - radius - 1 {
+    acc = acc + i * radius;
+  }
+  print acc;
+}
+
+proc main() {
+  trace = 0;
+  // Production configuration: large grid, quiet.
+  call stencil(100, 2, 0);
+  call stencil(100, 2, 0);
+  // Debug configuration: tiny grid, chatty.
+  call stencil(8, 1, 1);
+}
+)";
+
+static void report(const char *Title, const IPCPResult &R) {
+  std::printf("%s\n", Title);
+  for (const ProcedureResult &PR : R.Procs) {
+    std::printf("  %-20s refs=%2u  constants:", PR.Name.c_str(),
+                PR.ConstantRefs);
+    if (PR.EntryConstants.empty())
+      std::printf(" (none)");
+    for (const auto &[Name, Value] : PR.EntryConstants)
+      std::printf(" %s=%lld", Name.c_str(), static_cast<long long>(Value));
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+int main() {
+  DiagnosticsEngine Diags;
+  std::optional<Program> Ast = parseAndCheck(Source, Diags);
+  if (!Ast) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  std::unique_ptr<Module> M = lowerProgram(*Ast);
+
+  ExecutionResult Before = interpret(*M);
+
+  report("== before cloning (call sites disagree; the meet loses all "
+         "three parameters) ==",
+         runIPCP(*M));
+
+  CloningResult CR = cloneForConstants(*M);
+  std::printf("cloning created %u copies in %u round(s); instructions %u "
+              "-> %u\n\n",
+              CR.ClonesCreated, CR.RoundsRun, CR.InstructionsBefore,
+              CR.InstructionsAfter);
+
+  report("== after cloning (each copy fully specialized) ==", runIPCP(*M));
+
+  // The transformation preserves behavior.
+  ExecutionResult After = interpret(*M);
+  bool Same = Before.Output == After.Output;
+  std::printf("observable output unchanged: %s\n", Same ? "yes" : "NO");
+  return Same ? 0 : 1;
+}

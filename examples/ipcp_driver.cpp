@@ -1,0 +1,293 @@
+//===- examples/ipcp_driver.cpp - command-line analyzer -------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// A command-line front end for the library, the shape of the analyzer
+// described in the paper's Section 4.1 (generation of return jump
+// functions, generation of forward jump functions, interprocedural
+// propagation, recording the results):
+//
+//   ipcp_driver FILE.mf [options]
+//     --jf=literal|intra|passthrough|polynomial   forward jump functions
+//     --no-return-jf                              disable return JFs
+//     --no-mod                                    worst-case MOD info
+//     --intra-only                                intraprocedural baseline
+//     --complete                                  iterate with DCE
+//     --clone                                     procedure cloning first
+//     --dump-ir                                   print the IR
+//     --run                                       execute and show output
+//
+// With no FILE, analyzes a built-in demo program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AliasCheck.h"
+#include "core/BindingGraph.h"
+#include "core/Cloning.h"
+#include "core/Inlining.h"
+#include "core/Pipeline.h"
+#include "core/ValueNumbering.h"
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+#include "ir/AstLower.h"
+#include "ir/IRPrinter.h"
+#include "workload/Programs.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace ipcp;
+
+namespace {
+
+const char *DemoSource = R"(
+global scale;
+proc helper(x, y) {
+  print x * scale + y;
+}
+proc main() {
+  scale = 10;
+  call helper(4, 2);
+  call helper(4, 3);
+}
+)";
+
+void printUsage() {
+  std::printf(
+      "usage: ipcp_driver [FILE.mf | --suite=NAME] [options]\n"
+      "  --jf=literal|intra|passthrough|polynomial  (default polynomial)\n"
+      "  --no-return-jf   --no-mod   --intra-only   --complete   --clone\n"
+      "  --binding-graph  --gated-ssa  --check-alias  --integrate\n"
+      "  --dump-ir        --dump-jf   --run      --help\n"
+      "suite names: adm doduc fpppp linpackd matrix300 mdg ocean qcd\n"
+      "             simple snasa7 spec77 trfd\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Source = DemoSource;
+  std::string SourceName = "<demo>";
+  IPCPOptions Opts;
+  bool Complete = false, Clone = false, DumpIR = false, Run = false;
+  bool CheckAlias = false, DumpJF = false, Integrate = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--help") {
+      printUsage();
+      return 0;
+    }
+    if (Arg.rfind("--jf=", 0) == 0) {
+      std::string Kind = Arg.substr(5);
+      if (Kind == "literal")
+        Opts.ForwardKind = JumpFunctionKind::Literal;
+      else if (Kind == "intra")
+        Opts.ForwardKind = JumpFunctionKind::IntraproceduralConstant;
+      else if (Kind == "passthrough")
+        Opts.ForwardKind = JumpFunctionKind::PassThrough;
+      else if (Kind == "polynomial")
+        Opts.ForwardKind = JumpFunctionKind::Polynomial;
+      else {
+        std::fprintf(stderr, "error: unknown jump function class '%s'\n",
+                     Kind.c_str());
+        return 1;
+      }
+      continue;
+    }
+    if (Arg.rfind("--suite=", 0) == 0) {
+      const SuiteProgram *Prog = findSuiteProgram(Arg.substr(8));
+      if (!Prog) {
+        std::fprintf(stderr, "error: no suite program named '%s'\n",
+                     Arg.substr(8).c_str());
+        return 1;
+      }
+      Source = Prog->Source;
+      SourceName = Prog->Name;
+      continue;
+    }
+    if (Arg == "--no-return-jf") {
+      Opts.UseReturnJumpFunctions = false;
+    } else if (Arg == "--gated-ssa") {
+      Opts.UseGatedSSA = true;
+    } else if (Arg == "--binding-graph") {
+      Opts.UseBindingGraphPropagator = true;
+    } else if (Arg == "--check-alias") {
+      CheckAlias = true;
+    } else if (Arg == "--no-mod") {
+      Opts.UseModInformation = false;
+    } else if (Arg == "--intra-only") {
+      Opts.IntraproceduralOnly = true;
+    } else if (Arg == "--complete") {
+      Complete = true;
+    } else if (Arg == "--clone") {
+      Clone = true;
+    } else if (Arg == "--integrate") {
+      Integrate = true;
+    } else if (Arg == "--dump-ir") {
+      DumpIR = true;
+    } else if (Arg == "--dump-jf") {
+      DumpJF = true;
+    } else if (Arg == "--run") {
+      Run = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return 1;
+    } else {
+      std::ifstream File(Arg);
+      if (!File) {
+        std::fprintf(stderr, "error: cannot open '%s'\n", Arg.c_str());
+        return 1;
+      }
+      std::ostringstream Buffer;
+      Buffer << File.rdbuf();
+      Source = Buffer.str();
+      SourceName = Arg;
+    }
+  }
+
+  DiagnosticsEngine Diags;
+  std::optional<Program> Ast = parseAndCheck(Source, Diags);
+  if (!Ast) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  for (const Diagnostic &D : Diags.diagnostics())
+    std::fprintf(stderr, "%s\n", D.str().c_str()); // surface warnings
+
+  std::unique_ptr<Module> M = lowerProgram(*Ast);
+  std::printf("analyzing %s: %zu procedure(s), %u instruction(s)\n",
+              SourceName.c_str(), M->procedures().size(),
+              M->instructionCount());
+
+  if (CheckAlias) {
+    std::vector<Diagnostic> Hazards = checkAliasHazards(*M);
+    if (Hazards.empty())
+      std::printf("alias check: clean (Fortran no-alias rule satisfied)\n");
+    for (const Diagnostic &D : Hazards)
+      std::printf("alias check: %s\n", D.str().c_str());
+  }
+
+  if (Clone) {
+    CloningResult CR = cloneForConstants(*M, {Opts});
+    std::printf("cloning: %u copies created, %u -> %u instructions\n",
+                CR.ClonesCreated, CR.InstructionsBefore,
+                CR.InstructionsAfter);
+  }
+
+  if (Integrate) {
+    InlineOptions IOpts;
+    IOpts.EntryProcedure = Opts.EntryProcedure;
+    InlineResult IR = inlineCalls(*M, IOpts);
+    std::printf("integration: %u call(s) inlined in %u round(s), %u dead "
+                "procedure(s) removed, %u -> %u instructions\n",
+                IR.CallsInlined, IR.RoundsRun, IR.ProceduresRemoved,
+                IR.InstructionsBefore, IR.InstructionsAfter);
+  }
+
+  if (Complete) {
+    CompletePropagationResult CR = runCompletePropagation(*M, Opts);
+    std::printf("complete propagation: %u round(s), %u dead blocks "
+                "removed\n",
+                CR.Rounds, CR.BlocksRemoved);
+    std::printf("constant references: %u\n", CR.TotalConstantRefs);
+    for (const ProcedureResult &PR : CR.FinalRound.Procs) {
+      std::printf("  CONSTANTS(%s) = {", PR.Name.c_str());
+      for (size_t I = 0; I != PR.EntryConstants.size(); ++I)
+        std::printf("%s%s=%lld", I ? ", " : "",
+                    PR.EntryConstants[I].first.c_str(),
+                    static_cast<long long>(PR.EntryConstants[I].second));
+      std::printf("}\n");
+    }
+  } else {
+    IPCPResult R = runIPCP(*M, Opts);
+    std::printf("configuration: %s jump functions, return JFs %s, MOD %s%s\n",
+                jumpFunctionKindName(Opts.ForwardKind),
+                Opts.UseReturnJumpFunctions ? "on" : "off",
+                Opts.UseModInformation ? "on" : "off",
+                Opts.IntraproceduralOnly ? ", intraprocedural only" : "");
+    std::printf("entry constants: %u, constant references: %u\n",
+                R.TotalEntryConstants, R.TotalConstantRefs);
+    for (const ProcedureResult &PR : R.Procs) {
+      std::printf("  CONSTANTS(%s) = {", PR.Name.c_str());
+      for (size_t I = 0; I != PR.EntryConstants.size(); ++I)
+        std::printf("%s%s=%lld", I ? ", " : "",
+                    PR.EntryConstants[I].first.c_str(),
+                    static_cast<long long>(PR.EntryConstants[I].second));
+      std::printf("}  [%u refs]\n", PR.ConstantRefs);
+    }
+    std::printf("statistics:\n%s", R.Stats.str().c_str());
+  }
+
+  if (DumpJF) {
+    // Rebuild the jump functions on a scratch clone and print them — the
+    // analyzer's own view of each call site (paper Sections 3.1/3.2).
+    std::unique_ptr<Module> Scratch = M->clone();
+    CallGraph CG(*Scratch);
+    ModRefInfo MRI = Opts.UseModInformation
+                         ? ModRefInfo::compute(*Scratch, CG)
+                         : ModRefInfo::worstCase(*Scratch);
+    SSAMap SSA;
+    for (const std::unique_ptr<Procedure> &P : Scratch->procedures())
+      SSA.emplace(P.get(), constructSSA(*P, MRI));
+    SymExprContext Ctx(Opts.MaxExprNodes);
+    std::unique_ptr<ReturnJumpFunctions> RJFs;
+    if (Opts.UseReturnJumpFunctions)
+      RJFs = std::make_unique<ReturnJumpFunctions>(ReturnJumpFunctions::build(
+          CG, MRI, SSA, Ctx, Opts.UseGatedSSA));
+    ForwardJumpFunctions FJFs =
+        ForwardJumpFunctions::build(CG, MRI, SSA, RJFs.get(), Ctx,
+                                    Opts.ForwardKind, Opts.UseGatedSSA);
+
+    std::printf("\njump functions (%s class):\n",
+                jumpFunctionKindName(Opts.ForwardKind));
+    for (Procedure *P : CG.procedures()) {
+      for (CallInst *Site : CG.callSitesIn(P)) {
+        const CallSiteJumpFunctions &JFs = FJFs.at(Site);
+        std::printf("  %s:%s -> %s\n", P->getName().c_str(),
+                    Site->getLoc().str().c_str(),
+                    Site->getCallee()->getName().c_str());
+        for (unsigned I = 0; I != JFs.Formals.size(); ++I)
+          std::printf("    J(%s) = %s\n",
+                      Site->getCallee()->formals()[I]->getName().c_str(),
+                      JFs.Formals[I].str().c_str());
+        for (const auto &[G, JF] : JFs.Globals)
+          std::printf("    J(global %s) = %s\n", G->getName().c_str(),
+                      JF.str().c_str());
+      }
+    }
+    if (RJFs) {
+      std::printf("\nreturn jump functions:\n");
+      for (Procedure *P : CG.procedures()) {
+        for (unsigned I = 0; I != P->getNumFormals(); ++I)
+          if (const JumpFunction *JF = RJFs->find(P, P->formals()[I]))
+            std::printf("  R(%s.%s) = %s\n", P->getName().c_str(),
+                        P->formals()[I]->getName().c_str(),
+                        JF->str().c_str());
+        for (Variable *G : MRI.modifiedGlobals(P))
+          if (const JumpFunction *JF = RJFs->find(P, G))
+            std::printf("  R(%s.global %s) = %s\n", P->getName().c_str(),
+                        G->getName().c_str(), JF->str().c_str());
+      }
+    }
+  }
+
+  if (DumpIR)
+    std::printf("\n%s", printModule(*M).c_str());
+
+  if (Run) {
+    ExecutionResult Exec = interpret(*M);
+    std::printf("\nexecution: %s, %llu steps\n",
+                Exec.ok() ? "ok" : Exec.TrapMessage.c_str(),
+                static_cast<unsigned long long>(Exec.Steps));
+    for (ConstantValue V : Exec.Output)
+      std::printf("output: %lld\n", static_cast<long long>(V));
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+//===- examples/loop_bounds.cpp - the parallelization motivation ----------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's introduction motivates interprocedural constants with
+// automatic parallelization: "interprocedural constants are often used
+// as loop bounds. ... knowing their values allows the compiler to make
+// informed decisions about the profitability of parallel execution"
+// (citing Eigenmann & Blume).
+//
+// This example plays a parallelizing compiler: it finds every DO loop
+// whose trip count becomes a compile-time constant once interprocedural
+// constants are known, and compares against a purely intraprocedural
+// analysis — the loops it reports are exactly the ones the paper says
+// intraprocedural propagation loses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DeadCode.h"
+#include "core/Pipeline.h"
+#include "frontend/Parser.h"
+#include "ir/AstLower.h"
+#include "support/Casting.h"
+
+#include <cstdio>
+
+using namespace ipcp;
+
+// A scaled-down BLAS-like library: the driver owns the problem sizes and
+// every kernel receives its loop bounds through parameters or globals.
+static const char *Source = R"(
+global nvec, blocksize;
+global data[512], accum[512];
+
+proc axpy(n, a) {
+  var i;
+  do i = 0, n - 1 {
+    accum[i] = accum[i] + a * data[i];
+  }
+}
+
+proc sweep(n, bs) {
+  var b, nb;
+  nb = n / bs;
+  do b = 0, nb - 1 {
+    call axpy(bs, 3);
+  }
+}
+
+proc reduce(n) {
+  var i, s;
+  s = 0;
+  do i = 0, n - 1 {
+    s = s + accum[i];
+  }
+  print s;
+}
+
+proc main() {
+  var i;
+  nvec = 256;
+  blocksize = 32;
+  do i = 0, nvec - 1 {
+    data[i] = i % 17;
+  }
+  call sweep(nvec, blocksize);
+  call reduce(nvec);
+}
+)";
+
+namespace {
+
+/// Counts loop headers whose bound is a literal constant. Applied to a
+/// module transformed with one analysis' facts (substitution + folding),
+/// this is "loops whose trip count the parallelizer can see" under that
+/// analysis. In this front end's lowering, a conditional branch in a
+/// block with two or more predecessors is a loop header.
+unsigned knownBoundLoops(const Module &M) {
+  unsigned Known = 0;
+  for (const std::unique_ptr<Procedure> &P : M.procedures()) {
+    for (const std::unique_ptr<BasicBlock> &BB : P->blocks()) {
+      const auto *CBr = dyn_cast_or_null<CondBranchInst>(BB->getTerminator());
+      if (!CBr || BB->predecessors().size() < 2)
+        continue;
+      const auto *Cmp = dyn_cast<BinaryInst>(CBr->getCond());
+      if (!Cmp || !isComparisonOp(Cmp->getOp()))
+        continue;
+      if (isa<ConstantInt>(Cmp->getLHS()) || isa<ConstantInt>(Cmp->getRHS()))
+        ++Known;
+    }
+  }
+  return Known;
+}
+
+/// Applies \p R's facts to a scratch copy and counts known-bound loops.
+unsigned knownBoundLoopsUnder(const Module &M, const IPCPResult &R) {
+  std::unique_ptr<Module> Transformed = M.clone();
+  applyFacts(*Transformed, R.Facts);
+  return knownBoundLoops(*Transformed);
+}
+
+unsigned totalLoops(const Module &M) {
+  unsigned Loops = 0;
+  for (const std::unique_ptr<Procedure> &P : M.procedures())
+    for (const std::unique_ptr<BasicBlock> &BB : P->blocks())
+      if (isa_and_nonnull<CondBranchInst>(BB->getTerminator()) &&
+          BB->predecessors().size() >= 2)
+        ++Loops;
+  return Loops;
+}
+
+} // namespace
+
+int main() {
+  DiagnosticsEngine Diags;
+  std::optional<Program> Ast = parseAndCheck(Source, Diags);
+  if (!Ast) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  std::unique_ptr<Module> M = lowerProgram(*Ast);
+
+  unsigned Loops = totalLoops(*M);
+
+  IPCPOptions Intra;
+  Intra.IntraproceduralOnly = true;
+  IPCPResult IntraResult = runIPCP(*M, Intra);
+  IPCPResult InterResult = runIPCP(*M);
+
+  std::printf("loops in program:                        %u\n", Loops);
+  std::printf("bounds known intraprocedurally:          %u\n",
+              knownBoundLoopsUnder(*M, IntraResult));
+  std::printf("bounds known with interprocedural CP:    %u\n",
+              knownBoundLoopsUnder(*M, InterResult));
+  std::printf("\nWith interprocedural constants the \"parallelizer\" can "
+              "size every kernel loop\n(axpy: 32 iterations, sweep: 8 "
+              "blocks, reduce: 256 elements) and decide\nprofitability "
+              "statically — the Eigenmann & Blume scenario from the "
+              "paper's intro.\n");
+  return 0;
+}

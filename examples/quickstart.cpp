@@ -1,0 +1,88 @@
+//===- examples/quickstart.cpp - five-minute tour of the library ----------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Quickstart: compile a MiniFort program, run jump-function
+// interprocedural constant propagation, inspect CONSTANTS(p) for each
+// procedure, and apply the discovered constants back to the program.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DeadCode.h"
+#include "core/Pipeline.h"
+#include "frontend/Parser.h"
+#include "ir/AstLower.h"
+#include "ir/IRPrinter.h"
+
+#include <cstdio>
+
+using namespace ipcp;
+
+// A tiny program with one interprocedural constant story: `width` flows
+// from main through `render` into `clamp`, picking up arithmetic along
+// the way.
+static const char *Source = R"(
+global gamma;
+
+proc clamp(v, hi) {
+  if (v > hi) { v = hi; }
+  print v;
+}
+
+proc render(width, brightness) {
+  var pixels;
+  pixels = width * width;
+  call clamp(pixels, 10000);
+  print brightness * gamma;
+}
+
+proc main() {
+  gamma = 2;
+  call render(64, 9);
+}
+)";
+
+int main() {
+  // 1. Frontend: parse + semantic checks.
+  DiagnosticsEngine Diags;
+  std::optional<Program> Ast = parseAndCheck(Source, Diags);
+  if (!Ast) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  // 2. Lower to the IR the analyses run on.
+  std::unique_ptr<Module> M = lowerProgram(*Ast);
+
+  // 3. One call runs the whole framework: MOD/REF analysis, SSA, return
+  //    and forward jump functions, and the call-graph propagation.
+  IPCPOptions Opts; // defaults: polynomial jump functions + return JFs + MOD
+  IPCPResult Result = runIPCP(*M, Opts);
+
+  std::printf("== CONSTANTS(p): values that always hold on entry ==\n");
+  for (const ProcedureResult &PR : Result.Procs) {
+    std::printf("  %s:", PR.Name.c_str());
+    if (PR.EntryConstants.empty())
+      std::printf(" (none)");
+    for (const auto &[Name, Value] : PR.EntryConstants)
+      std::printf(" %s=%lld", Name.c_str(), static_cast<long long>(Value));
+    std::printf("   [%u constant refs]\n", PR.ConstantRefs);
+  }
+  std::printf("total: %u entry constants, %u references proven constant\n\n",
+              Result.TotalEntryConstants, Result.TotalConstantRefs);
+
+  // 4. Substitute the constants into the program (the paper's
+  //    "transformed version of the original source").
+  TransformStats Stats = applyFacts(*M, Result.Facts);
+  std::printf("== after substitution ==\n");
+  std::printf("loads replaced: %u, branches folded: %u, dead blocks "
+              "removed: %u\n\n",
+              Stats.LoadsReplaced, Stats.BranchesFolded, Stats.BlocksRemoved);
+
+  std::printf("%s", printModule(*M).c_str());
+  return 0;
+}

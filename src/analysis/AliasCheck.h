@@ -1,0 +1,51 @@
+//===- analysis/AliasCheck.h - Fortran no-alias rule checker ----*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framework (like Fortran compilers, and like the paper's analyzer)
+/// assumes the standard Fortran rule that a procedure never modifies a
+/// location reachable under two names: a dummy argument aliased with
+/// another dummy argument or with a COMMON variable must not be
+/// assigned. MiniFort programs can violate this (the interpreter
+/// implements real aliasing), in which case the analysis' view of the
+/// callee's body can disagree with execution.
+///
+/// This pass flags the two hazardous call shapes, using MOD/REF
+/// summaries to stay precise:
+///
+///  - the same scalar passed as two by-reference actuals where at least
+///    one of the bound formals may be modified;
+///  - a global passed as a by-reference actual where the bound formal
+///    may be modified and the callee may also touch the global directly,
+///    or the callee may modify the global while the formal is used.
+///
+/// Programs with no diagnostics satisfy the assumption; DESIGN.md
+/// documents that the benchmark suite and the generator are clean by
+/// construction (enforced in the test suite).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_ANALYSIS_ALIASCHECK_H
+#define IPCP_ANALYSIS_ALIASCHECK_H
+
+#include "analysis/ModRef.h"
+#include "support/Diagnostics.h"
+
+#include <vector>
+
+namespace ipcp {
+
+/// Scans every call site; returns one warning per hazard found.
+std::vector<Diagnostic> checkAliasHazards(const Module &M,
+                                          const CallGraph &CG,
+                                          const ModRefInfo &MRI);
+
+/// Convenience: builds the call graph and MOD/REF info internally.
+std::vector<Diagnostic> checkAliasHazards(const Module &M);
+
+} // namespace ipcp
+
+#endif // IPCP_ANALYSIS_ALIASCHECK_H

@@ -1,0 +1,140 @@
+//===- analysis/CallGraph.cpp ---------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace ipcp;
+
+CallGraph::CallGraph(const Module &M) {
+  for (const std::unique_ptr<Procedure> &P : M.procedures()) {
+    Order.push_back(P.get());
+    std::vector<CallInst *> Calls = P->callSites();
+    std::vector<Procedure *> &CalleeList = Callees[P.get()];
+    for (CallInst *Call : Calls) {
+      Procedure *Q = Call->getCallee();
+      if (std::find(CalleeList.begin(), CalleeList.end(), Q) ==
+          CalleeList.end())
+        CalleeList.push_back(Q);
+      std::vector<Procedure *> &CallerList = Callers[Q];
+      if (std::find(CallerList.begin(), CallerList.end(), P.get()) ==
+          CallerList.end())
+        CallerList.push_back(P.get());
+      if (Q == P.get())
+        Recursive.insert(P.get());
+    }
+    Sites[P.get()] = std::move(Calls);
+  }
+  computeSCCs();
+}
+
+const std::vector<CallInst *> &CallGraph::callSitesIn(Procedure *P) const {
+  auto It = Sites.find(P);
+  return It == Sites.end() ? NoSites : It->second;
+}
+
+const std::vector<Procedure *> &CallGraph::callees(Procedure *P) const {
+  auto It = Callees.find(P);
+  return It == Callees.end() ? NoProcs : It->second;
+}
+
+const std::vector<Procedure *> &CallGraph::callers(Procedure *P) const {
+  auto It = Callers.find(P);
+  return It == Callers.end() ? NoProcs : It->second;
+}
+
+void CallGraph::computeSCCs() {
+  // Iterative Tarjan. Emission order (components finish callee-first) is
+  // exactly the bottom-up order the return-jump-function pass needs.
+  struct NodeState {
+    unsigned Index = 0;
+    unsigned LowLink = 0;
+    bool OnStack = false;
+    bool Visited = false;
+  };
+  std::unordered_map<Procedure *, NodeState> State;
+  std::vector<Procedure *> Stack;
+  unsigned NextIndex = 0;
+
+  struct Frame {
+    Procedure *P;
+    size_t NextCallee;
+  };
+
+  for (Procedure *Root : Order) {
+    if (State[Root].Visited)
+      continue;
+    std::vector<Frame> Frames{{Root, 0}};
+    State[Root].Visited = true;
+    State[Root].Index = State[Root].LowLink = NextIndex++;
+    State[Root].OnStack = true;
+    Stack.push_back(Root);
+
+    while (!Frames.empty()) {
+      Frame &F = Frames.back();
+      const std::vector<Procedure *> &Succ = callees(F.P);
+      if (F.NextCallee < Succ.size()) {
+        Procedure *Q = Succ[F.NextCallee++];
+        NodeState &QS = State[Q];
+        if (!QS.Visited) {
+          QS.Visited = true;
+          QS.Index = QS.LowLink = NextIndex++;
+          QS.OnStack = true;
+          Stack.push_back(Q);
+          Frames.push_back({Q, 0});
+        } else if (QS.OnStack) {
+          State[F.P].LowLink = std::min(State[F.P].LowLink, QS.Index);
+        }
+        continue;
+      }
+
+      // Finished with F.P: close its SCC if it is a root.
+      NodeState &PS = State[F.P];
+      if (PS.LowLink == PS.Index) {
+        std::vector<Procedure *> Component;
+        while (true) {
+          Procedure *Q = Stack.back();
+          Stack.pop_back();
+          State[Q].OnStack = false;
+          Component.push_back(Q);
+          if (Q == F.P)
+            break;
+        }
+        if (Component.size() > 1)
+          for (Procedure *Q : Component)
+            Recursive.insert(Q);
+        SCCs.push_back(std::move(Component));
+      }
+      Procedure *Done = F.P;
+      Frames.pop_back();
+      if (!Frames.empty()) {
+        NodeState &ParentState = State[Frames.back().P];
+        ParentState.LowLink =
+            std::min(ParentState.LowLink, State[Done].LowLink);
+      }
+    }
+  }
+}
+
+std::unordered_set<Procedure *>
+CallGraph::reachableFrom(Procedure *Entry) const {
+  std::unordered_set<Procedure *> Reachable;
+  if (!Entry)
+    return Reachable;
+  std::deque<Procedure *> Queue{Entry};
+  Reachable.insert(Entry);
+  while (!Queue.empty()) {
+    Procedure *P = Queue.front();
+    Queue.pop_front();
+    for (Procedure *Q : callees(P))
+      if (Reachable.insert(Q).second)
+        Queue.push_back(Q);
+  }
+  return Reachable;
+}

@@ -1,0 +1,72 @@
+//===- analysis/CallGraph.h - Program call graph ----------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The call graph G the paper propagates over: one node per procedure, one
+/// edge per call site (parallel edges preserved — each call site carries
+/// its own jump functions). Also computes Tarjan SCCs and a bottom-up SCC
+/// order, which the return-jump-function builder walks, and reachability
+/// from the entry procedure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_ANALYSIS_CALLGRAPH_H
+#define IPCP_ANALYSIS_CALLGRAPH_H
+
+#include "ir/Module.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ipcp {
+
+/// Call graph over one module.
+class CallGraph {
+public:
+  explicit CallGraph(const Module &M);
+
+  /// Every call site in \p P, in block order.
+  const std::vector<CallInst *> &callSitesIn(Procedure *P) const;
+
+  /// Distinct procedures called from \p P.
+  const std::vector<Procedure *> &callees(Procedure *P) const;
+
+  /// Distinct procedures calling \p P.
+  const std::vector<Procedure *> &callers(Procedure *P) const;
+
+  /// Strongly connected components in bottom-up (callee-first) order;
+  /// each component lists its member procedures.
+  const std::vector<std::vector<Procedure *>> &sccsBottomUp() const {
+    return SCCs;
+  }
+
+  /// True when \p P participates in recursion (its SCC has >1 member or a
+  /// direct self-call).
+  bool isRecursive(Procedure *P) const { return Recursive.count(P) != 0; }
+
+  /// Procedures reachable from \p Entry (inclusive); empty when Entry is
+  /// null.
+  std::unordered_set<Procedure *> reachableFrom(Procedure *Entry) const;
+
+  const std::vector<Procedure *> &procedures() const { return Order; }
+
+private:
+  void computeSCCs();
+
+  std::vector<Procedure *> Order; // module order
+  std::unordered_map<Procedure *, std::vector<CallInst *>> Sites;
+  std::unordered_map<Procedure *, std::vector<Procedure *>> Callees;
+  std::unordered_map<Procedure *, std::vector<Procedure *>> Callers;
+  std::vector<std::vector<Procedure *>> SCCs;
+  std::unordered_set<Procedure *> Recursive;
+  std::vector<CallInst *> NoSites;
+  std::vector<Procedure *> NoProcs;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_ANALYSIS_CALLGRAPH_H

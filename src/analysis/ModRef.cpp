@@ -1,0 +1,134 @@
+//===- analysis/ModRef.cpp ------------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ModRef.h"
+
+#include "support/Casting.h"
+#include "support/Worklist.h"
+
+using namespace ipcp;
+
+bool ModRefInfo::formalMayBeModified(const Procedure *P,
+                                     unsigned Index) const {
+  if (WorstCase)
+    return true;
+  auto It = FormalMod.find(P);
+  if (It == FormalMod.end())
+    return false;
+  return Index < It->second.size() && It->second[Index];
+}
+
+const VariableSet &ModRefInfo::modifiedGlobals(const Procedure *P) const {
+  if (WorstCase)
+    return AllScalarGlobals;
+  auto It = GlobalMod.find(P);
+  return It == GlobalMod.end() ? EmptySet : It->second;
+}
+
+const VariableSet &ModRefInfo::extendedGlobals(const Procedure *P) const {
+  if (WorstCase)
+    return AllScalarGlobals;
+  auto It = ExtGlobals.find(P);
+  return It == ExtGlobals.end() ? EmptySet : It->second;
+}
+
+std::vector<Variable *> ModRefInfo::callKills(const CallInst *Call) const {
+  VariableSet Kills;
+  const Procedure *Callee = Call->getCallee();
+  for (unsigned I = 0, E = Call->getNumActuals(); I != E; ++I) {
+    Variable *Loc = Call->getActual(I).ByRefLoc;
+    if (Loc && formalMayBeModified(Callee, I))
+      Kills.insert(Loc);
+  }
+  for (Variable *G : modifiedGlobals(Callee))
+    Kills.insert(G);
+  return {Kills.begin(), Kills.end()};
+}
+
+ModRefInfo ModRefInfo::worstCase(const Module &M) {
+  ModRefInfo Info;
+  Info.WorstCase = true;
+  for (Variable *G : M.globals())
+    if (G->isScalar())
+      Info.AllScalarGlobals.insert(G);
+  return Info;
+}
+
+ModRefInfo ModRefInfo::compute(const Module &M, const CallGraph &CG) {
+  ModRefInfo Info;
+
+  // Direct (local) effects first.
+  for (const std::unique_ptr<Procedure> &P : M.procedures()) {
+    std::vector<bool> &Mods = Info.FormalMod[P.get()];
+    Mods.assign(P->getNumFormals(), false);
+    VariableSet &GMod = Info.GlobalMod[P.get()];
+    VariableSet &Ext = Info.ExtGlobals[P.get()];
+    for (const std::unique_ptr<BasicBlock> &BB : P->blocks()) {
+      for (const std::unique_ptr<Instruction> &Inst : BB->instructions()) {
+        if (const auto *Store = dyn_cast<StoreInst>(Inst.get())) {
+          Variable *Var = Store->getVariable();
+          if (Var->isFormal())
+            Mods[Var->getFormalIndex()] = true;
+          else if (Var->isGlobal()) {
+            GMod.insert(Var);
+            Ext.insert(Var);
+          }
+        } else if (const auto *Load = dyn_cast<LoadInst>(Inst.get())) {
+          if (Load->getVariable()->isGlobal())
+            Ext.insert(Load->getVariable());
+        }
+      }
+    }
+  }
+
+  // Propagate effects from callees to callers to fixpoint.
+  Worklist<Procedure *> Work;
+  for (const std::unique_ptr<Procedure> &P : M.procedures())
+    Work.insert(P.get());
+
+  while (!Work.empty()) {
+    Procedure *P = Work.pop();
+    bool Changed = false;
+    std::vector<bool> &Mods = Info.FormalMod[P];
+    VariableSet &GMod = Info.GlobalMod[P];
+    VariableSet &Ext = Info.ExtGlobals[P];
+
+    for (const CallInst *Call : CG.callSitesIn(P)) {
+      const Procedure *Q = Call->getCallee();
+      // Bind callee formal side effects to caller locations.
+      const std::vector<bool> &CalleeMods = Info.FormalMod[Q];
+      for (unsigned I = 0, E = Call->getNumActuals(); I != E; ++I) {
+        if (I >= CalleeMods.size() || !CalleeMods[I])
+          continue;
+        Variable *Loc = Call->getActual(I).ByRefLoc;
+        if (!Loc)
+          continue;
+        if (Loc->isFormal() && !Mods[Loc->getFormalIndex()]) {
+          Mods[Loc->getFormalIndex()] = true;
+          Changed = true;
+        } else if (Loc->isGlobal() && GMod.insert(Loc).second) {
+          Ext.insert(Loc);
+          Changed = true;
+        }
+      }
+      // Globals are shared: callee effects apply directly.
+      for (Variable *G : Info.GlobalMod[Q])
+        if (GMod.insert(G).second) {
+          Ext.insert(G);
+          Changed = true;
+        }
+      for (Variable *G : Info.ExtGlobals[Q])
+        if (Ext.insert(G).second)
+          Changed = true;
+    }
+
+    if (Changed)
+      for (Procedure *Caller : CG.callers(P))
+        Work.insert(Caller);
+  }
+
+  return Info;
+}

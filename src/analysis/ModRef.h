@@ -1,0 +1,75 @@
+//===- analysis/ModRef.h - Interprocedural side effects ---------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flow-insensitive interprocedural MOD/REF summary analysis in the style
+/// of Cooper & Kennedy: for each procedure, which formals may be modified
+/// through any call chain, and which globals may be modified/referenced.
+/// By-reference bindings at call sites translate callee formal
+/// side-effects into caller variables; the summaries reach a fixpoint over
+/// the call graph (recursion handled naturally by the worklist).
+///
+/// The paper's Table 3 shows that this information is the single most
+/// valuable ingredient of interprocedural constant propagation; the
+/// worstCase() factory models its absence (every call may modify every
+/// by-reference actual and every global), reproducing the ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_ANALYSIS_MODREF_H
+#define IPCP_ANALYSIS_MODREF_H
+
+#include "analysis/CallGraph.h"
+#include "ir/Module.h"
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace ipcp {
+
+/// Side-effect summaries for every procedure in a module.
+/// (VariableSet / VariableIdLess live in ir/Variable.h.)
+class ModRefInfo {
+public:
+  /// Runs the analysis to fixpoint.
+  static ModRefInfo compute(const Module &M, const CallGraph &CG);
+
+  /// The no-information ablation: every call clobbers everything.
+  static ModRefInfo worstCase(const Module &M);
+
+  bool isWorstCase() const { return WorstCase; }
+
+  /// May formal \p Index of \p P be modified by executing \p P?
+  bool formalMayBeModified(const Procedure *P, unsigned Index) const;
+
+  /// Scalar globals possibly modified by executing \p P (transitive).
+  const VariableSet &modifiedGlobals(const Procedure *P) const;
+
+  /// Scalar globals possibly referenced or modified by executing \p P
+  /// (transitive) — the globals that become "extended formal parameters"
+  /// of \p P for the interprocedural propagation (paper footnote 1).
+  const VariableSet &extendedGlobals(const Procedure *P) const;
+
+  /// Caller locations a call may modify: by-reference actuals bound to
+  /// modifiable formals plus the callee's modified globals. Deduplicated,
+  /// ID-ordered, scalars only.
+  std::vector<Variable *> callKills(const CallInst *Call) const;
+
+private:
+  ModRefInfo() = default;
+
+  bool WorstCase = false;
+  VariableSet AllScalarGlobals;
+  std::unordered_map<const Procedure *, std::vector<bool>> FormalMod;
+  std::unordered_map<const Procedure *, VariableSet> GlobalMod;
+  std::unordered_map<const Procedure *, VariableSet> ExtGlobals;
+  VariableSet EmptySet;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_ANALYSIS_MODREF_H

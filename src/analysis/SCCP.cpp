@@ -1,0 +1,244 @@
+//===- analysis/SCCP.cpp --------------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SCCP.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace ipcp;
+
+LatticeValue SCCPResult::valueOf(const Value *V) const {
+  if (const auto *C = dyn_cast<ConstantInt>(V))
+    return LatticeValue::constant(C->getValue());
+  if (const auto *Entry = dyn_cast<EntryValue>(V)) {
+    auto It = EntrySeeds.find(Entry->getVariable());
+    return It == EntrySeeds.end() ? LatticeValue::bottom() : It->second;
+  }
+  if (isa<UndefValue>(V))
+    return LatticeValue::bottom(); // defensive: undef is never constant
+  auto It = Values.find(V);
+  return It == Values.end() ? LatticeValue::top() : It->second;
+}
+
+unsigned SCCPResult::constantValueCount() const {
+  unsigned Count = 0;
+  for (const auto &[V, LV] : Values)
+    if (LV.isConstant())
+      ++Count;
+  return Count;
+}
+
+namespace {
+
+/// One SCCP fixpoint computation. The friend function runSCCP hands the
+/// result's internal containers to this solver.
+class SCCPSolverImpl {
+public:
+  SCCPSolverImpl(const Procedure &P, const SCCPOptions &Options,
+                 const SCCPResult &R,
+                 std::unordered_map<const Value *, LatticeValue> &Values,
+                 std::unordered_set<const BasicBlock *> &ExecBlocks,
+                 SCCPResult::EdgeSet &ExecEdges)
+      : P(P), Options(Options), R(R), Values(Values), ExecBlocks(ExecBlocks),
+        ExecEdges(ExecEdges) {}
+
+  void solve();
+
+private:
+  void buildUses();
+  void markBlockExecutable(const BasicBlock *BB);
+  void markEdgeExecutable(const BasicBlock *From, const BasicBlock *To);
+  void setValue(const Instruction *Inst, LatticeValue NewVal);
+  LatticeValue evaluate(const Instruction *Inst);
+
+  const Procedure &P;
+  const SCCPOptions &Options;
+  const SCCPResult &R;
+  std::unordered_map<const Value *, LatticeValue> &Values;
+  std::unordered_set<const BasicBlock *> &ExecBlocks;
+  SCCPResult::EdgeSet &ExecEdges;
+
+  /// def -> instructions whose lattice value depends on it (operand users
+  /// plus the CallOuts of a call whose actuals it feeds).
+  std::unordered_map<const Value *, std::vector<const Instruction *>> Uses;
+
+  std::deque<const Instruction *> InstWork;
+  std::deque<std::pair<const BasicBlock *, const BasicBlock *>> EdgeWork;
+};
+
+} // namespace
+
+void SCCPSolverImpl::buildUses() {
+  for (const std::unique_ptr<BasicBlock> &BB : P.blocks()) {
+    for (const std::unique_ptr<Instruction> &Inst : BB->instructions()) {
+      for (const Value *Op : Inst->operands())
+        if (Op && Op->isInstruction())
+          Uses[Op].push_back(Inst.get());
+      // A CallOut's value is a function of the call's actual values (the
+      // return jump function is evaluated over them), so register it as a
+      // user of each instruction-valued actual.
+      if (const auto *Out = dyn_cast<CallOutInst>(Inst.get())) {
+        const CallInst *Call = Out->getCall();
+        for (const Value *Op : Call->operands())
+          if (Op && Op->isInstruction())
+            Uses[Op].push_back(Out);
+      }
+    }
+  }
+}
+
+void SCCPSolverImpl::markBlockExecutable(const BasicBlock *BB) {
+  if (!ExecBlocks.insert(BB).second)
+    return;
+  for (const std::unique_ptr<Instruction> &Inst : BB->instructions())
+    InstWork.push_back(Inst.get());
+}
+
+void SCCPSolverImpl::markEdgeExecutable(const BasicBlock *From,
+                                        const BasicBlock *To) {
+  if (!ExecEdges.insert({From, To}).second)
+    return;
+  if (ExecBlocks.count(To)) {
+    // Only the phis can change when an additional edge becomes live.
+    for (const std::unique_ptr<Instruction> &Inst : To->instructions()) {
+      if (!isa<PhiInst>(Inst.get()))
+        break;
+      InstWork.push_back(Inst.get());
+    }
+    return;
+  }
+  markBlockExecutable(To);
+}
+
+void SCCPSolverImpl::setValue(const Instruction *Inst, LatticeValue NewVal) {
+  LatticeValue Old = R.valueOf(Inst);
+  // Monotonicity: only ever lower.
+  LatticeValue Lowered = meet(Old, NewVal);
+  if (Lowered == Old)
+    return;
+  Values[Inst] = Lowered;
+  auto It = Uses.find(Inst);
+  if (It != Uses.end())
+    for (const Instruction *User : It->second)
+      InstWork.push_back(User);
+}
+
+LatticeValue SCCPSolverImpl::evaluate(const Instruction *Inst) {
+  auto Get = [&](const Value *V) { return R.valueOf(V); };
+
+  switch (Inst->getKind()) {
+  case ValueKind::Binary: {
+    const auto *Bin = cast<BinaryInst>(Inst);
+    LatticeValue L = Get(Bin->getLHS());
+    LatticeValue Rv = Get(Bin->getRHS());
+    if (L.isBottom() || Rv.isBottom())
+      return LatticeValue::bottom();
+    if (L.isTop() || Rv.isTop())
+      return LatticeValue::top();
+    if (auto Folded =
+            foldBinary(Bin->getOp(), L.getConstant(), Rv.getConstant()))
+      return LatticeValue::constant(*Folded);
+    return LatticeValue::bottom(); // overflow / divide by zero
+  }
+  case ValueKind::Unary: {
+    const auto *Un = cast<UnaryInst>(Inst);
+    LatticeValue V = Get(Un->getValueOperand());
+    if (V.isBottom())
+      return LatticeValue::bottom();
+    if (V.isTop())
+      return LatticeValue::top();
+    if (auto Folded = foldUnary(Un->getOp(), V.getConstant()))
+      return LatticeValue::constant(*Folded);
+    return LatticeValue::bottom();
+  }
+  case ValueKind::Phi: {
+    const auto *Phi = cast<PhiInst>(Inst);
+    LatticeValue Merged = LatticeValue::top();
+    for (unsigned I = 0, E = Phi->getNumIncoming(); I != E; ++I) {
+      const BasicBlock *Pred = Phi->getIncomingBlock(I);
+      if (!R.isExecutableEdge(Pred, Inst->getParent()))
+        continue;
+      Merged = meet(Merged, Get(Phi->getIncomingValue(I)));
+      if (Merged.isBottom())
+        break;
+    }
+    return Merged;
+  }
+  case ValueKind::ArrayLoad:
+  case ValueKind::Read:
+    return LatticeValue::bottom();
+  case ValueKind::CallOut: {
+    const auto *Out = cast<CallOutInst>(Inst);
+    if (!Options.CallOutEval)
+      return LatticeValue::bottom();
+    std::function<LatticeValue(const Value *)> Getter = Get;
+    return Options.CallOutEval(Out, Getter);
+  }
+  case ValueKind::Load:
+    // A load survives SSA only for non-promoted scalars; treat as opaque.
+    return LatticeValue::bottom();
+  default:
+    assert(!Inst->producesValue() && "unhandled value-producing inst");
+    return LatticeValue::bottom();
+  }
+}
+
+void SCCPSolverImpl::solve() {
+  buildUses();
+  markBlockExecutable(P.getEntryBlock());
+
+  while (!InstWork.empty() || !EdgeWork.empty()) {
+    while (!EdgeWork.empty()) {
+      auto [From, To] = EdgeWork.front();
+      EdgeWork.pop_front();
+      markEdgeExecutable(From, To);
+    }
+    if (InstWork.empty())
+      break;
+    const Instruction *Inst = InstWork.front();
+    InstWork.pop_front();
+    if (!R.isExecutable(Inst->getParent()))
+      continue;
+
+    if (Inst->producesValue()) {
+      setValue(Inst, evaluate(Inst));
+      continue;
+    }
+
+    if (const auto *Br = dyn_cast<BranchInst>(Inst)) {
+      EdgeWork.push_back({Inst->getParent(), Br->getTarget()});
+      continue;
+    }
+    if (const auto *CBr = dyn_cast<CondBranchInst>(Inst)) {
+      LatticeValue Cond = R.valueOf(CBr->getCond());
+      if (Cond.isTop())
+        continue; // not enough evidence yet
+      if (Cond.isConstant()) {
+        const BasicBlock *Taken = Cond.getConstant() != 0
+                                      ? CBr->getTrueTarget()
+                                      : CBr->getFalseTarget();
+        EdgeWork.push_back({Inst->getParent(), Taken});
+      } else {
+        EdgeWork.push_back({Inst->getParent(), CBr->getTrueTarget()});
+        EdgeWork.push_back({Inst->getParent(), CBr->getFalseTarget()});
+      }
+      continue;
+    }
+    // Stores (non-promoted), prints, calls, rets: no lattice effect.
+  }
+}
+
+SCCPResult ipcp::runSCCP(const Procedure &P, const SCCPOptions &Options) {
+  SCCPResult Result;
+  Result.EntrySeeds = Options.EntrySeeds;
+  SCCPSolverImpl Solver(P, Options, Result, Result.Values, Result.ExecBlocks,
+                        Result.ExecEdges);
+  Solver.solve();
+  return Result;
+}

@@ -1,0 +1,100 @@
+//===- analysis/SCCP.h - Sparse conditional constant prop -------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wegman–Zadeck sparse conditional constant propagation over one
+/// procedure in SSA form. This is the `gcp(y, s)` machinery of the paper:
+/// intraprocedural constant propagation coupled with interprocedural MOD
+/// information (already folded into the SSA form as CallOut definitions).
+///
+/// Two hooks make it serve every configuration of the study:
+///  - \c EntrySeeds injects interprocedural constants for formals and
+///    globals (the CONSTANTS(p) sets); a missing seed means bottom, and
+///    an empty map yields the plain intraprocedural baseline of Table 3;
+///  - \c CallOutEval resolves the value of a location after a call,
+///    implemented by the core library through return jump functions; the
+///    default declines (bottom), modeling the no-return-jump-function
+///    configurations.
+///
+/// Branch conditions with constant values keep the untaken edge
+/// non-executable, which is also how dead code is detected for the
+/// "complete propagation" experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_ANALYSIS_SCCP_H
+#define IPCP_ANALYSIS_SCCP_H
+
+#include "core/Lattice.h"
+#include "ir/Module.h"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ipcp {
+
+/// Configuration for one SCCP run.
+struct SCCPOptions {
+  /// Lattice values of EntryValues; variables not present are bottom.
+  std::unordered_map<Variable *, LatticeValue> EntrySeeds;
+
+  /// Evaluates a CallOut given a getter for current lattice values of the
+  /// underlying call's actuals. Null means every CallOut is bottom.
+  std::function<LatticeValue(
+      const CallOutInst *,
+      const std::function<LatticeValue(const Value *)> &)>
+      CallOutEval;
+};
+
+/// Fixpoint result of one SCCP run.
+class SCCPResult {
+public:
+  /// Lattice value of \p V at fixpoint. Values in never-executed blocks
+  /// report top.
+  LatticeValue valueOf(const Value *V) const;
+
+  /// Whether any path from the entry can reach \p BB.
+  bool isExecutable(const BasicBlock *BB) const {
+    return ExecBlocks.count(BB) != 0;
+  }
+
+  /// Whether the CFG edge \p From -> \p To can ever be taken.
+  bool isExecutableEdge(const BasicBlock *From, const BasicBlock *To) const {
+    return ExecEdges.count({From, To}) != 0;
+  }
+
+  /// Number of lattice cells that ended as constants (for statistics).
+  unsigned constantValueCount() const;
+
+  /// Hash for CFG edges (exposed for the solver implementation).
+  struct EdgeHash {
+    size_t operator()(
+        const std::pair<const BasicBlock *, const BasicBlock *> &E) const {
+      return std::hash<const void *>()(E.first) * 31 ^
+             std::hash<const void *>()(E.second);
+    }
+  };
+
+  using EdgeSet =
+      std::unordered_set<std::pair<const BasicBlock *, const BasicBlock *>,
+                         EdgeHash>;
+
+private:
+  friend SCCPResult runSCCP(const Procedure &P, const SCCPOptions &Options);
+
+  std::unordered_map<const Value *, LatticeValue> Values;
+  std::unordered_map<Variable *, LatticeValue> EntrySeeds;
+  std::unordered_set<const BasicBlock *> ExecBlocks;
+  EdgeSet ExecEdges;
+};
+
+/// Runs SCCP on \p P (must be in SSA form).
+SCCPResult runSCCP(const Procedure &P, const SCCPOptions &Options = {});
+
+} // namespace ipcp
+
+#endif // IPCP_ANALYSIS_SCCP_H

@@ -1,0 +1,257 @@
+//===- analysis/SSAConstruction.cpp ---------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SSAConstruction.h"
+
+#include "ir/Dominators.h"
+#include "support/Casting.h"
+#include "support/Worklist.h"
+
+#include <algorithm>
+
+#include <cassert>
+#include <unordered_set>
+
+using namespace ipcp;
+
+namespace {
+
+/// One SSA construction run.
+class SSABuilder {
+public:
+  SSABuilder(Procedure &P, const ModRefInfo &MRI) : P(P), MRI(MRI) {}
+
+  SSAResult run();
+
+private:
+  void collectPromotedVars();
+  void insertPhis(const DominatorTree &DT, const DominanceFrontier &DF);
+  void rename(const DominatorTree &DT);
+  void renameBlock(BasicBlock *BB, const DominatorTree &DT,
+                   std::vector<std::pair<Variable *, Value *>> &Popped);
+
+  Value *currentDef(Variable *Var) {
+    auto It = Defs.find(Var);
+    assert(It != Defs.end() && !It->second.empty() &&
+           "promoted variable without a reaching definition");
+    return It->second.back();
+  }
+
+  void pushDef(Variable *Var, Value *V,
+               std::vector<std::pair<Variable *, Value *>> &Popped) {
+    Defs[Var].push_back(V);
+    Popped.push_back({Var, V});
+  }
+
+  Procedure &P;
+  const ModRefInfo &MRI;
+  SSAResult Result;
+  std::unordered_set<Variable *> Promoted;
+  std::unordered_map<Variable *, std::vector<Value *>> Defs;
+  std::unordered_map<Instruction *, Value *> Replacements;
+  std::vector<Instruction *> ToErase;
+};
+
+} // namespace
+
+void SSABuilder::collectPromotedVars() {
+  auto Add = [&](Variable *Var) {
+    if (Var->isScalar() && Promoted.insert(Var).second)
+      Result.PromotedVars.push_back(Var);
+  };
+  for (Variable *F : P.formals())
+    Add(F);
+  for (Variable *L : P.locals())
+    Add(L);
+  for (Variable *G : MRI.extendedGlobals(&P))
+    Add(G);
+}
+
+void SSABuilder::insertPhis(const DominatorTree &DT,
+                            const DominanceFrontier &DF) {
+  for (Variable *Var : Result.PromotedVars) {
+    // Definition sites: entry (implicit), stores, and killing calls.
+    std::vector<BasicBlock *> DefBlocks{P.getEntryBlock()};
+    for (const std::unique_ptr<BasicBlock> &BB : P.blocks()) {
+      for (const std::unique_ptr<Instruction> &Inst : BB->instructions()) {
+        if (const auto *Store = dyn_cast<StoreInst>(Inst.get())) {
+          if (Store->getVariable() == Var) {
+            DefBlocks.push_back(BB.get());
+            break;
+          }
+        } else if (const auto *Call = dyn_cast<CallInst>(Inst.get())) {
+          std::vector<Variable *> Kills = MRI.callKills(Call);
+          if (std::find(Kills.begin(), Kills.end(), Var) != Kills.end()) {
+            DefBlocks.push_back(BB.get());
+            break;
+          }
+        }
+      }
+    }
+
+    // Iterated dominance frontier.
+    Worklist<BasicBlock *> Work;
+    for (BasicBlock *BB : DefBlocks)
+      Work.insert(BB);
+    std::unordered_set<BasicBlock *> HasPhi;
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.pop();
+      for (BasicBlock *Frontier : DF.frontier(BB)) {
+        if (!HasPhi.insert(Frontier).second)
+          continue;
+        auto Phi = std::make_unique<PhiInst>(P.getModule()->nextInstId(),
+                                             SourceLoc(), Var);
+        Frontier->insertAtTop(std::move(Phi), /*AfterPhis=*/false);
+        Work.insert(Frontier);
+      }
+    }
+  }
+  (void)DT;
+}
+
+void SSABuilder::renameBlock(
+    BasicBlock *BB, const DominatorTree &DT,
+    std::vector<std::pair<Variable *, Value *>> &Popped) {
+  // Snapshot: CallOut insertion appends to the live list.
+  std::vector<Instruction *> Insts;
+  Insts.reserve(BB->instructions().size());
+  for (const std::unique_ptr<Instruction> &Inst : BB->instructions())
+    Insts.push_back(Inst.get());
+
+  for (Instruction *Inst : Insts) {
+    // Rewrite operands that name replaced loads. Dominator-tree pre-order
+    // guarantees the replacement is already known.
+    if (!isa<PhiInst>(Inst))
+      for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I) {
+        auto It = Replacements.find(
+            dyn_cast_or_null<Instruction>(Inst->getOperand(I)));
+        if (It != Replacements.end())
+          Inst->setOperand(I, It->second);
+      }
+
+    if (auto *Phi = dyn_cast<PhiInst>(Inst)) {
+      if (Promoted.count(Phi->getVariable()))
+        pushDef(Phi->getVariable(), Phi, Popped);
+      continue;
+    }
+    if (auto *Load = dyn_cast<LoadInst>(Inst)) {
+      if (!Promoted.count(Load->getVariable()))
+        continue;
+      Value *Def = currentDef(Load->getVariable());
+      Replacements[Load] = Def;
+      Result.Loads.push_back(
+          {Load->getId(), BB, Def, Load->getLoc(), Load->getVariable()});
+      ToErase.push_back(Load);
+      continue;
+    }
+    if (auto *Store = dyn_cast<StoreInst>(Inst)) {
+      if (!Promoted.count(Store->getVariable()))
+        continue;
+      pushDef(Store->getVariable(), Store->getValueOperand(), Popped);
+      ToErase.push_back(Store);
+      continue;
+    }
+    if (auto *Call = dyn_cast<CallInst>(Inst)) {
+      // Snapshot the reaching definitions at the call, before its own
+      // effects (CallOuts) are pushed.
+      std::unordered_map<Variable *, Value *> &AtCall =
+          Result.CallInValues[Call];
+      for (Variable *Var : Result.PromotedVars)
+        AtCall[Var] = currentDef(Var);
+
+      Instruction *InsertPoint = Call;
+      for (Variable *Killed : MRI.callKills(Call)) {
+        if (!Promoted.count(Killed))
+          continue;
+        auto Out = std::make_unique<CallOutInst>(
+            P.getModule()->nextInstId(), Call->getLoc(), Call, Killed);
+        CallOutInst *Raw = cast<CallOutInst>(
+            BB->insertAfter(InsertPoint, std::move(Out)));
+        InsertPoint = Raw;
+        pushDef(Killed, Raw, Popped);
+      }
+      continue;
+    }
+  }
+
+  // Feed phi operands of successors.
+  for (BasicBlock *Succ : BB->successors()) {
+    for (const std::unique_ptr<Instruction> &Inst : Succ->instructions()) {
+      auto *Phi = dyn_cast<PhiInst>(Inst.get());
+      if (!Phi)
+        break;
+      Phi->addIncoming(currentDef(Phi->getVariable()), BB);
+    }
+  }
+
+  if (BB == P.getExitBlock())
+    for (Variable *Var : Result.PromotedVars)
+      Result.ExitValues[Var] = currentDef(Var);
+
+  (void)DT;
+}
+
+void SSABuilder::rename(const DominatorTree &DT) {
+  // Initialize reaching definitions at entry.
+  std::vector<std::pair<Variable *, Value *>> EntryDefs;
+  for (Variable *Var : Result.PromotedVars) {
+    Value *Init = Var->isLocal()
+                      ? static_cast<Value *>(P.getModule()->getUndef())
+                      : static_cast<Value *>(P.getEntryValue(Var));
+    Defs[Var].push_back(Init);
+  }
+  (void)EntryDefs;
+
+  // Iterative pre-order walk of the dominator tree with scoped def stacks.
+  struct Frame {
+    BasicBlock *BB;
+    size_t NextChild = 0;
+    std::vector<std::pair<Variable *, Value *>> Pushed;
+    bool Entered = false;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({P.getEntryBlock(), 0, {}, false});
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    if (!F.Entered) {
+      F.Entered = true;
+      renameBlock(F.BB, DT, F.Pushed);
+    }
+    const std::vector<BasicBlock *> &Kids = DT.children(F.BB);
+    if (F.NextChild < Kids.size()) {
+      BasicBlock *Child = Kids[F.NextChild++];
+      Stack.push_back({Child, 0, {}, false});
+      continue;
+    }
+    // Leaving this block: pop its definitions (in reverse).
+    for (auto It = F.Pushed.rbegin(); It != F.Pushed.rend(); ++It) {
+      std::vector<Value *> &VarStack = Defs[It->first];
+      assert(!VarStack.empty() && VarStack.back() == It->second &&
+             "definition stack corrupted");
+      VarStack.pop_back();
+    }
+    Stack.pop_back();
+  }
+
+  for (Instruction *Inst : ToErase)
+    Inst->getParent()->erase(Inst);
+}
+
+SSAResult SSABuilder::run() {
+  P.removeUnreachableBlocks();
+  collectPromotedVars();
+  auto DT = std::make_shared<DominatorTree>(P);
+  DominanceFrontier DF(P, *DT);
+  insertPhis(*DT, DF);
+  rename(*DT);
+  Result.DomTree = std::move(DT);
+  return std::move(Result);
+}
+
+SSAResult ipcp::constructSSA(Procedure &P, const ModRefInfo &MRI) {
+  SSABuilder Builder(P, MRI);
+  return Builder.run();
+}

@@ -1,0 +1,88 @@
+//===- analysis/SSAConstruction.h - Scalar promotion ------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts one procedure from pre-SSA form (scalar Load/Store) into SSA
+/// form, following Cytron et al. [8 in the paper]: phi placement at
+/// iterated dominance frontiers of definition sites, then a renaming walk
+/// over the dominator tree.
+///
+/// Promoted variables are the procedure's formals, its scalar locals, and
+/// the extended globals supplied by MOD/REF analysis. Three kinds of
+/// definitions exist:
+///
+///  - StoreInst — ordinary assignment;
+///  - procedure entry — formals and globals start at their EntryValue
+///    (the unknowns jump functions range over);
+///  - CallInst — a call defines every location in its kill set (the
+///    MOD-bound by-reference actuals and the callee's modified globals);
+///    SSA construction materializes these as CallOutInst definitions,
+///    which the jump-function builders resolve through return jump
+///    functions.
+///
+/// The result records, per deleted LoadInst ID, the SSA value that
+/// replaced it (the substitution metric counts these) and, per promoted
+/// variable, its SSA value at the procedure's Ret (return jump functions
+/// are built from these).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_ANALYSIS_SSACONSTRUCTION_H
+#define IPCP_ANALYSIS_SSACONSTRUCTION_H
+
+#include "ir/Dominators.h"
+#include "analysis/ModRef.h"
+#include "ir/Module.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace ipcp {
+
+/// Output of SSA construction for one procedure.
+struct SSAResult {
+  /// The variables that were promoted, in deterministic order.
+  std::vector<Variable *> PromotedVars;
+
+  /// For every deleted scalar LoadInst: its clone-stable ID, the block it
+  /// lived in, and the SSA value that replaced it.
+  struct ReplacedLoad {
+    uint64_t LoadId;
+    BasicBlock *Block;
+    Value *Replacement;
+    SourceLoc Loc;
+    Variable *Var;
+  };
+  std::vector<ReplacedLoad> Loads;
+
+  /// SSA value of each promoted variable at the Ret; empty when the
+  /// procedure has no reachable exit (it can only loop forever).
+  std::unordered_map<Variable *, Value *> ExitValues;
+
+  /// The dominator tree used during construction. The CFG's block
+  /// structure is final before phi insertion, so the tree remains valid
+  /// for the SSA form; the gated-SSA jump function generator uses it to
+  /// resolve phis whose controlling branch condition is constant.
+  std::shared_ptr<const DominatorTree> DomTree;
+
+  /// SSA value of every promoted variable immediately *before* each call
+  /// (i.e. excluding the call's own effects). Forward jump functions for
+  /// globals read "the value of g at call site s" from here, and return
+  /// jump function substitution uses it for globals in the callee's
+  /// support.
+  std::unordered_map<CallInst *, std::unordered_map<Variable *, Value *>>
+      CallInValues;
+};
+
+/// Promotes scalars in \p P to SSA. \p MRI supplies call kill sets and
+/// the extended-global set. Mutates \p P in place (verifiable with
+/// VerifyMode::SSA afterwards).
+SSAResult constructSSA(Procedure &P, const ModRefInfo &MRI);
+
+} // namespace ipcp
+
+#endif // IPCP_ANALYSIS_SSACONSTRUCTION_H

@@ -1,0 +1,164 @@
+//===- core/BindingGraph.cpp ----------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BindingGraph.h"
+
+#include <deque>
+
+using namespace ipcp;
+
+namespace {
+
+/// One jump-function edge bundle: evaluate JF in Caller's environment and
+/// meet the result into (Callee, Var).
+struct BindingEdge {
+  Procedure *Caller;
+  Procedure *Callee;
+  Variable *Var;
+  const JumpFunction *JF;
+};
+
+/// The binding multigraph solver. ConstantsMap's private VAL is reached
+/// through the public env()/valueOf() queries plus a local shadow map we
+/// merge at the end — avoiding a second friend declaration keeps the
+/// ConstantsMap interface minimal.
+class BindingGraphSolver {
+public:
+  BindingGraphSolver(const CallGraph &CG, const ModRefInfo &MRI,
+                     const ForwardJumpFunctions &FJFs,
+                     const IPCPOptions &Opts, PropagatorStats *Stats)
+      : CG(CG), MRI(MRI), FJFs(FJFs), Opts(Opts), Stats(Stats) {}
+
+  ConstantsMap solve();
+
+private:
+  using PairKey = std::pair<const Procedure *, const Variable *>;
+  struct PairHash {
+    size_t operator()(const PairKey &Key) const {
+      return std::hash<const void *>()(Key.first) * 31 ^
+             std::hash<const void *>()(Key.second);
+    }
+  };
+
+  void buildEdges();
+  LatticeValue valueOf(const Procedure *P, const Variable *Var) const;
+  /// Meets NewVal into (Q, Var); enqueues the pair when it lowered.
+  void lower(Procedure *Q, Variable *Var, LatticeValue NewVal);
+  void evaluateEdge(const BindingEdge &Edge);
+
+  const CallGraph &CG;
+  const ModRefInfo &MRI;
+  const ForwardJumpFunctions &FJFs;
+  const IPCPOptions &Opts;
+  PropagatorStats *Stats;
+
+  std::vector<BindingEdge> Edges;
+  /// (caller, support var) -> indices into Edges to re-evaluate when the
+  /// pair lowers.
+  std::unordered_map<PairKey, std::vector<size_t>, PairHash> Dependents;
+  std::unordered_map<const Procedure *, LatticeEnv> VAL;
+  std::deque<PairKey> Work;
+  std::unordered_map<PairKey, bool, PairHash> Pending;
+};
+
+} // namespace
+
+LatticeValue BindingGraphSolver::valueOf(const Procedure *P,
+                                         const Variable *Var) const {
+  auto ProcIt = VAL.find(P);
+  if (ProcIt == VAL.end())
+    return LatticeValue::top();
+  auto It = ProcIt->second.find(const_cast<Variable *>(Var));
+  return It == ProcIt->second.end() ? LatticeValue::top() : It->second;
+}
+
+void BindingGraphSolver::lower(Procedure *Q, Variable *Var,
+                               LatticeValue NewVal) {
+  LatticeValue Old = valueOf(Q, Var);
+  LatticeValue Met = meet(Old, NewVal);
+  if (Met == Old)
+    return;
+  VAL[Q][Var] = Met;
+  if (Stats)
+    ++Stats->Lowerings;
+  PairKey Key{Q, Var};
+  bool &IsPending = Pending[Key];
+  if (!IsPending) {
+    IsPending = true;
+    Work.push_back(Key);
+  }
+}
+
+void BindingGraphSolver::evaluateEdge(const BindingEdge &Edge) {
+  if (Stats)
+    ++Stats->JumpFunctionEvaluations;
+  auto EnvIt = VAL.find(Edge.Caller);
+  static const LatticeEnv EmptyEnv;
+  const LatticeEnv &Env = EnvIt == VAL.end() ? EmptyEnv : EnvIt->second;
+  lower(Edge.Callee, Edge.Var, Edge.JF->evaluate(Env));
+}
+
+void BindingGraphSolver::buildEdges() {
+  for (Procedure *P : CG.procedures()) {
+    for (CallInst *Site : CG.callSitesIn(P)) {
+      const CallSiteJumpFunctions &JFs = FJFs.at(Site);
+      Procedure *Q = Site->getCallee();
+      auto AddEdge = [&](Variable *Y, const JumpFunction &JF) {
+        Edges.push_back({P, Q, Y, &JF});
+        for (Variable *SupportVar : JF.support())
+          Dependents[{P, SupportVar}].push_back(Edges.size() - 1);
+      };
+      for (unsigned I = 0, E = JFs.Formals.size(); I != E; ++I)
+        AddEdge(Q->formals()[I], JFs.Formals[I]);
+      for (const auto &[G, JF] : JFs.Globals)
+        AddEdge(G, JF);
+    }
+  }
+}
+
+ConstantsMap BindingGraphSolver::solve() {
+  buildEdges();
+
+  // Virtual entry edge: the entry procedure's globals start at zero.
+  for (Procedure *P : CG.procedures())
+    if (P->getName() == Opts.EntryProcedure)
+      for (Variable *G : MRI.extendedGlobals(P))
+        lower(P, G, LatticeValue::constant(0));
+
+  // Seed every edge once (this covers the support-free constant and
+  // bottom jump functions; support-carrying ones evaluate to top now and
+  // are revisited through the dependency index).
+  for (const BindingEdge &Edge : Edges)
+    evaluateEdge(Edge);
+
+  while (!Work.empty()) {
+    PairKey Key = Work.front();
+    Work.pop_front();
+    Pending[Key] = false;
+    if (Stats)
+      ++Stats->ProcVisits; // here: pair visits
+    auto It = Dependents.find(Key);
+    if (It == Dependents.end())
+      continue;
+    for (size_t EdgeIndex : It->second)
+      evaluateEdge(Edges[EdgeIndex]);
+  }
+
+  // Package into a ConstantsMap via its merge interface.
+  ConstantsMap CM;
+  for (auto &[P, Env] : VAL)
+    for (auto &[Var, LV] : Env)
+      CM.setValue(P, Var, LV);
+  return CM;
+}
+
+ConstantsMap ipcp::propagateConstantsBindingGraph(
+    const CallGraph &CG, const ModRefInfo &MRI,
+    const ForwardJumpFunctions &FJFs, const IPCPOptions &Opts,
+    PropagatorStats *Stats) {
+  BindingGraphSolver Solver(CG, MRI, FJFs, Opts, Stats);
+  return Solver.solve();
+}

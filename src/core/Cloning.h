@@ -1,0 +1,68 @@
+//===- core/Cloning.h - Constant-driven procedure cloning -------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Goal-directed procedure cloning driven by interprocedural constants,
+/// after Cooper, Hall & Kennedy [6] and Metzger & Stroud [13] (both cited
+/// by the paper as applications of its framework): when different call
+/// sites of a procedure would supply different constant vectors — whose
+/// meet destroys them — replicate the procedure so each group of
+/// agreeing call sites gets its own copy, then re-run the analysis.
+///
+/// "Their empirical results indicate that goal-directed cloning of
+/// procedures based on interprocedural constants can substantially
+/// increase the number of interprocedural constants available for use by
+/// later analysis and optimization passes." (paper Section 5)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_CORE_CLONING_H
+#define IPCP_CORE_CLONING_H
+
+#include "core/Pipeline.h"
+
+namespace ipcp {
+
+/// Knobs for the cloning transformation.
+struct CloningOptions {
+  /// The analysis configuration driving (and measuring) the cloning.
+  IPCPOptions Analysis;
+
+  /// Maximum number of copies (including the original) per procedure.
+  unsigned MaxClonesPerProcedure = 4;
+
+  /// Stop when the module has grown past this factor of its original
+  /// instruction count.
+  double MaxGrowthFactor = 3.0;
+
+  /// Cloning rounds (each round re-analyzes; constants exposed by one
+  /// round can justify clones in the next).
+  unsigned MaxRounds = 3;
+};
+
+/// Outcome of the cloning experiment.
+struct CloningResult {
+  unsigned ClonesCreated = 0;
+  unsigned RoundsRun = 0;
+  /// Substituted-constant counts before and after cloning.
+  unsigned RefsBefore = 0;
+  unsigned RefsAfter = 0;
+  /// Entry-constant counts before and after.
+  unsigned ConstantsBefore = 0;
+  unsigned ConstantsAfter = 0;
+  /// Instruction counts before and after (growth cost).
+  unsigned InstructionsBefore = 0;
+  unsigned InstructionsAfter = 0;
+};
+
+/// Clones procedures inside \p M (mutating it) wherever call sites
+/// disagree profitably on constants, and reports the before/after
+/// effectiveness. \p M must be in pre-SSA form.
+CloningResult cloneForConstants(Module &M, const CloningOptions &Opts = {});
+
+} // namespace ipcp
+
+#endif // IPCP_CORE_CLONING_H

@@ -1,0 +1,83 @@
+//===- core/Options.h - Analysis configuration ------------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of one interprocedural constant propagation run — the
+/// axes of the paper's study: which forward jump function class to build
+/// (Section 3.1), whether to use return jump functions (Section 3.2),
+/// whether interprocedural MOD information is available (Table 3), and the
+/// purely intraprocedural baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_CORE_OPTIONS_H
+#define IPCP_CORE_OPTIONS_H
+
+namespace ipcp {
+
+/// The four forward jump function classes, in increasing order of power.
+/// Each class propagates a superset of the constants of its predecessor
+/// (paper Section 3.1) — a property the test suite checks on random
+/// programs.
+enum class JumpFunctionKind {
+  /// `c` only when the actual is a literal constant at the call site.
+  /// Propagates along single call-graph edges; misses globals entirely.
+  Literal,
+  /// `gcp(y, s)`: intraprocedural constant propagation + value numbering
+  /// + MOD information. Still single-edge, but sees constant globals.
+  IntraproceduralConstant,
+  /// Additionally `z` when the actual is the unmodified entry value of
+  /// caller formal z — constants flow through procedure bodies, along
+  /// paths of any length. The paper's recommended cost/precision point.
+  PassThrough,
+  /// Additionally any polynomial over the caller's entry formals (all
+  /// integer operations).
+  Polynomial,
+};
+
+/// Printable name ("literal", "intra", "pass-through", "polynomial").
+const char *jumpFunctionKindName(JumpFunctionKind Kind);
+
+/// One analysis configuration.
+struct IPCPOptions {
+  JumpFunctionKind ForwardKind = JumpFunctionKind::Polynomial;
+
+  /// Build and use return jump functions (paper Section 3.2).
+  bool UseReturnJumpFunctions = true;
+
+  /// Use interprocedural MOD information. When false, every call is
+  /// assumed to modify every by-reference actual and every global —
+  /// Table 3 column 1.
+  bool UseModInformation = true;
+
+  /// Skip interprocedural propagation entirely; only intraprocedural
+  /// constants (with MOD information) are found — Table 3 column 4.
+  bool IntraproceduralOnly = false;
+
+  /// Expression-tree size cap for polynomial jump functions.
+  unsigned MaxExprNodes = 64;
+
+  /// Build jump functions over a gated-single-assignment view of each
+  /// procedure (paper Section 4.2): a two-way phi whose controlling
+  /// branch condition is a known constant resolves to its live side,
+  /// never considering the dead assignment. The paper observes this
+  /// achieves the complete-propagation results in a single pass.
+  bool UseGatedSSA = false;
+
+  /// Use the binding-multigraph worklist (the paper's cited alternative
+  /// formulation [7]) instead of the per-procedure call-graph worklist.
+  /// Both compute the same fixpoint; the binding graph re-evaluates only
+  /// the jump functions whose support actually changed.
+  bool UseBindingGraphPropagator = false;
+
+  /// Name of the entry procedure; its globals start at their initial
+  /// value (zero) on the virtual entry edge.
+  const char *EntryProcedure = "main";
+};
+
+} // namespace ipcp
+
+#endif // IPCP_CORE_OPTIONS_H

@@ -1,0 +1,224 @@
+//===- core/Pipeline.cpp --------------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+
+#include "analysis/SCCP.h"
+#include "core/BindingGraph.h"
+#include "core/ValueNumbering.h"
+#include "support/Casting.h"
+
+#include <unordered_set>
+
+using namespace ipcp;
+
+namespace {
+
+/// Builds the SCCP CallOut hook that evaluates return jump functions with
+/// the current lattice values of the call's actuals and of the globals at
+/// the call point — the paper's substitution-time evaluation.
+std::function<LatticeValue(const CallOutInst *,
+                           const std::function<LatticeValue(const Value *)> &)>
+makeCallOutHook(const ReturnJumpFunctions *RJFs, const SSAResult *SSA) {
+  if (!RJFs)
+    return nullptr;
+  return [RJFs, SSA](const CallOutInst *Out,
+                     const std::function<LatticeValue(const Value *)> &Get)
+             -> LatticeValue {
+    const CallInst *Call = Out->getCall();
+    const Procedure *Callee = Call->getCallee();
+    Variable *Var = Out->getVariable();
+
+    // Unique modification source, as in SymbolicLifter::liftCallOut.
+    const JumpFunction *RJF = nullptr;
+    unsigned Sources = 0;
+    for (unsigned I = 0, E = Call->getNumActuals(); I != E; ++I) {
+      if (Call->getActual(I).ByRefLoc != Var)
+        continue;
+      if (const JumpFunction *JF =
+              RJFs->find(Callee, Callee->formals()[I])) {
+        RJF = JF;
+        ++Sources;
+      }
+    }
+    if (Var->isGlobal())
+      if (const JumpFunction *JF = RJFs->find(Callee, Var)) {
+        RJF = JF;
+        ++Sources;
+      }
+    if (Sources != 1 || !RJF || RJF->isBottom())
+      return LatticeValue::bottom();
+
+    auto CallIn = SSA->CallInValues.find(const_cast<CallInst *>(Call));
+    LatticeEnv Env;
+    for (Variable *Support : RJF->support()) {
+      LatticeValue V = LatticeValue::bottom();
+      if (Support->isFormal() && Support->getParent() == Callee) {
+        unsigned Index = Support->getFormalIndex();
+        if (Index < Call->getNumActuals())
+          V = Get(Call->getActualValue(Index));
+      } else if (Support->isGlobal() && CallIn != SSA->CallInValues.end()) {
+        auto It = CallIn->second.find(Support);
+        if (It != CallIn->second.end())
+          V = Get(It->second);
+      }
+      Env[Support] = V;
+    }
+    return RJF->evaluate(Env);
+  };
+}
+
+} // namespace
+
+IPCPResult ipcp::runIPCP(const Module &M, const IPCPOptions &Opts) {
+  IPCPResult Result;
+  Timer Total;
+
+  // Stage 0: scratch clone + structural analyses.
+  std::unique_ptr<Module> Scratch = M.clone();
+  CallGraph CG(*Scratch);
+  ModRefInfo MRI = Opts.UseModInformation ? ModRefInfo::compute(*Scratch, CG)
+                                          : ModRefInfo::worstCase(*Scratch);
+
+  // Intraprocedural analysis: SSA per procedure. The paper observes this
+  // dominates total analysis cost; bench_costs.cpp confirms.
+  Timer IntraTimer;
+  SSAMap SSA;
+  for (const std::unique_ptr<Procedure> &P : Scratch->procedures())
+    SSA.emplace(P.get(), constructSSA(*P, MRI));
+  Result.Stats.add("time_intraprocedural_us",
+                   uint64_t(IntraTimer.seconds() * 1e6));
+
+  SymExprContext Ctx(Opts.MaxExprNodes);
+
+  // Stage 1: return jump functions (bottom-up).
+  std::unique_ptr<ReturnJumpFunctions> RJFs;
+  bool WantRJFs = Opts.UseReturnJumpFunctions && !Opts.IntraproceduralOnly;
+  Timer RJFTimer;
+  if (WantRJFs) {
+    RJFs = std::make_unique<ReturnJumpFunctions>(
+        ReturnJumpFunctions::build(CG, MRI, SSA, Ctx, Opts.UseGatedSSA));
+    Result.Stats.add("rjf_known", RJFs->knownCount());
+    Result.Stats.add("rjf_entries", RJFs->entryCount());
+  }
+  Result.Stats.add("time_return_jf_us", uint64_t(RJFTimer.seconds() * 1e6));
+
+  // Stage 2 + 3: forward jump functions, then propagation.
+  ConstantsMap CM;
+  if (!Opts.IntraproceduralOnly) {
+    Timer FJFTimer;
+    ForwardJumpFunctions FJFs = ForwardJumpFunctions::build(
+        CG, MRI, SSA, RJFs.get(), Ctx, Opts.ForwardKind, Opts.UseGatedSSA);
+    Result.Stats.add("time_forward_jf_us",
+                     uint64_t(FJFTimer.seconds() * 1e6));
+    ForwardJumpFunctions::Stats JS = FJFs.stats();
+    Result.Stats.add("jf_bottom", JS.Bottom);
+    Result.Stats.add("jf_constant", JS.Constant);
+    Result.Stats.add("jf_passthrough", JS.PassThrough);
+    Result.Stats.add("jf_polynomial", JS.Polynomial);
+
+    Timer PropTimer;
+    PropagatorStats PS;
+    CM = Opts.UseBindingGraphPropagator
+             ? propagateConstantsBindingGraph(CG, MRI, FJFs, Opts, &PS)
+             : propagateConstants(CG, MRI, FJFs, Opts, &PS);
+    Result.Stats.add("time_propagation_us",
+                     uint64_t(PropTimer.seconds() * 1e6));
+    Result.Stats.add("prop_visits", PS.ProcVisits);
+    Result.Stats.add("prop_evaluations", PS.JumpFunctionEvaluations);
+    Result.Stats.add("prop_lowerings", PS.Lowerings);
+  }
+
+  // Stage 4: record the results — seed each procedure's SCCP with its
+  // CONSTANTS set, count constant variable references, and emit
+  // substitution facts for the original module.
+  Timer RecordTimer;
+  for (const std::unique_ptr<Procedure> &P : Scratch->procedures()) {
+    const SSAResult &ProcSSA = SSA.at(P.get());
+
+    SCCPOptions SCCPOpts;
+    for (const auto &[Var, Value] : CM.constantsOf(P.get()))
+      SCCPOpts.EntrySeeds[Var] = LatticeValue::constant(Value);
+    SCCPOpts.CallOutEval = makeCallOutHook(RJFs.get(), &ProcSSA);
+    SCCPResult SCCP = runSCCP(*P, SCCPOpts);
+
+    ProcedureResult PR;
+    PR.Name = P->getName();
+    for (const auto &[Var, Value] : CM.constantsOf(P.get())) {
+      PR.EntryConstants.push_back({Var->getName(), Value});
+      // "Known but irrelevant": the constant variable is never
+      // referenced in this procedure's body.
+      bool Referenced = false;
+      for (const SSAResult::ReplacedLoad &Load : ProcSSA.Loads)
+        if (Load.Var == Var) {
+          Referenced = true;
+          break;
+        }
+      if (!Referenced)
+        ++PR.IrrelevantConstants;
+    }
+    Result.TotalEntryConstants += PR.EntryConstants.size();
+
+    for (const SSAResult::ReplacedLoad &Load : ProcSSA.Loads) {
+      if (!SCCP.isExecutable(Load.Block))
+        continue;
+      LatticeValue LV = SCCP.valueOf(Load.Replacement);
+      if (!LV.isConstant())
+        continue;
+      ++PR.ConstantRefs;
+      Result.Facts.ConstantLoads[Load.LoadId] = LV.getConstant();
+    }
+    Result.TotalConstantRefs += PR.ConstantRefs;
+
+    for (const std::unique_ptr<BasicBlock> &BB : P->blocks()) {
+      if (!SCCP.isExecutable(BB.get()))
+        continue;
+      const auto *CBr = dyn_cast_or_null<CondBranchInst>(BB->getTerminator());
+      if (!CBr)
+        continue;
+      LatticeValue Cond = SCCP.valueOf(CBr->getCond());
+      if (Cond.isConstant())
+        Result.Facts.FoldedBranches[CBr->getId()] = Cond.getConstant() != 0;
+    }
+
+    Result.Procs.push_back(std::move(PR));
+  }
+  Result.Stats.add("time_record_us", uint64_t(RecordTimer.seconds() * 1e6));
+  Result.Stats.add("time_total_us", uint64_t(Total.seconds() * 1e6));
+  Result.Stats.add("constants_found", Result.TotalEntryConstants);
+  Result.Stats.add("constant_refs", Result.TotalConstantRefs);
+  for (const ProcedureResult &PR : Result.Procs)
+    Result.Stats.add("constants_known_irrelevant", PR.IrrelevantConstants);
+  Result.Stats.add("unique_exprs", Ctx.uniqueExprCount());
+
+  return Result;
+}
+
+CompletePropagationResult
+ipcp::runCompletePropagation(const Module &M, const IPCPOptions &Opts,
+                             unsigned MaxRounds) {
+  CompletePropagationResult Result;
+  std::unique_ptr<Module> Working = M.clone();
+  std::unordered_set<uint64_t> CountedLoads;
+
+  for (unsigned Round = 0; Round < MaxRounds; ++Round) {
+    IPCPResult RoundResult = runIPCP(*Working, Opts);
+    ++Result.Rounds;
+    for (const auto &[LoadId, Value] : RoundResult.Facts.ConstantLoads)
+      CountedLoads.insert(LoadId);
+    Result.TotalConstantRefs = CountedLoads.size();
+
+    TransformStats TS = applyFacts(*Working, RoundResult.Facts);
+    Result.BlocksRemoved += TS.BlocksRemoved;
+    Result.FinalRound = std::move(RoundResult);
+
+    // Paper: "In each case, only one pass of dead code elimination was
+    // needed" — we loop until quiescence anyway.
+    if (!TS.foundDeadCode())
+      break;
+  }
+  return Result;
+}

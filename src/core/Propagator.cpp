@@ -1,0 +1,151 @@
+//===- core/Propagator.cpp ------------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Propagator.h"
+
+#include "support/Worklist.h"
+
+using namespace ipcp;
+
+LatticeValue ConstantsMap::valueOf(const Procedure *P,
+                                   const Variable *Var) const {
+  auto ProcIt = VAL.find(P);
+  if (ProcIt == VAL.end())
+    return LatticeValue::top();
+  auto It = ProcIt->second.find(const_cast<Variable *>(Var));
+  return It == ProcIt->second.end() ? LatticeValue::top() : It->second;
+}
+
+const LatticeEnv &ConstantsMap::env(const Procedure *P) const {
+  auto It = VAL.find(P);
+  return It == VAL.end() ? Empty : It->second;
+}
+
+std::vector<std::pair<Variable *, ConstantValue>>
+ConstantsMap::constantsOf(const Procedure *P) const {
+  std::vector<std::pair<Variable *, ConstantValue>> Out;
+  auto It = VAL.find(P);
+  if (It == VAL.end())
+    return Out;
+  for (const auto &[Var, LV] : It->second)
+    if (LV.isConstant())
+      Out.push_back({Var, LV.getConstant()});
+  std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
+    return A.first->getId() < B.first->getId();
+  });
+  return Out;
+}
+
+bool ConstantsMap::equals(const ConstantsMap &Other) const {
+  // Compare as partial maps with top default: every non-top entry on
+  // either side must match the other side's view.
+  auto Covers = [](const ConstantsMap &A, const ConstantsMap &B) {
+    for (const auto &[P, Env] : A.VAL)
+      for (const auto &[Var, LV] : Env)
+        if (B.valueOf(P, Var) != LV)
+          return false;
+    return true;
+  };
+  return Covers(*this, Other) && Covers(Other, *this);
+}
+
+unsigned ConstantsMap::totalConstants() const {
+  unsigned Count = 0;
+  for (const auto &[P, Env] : VAL)
+    for (const auto &[Var, LV] : Env)
+      if (LV.isConstant())
+        ++Count;
+  return Count;
+}
+
+namespace {
+
+/// The worklist solver; friend of ConstantsMap.
+} // namespace
+
+namespace ipcp {
+class Propagator {
+public:
+  Propagator(const CallGraph &CG, const ModRefInfo &MRI,
+             const ForwardJumpFunctions &FJFs, const IPCPOptions &Opts,
+             PropagatorStats *Stats)
+      : CG(CG), MRI(MRI), FJFs(FJFs), Opts(Opts), Stats(Stats) {}
+
+  ConstantsMap solve() {
+    ConstantsMap CM;
+
+    // Virtual entry edge: the entry procedure's globals hold their
+    // initial (zero) values on program start.
+    if (Procedure *Entry = findEntry())
+      for (Variable *G : MRI.extendedGlobals(Entry))
+        CM.VAL[Entry][G] = LatticeValue::constant(0);
+
+    Worklist<Procedure *> Work;
+    for (Procedure *P : CG.procedures())
+      Work.insert(P);
+
+    while (!Work.empty()) {
+      Procedure *P = Work.pop();
+      if (Stats)
+        ++Stats->ProcVisits;
+      const LatticeEnv &Env = CM.env(P);
+
+      for (CallInst *Site : CG.callSitesIn(P)) {
+        const CallSiteJumpFunctions &JFs = FJFs.at(Site);
+        Procedure *Q = Site->getCallee();
+
+        for (unsigned I = 0, E = JFs.Formals.size(); I != E; ++I)
+          if (lower(CM, Q, Q->formals()[I], JFs.Formals[I].evaluate(Env)))
+            Work.insert(Q);
+        for (const auto &[G, JF] : JFs.Globals)
+          if (lower(CM, Q, G, JF.evaluate(Env)))
+            Work.insert(Q);
+      }
+    }
+
+    return CM;
+  }
+
+private:
+  Procedure *findEntry() {
+    for (Procedure *P : CG.procedures())
+      if (P->getName() == Opts.EntryProcedure)
+        return P;
+    return nullptr;
+  }
+
+  /// Meets \p NewVal into VAL(Q, Var); true when it lowered.
+  bool lower(ConstantsMap &CM, Procedure *Q, Variable *Var,
+             LatticeValue NewVal) {
+    if (Stats)
+      ++Stats->JumpFunctionEvaluations;
+    LatticeValue Old = CM.valueOf(Q, Var);
+    LatticeValue Met = meet(Old, NewVal);
+    if (Met == Old)
+      return false;
+    assert(Met.strictlyBelow(Old) && "meet must move down the lattice");
+    CM.VAL[Q][Var] = Met;
+    if (Stats)
+      ++Stats->Lowerings;
+    return true;
+  }
+
+  const CallGraph &CG;
+  const ModRefInfo &MRI;
+  const ForwardJumpFunctions &FJFs;
+  const IPCPOptions &Opts;
+  PropagatorStats *Stats;
+};
+} // namespace ipcp
+
+ConstantsMap ipcp::propagateConstants(const CallGraph &CG,
+                                      const ModRefInfo &MRI,
+                                      const ForwardJumpFunctions &FJFs,
+                                      const IPCPOptions &Opts,
+                                      PropagatorStats *Stats) {
+  Propagator Solver(CG, MRI, FJFs, Opts, Stats);
+  return Solver.solve();
+}

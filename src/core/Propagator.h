@@ -1,0 +1,88 @@
+//===- core/Propagator.h - Interprocedural propagation ----------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interprocedural propagation phase (paper Section 2): iterate the
+/// VAL sets over the call graph with "a simple worklist iterative
+/// scheme" until no parameter changes. VAL maps each procedure's extended
+/// formals (formals plus referenced globals) to lattice values,
+/// initialized to top; each call edge lowers the callee's VAL entries by
+/// meeting them with the edge's jump function values evaluated in the
+/// caller's VAL environment.
+///
+/// The meet runs over every edge of G, including edges inside procedures
+/// that are themselves never invoked (their VAL stays top, so their
+/// support-carrying jump functions evaluate to top and lower nothing —
+/// but their constant jump functions do lower the callee, exactly the
+/// conservatism the complete-propagation experiment removes with dead
+/// code elimination). The entry procedure receives a virtual edge that
+/// sets every global to its initial value (zero in MiniFort).
+///
+/// Because the lattice has depth two, each VAL entry lowers at most
+/// twice, bounding total work by O(sum over jump functions of cost(J) *
+/// |support(J)|) — the complexity claim of Section 3.1.5, which
+/// bench/bench_propagation.cpp measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_CORE_PROPAGATOR_H
+#define IPCP_CORE_PROPAGATOR_H
+
+#include "core/ForwardJumpFunctions.h"
+#include "core/Options.h"
+
+#include <vector>
+
+namespace ipcp {
+
+/// The VAL sets at fixpoint; CONSTANTS(p) is derived from them.
+class ConstantsMap {
+public:
+  /// VAL(p, var); top when never lowered.
+  LatticeValue valueOf(const Procedure *P, const Variable *Var) const;
+
+  /// The caller-environment view for jump function evaluation.
+  const LatticeEnv &env(const Procedure *P) const;
+
+  /// CONSTANTS(p): the (variable, value) pairs that always hold on entry,
+  /// ID-ordered.
+  std::vector<std::pair<Variable *, ConstantValue>>
+  constantsOf(const Procedure *P) const;
+
+  /// Sum of |CONSTANTS(p)| over all procedures.
+  unsigned totalConstants() const;
+
+  /// Installs one fixpoint value; used by alternative solvers (the
+  /// binding-multigraph propagator) to package their results.
+  void setValue(const Procedure *P, Variable *Var, LatticeValue V) {
+    VAL[P][Var] = V;
+  }
+
+  /// Structural equality of two fixpoints (same non-top entries).
+  bool equals(const ConstantsMap &Other) const;
+
+private:
+  friend class Propagator;
+  std::unordered_map<const Procedure *, LatticeEnv> VAL;
+  LatticeEnv Empty;
+};
+
+/// Work counters substantiating the complexity discussion.
+struct PropagatorStats {
+  uint64_t ProcVisits = 0;
+  uint64_t JumpFunctionEvaluations = 0;
+  uint64_t Lowerings = 0;
+};
+
+/// Runs the worklist propagation to fixpoint.
+ConstantsMap propagateConstants(const CallGraph &CG, const ModRefInfo &MRI,
+                                const ForwardJumpFunctions &FJFs,
+                                const IPCPOptions &Opts,
+                                PropagatorStats *Stats = nullptr);
+
+} // namespace ipcp
+
+#endif // IPCP_CORE_PROPAGATOR_H

@@ -1,0 +1,83 @@
+//===- core/ReturnJumpFunctions.cpp ---------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ReturnJumpFunctions.h"
+
+#include "core/ValueNumbering.h"
+
+using namespace ipcp;
+
+const JumpFunction *ReturnJumpFunctions::find(const Procedure *P,
+                                              const Variable *Var) const {
+  auto ProcIt = Table.find(P);
+  if (ProcIt == Table.end())
+    return nullptr;
+  auto VarIt = ProcIt->second.find(Var);
+  return VarIt == ProcIt->second.end() ? nullptr : &VarIt->second;
+}
+
+unsigned ReturnJumpFunctions::knownCount() const {
+  unsigned Count = 0;
+  for (const auto &[P, Vars] : Table)
+    for (const auto &[Var, JF] : Vars)
+      if (!JF.isBottom())
+        ++Count;
+  return Count;
+}
+
+unsigned ReturnJumpFunctions::entryCount() const {
+  unsigned Count = 0;
+  for (const auto &[P, Vars] : Table)
+    Count += Vars.size();
+  return Count;
+}
+
+ReturnJumpFunctions ReturnJumpFunctions::build(const CallGraph &CG,
+                                               const ModRefInfo &MRI,
+                                               const SSAMap &SSA,
+                                               SymExprContext &Ctx,
+                                               bool UseGatedSSA) {
+  ReturnJumpFunctions RJFs;
+
+  // Pre-populate bottom entries for every modifiable variable, so that
+  // recursive components see "modified, unknown" rather than "not
+  // modified" for not-yet-processed members.
+  for (Procedure *P : CG.procedures()) {
+    auto &Entries = RJFs.Table[P];
+    for (unsigned I = 0, E = P->getNumFormals(); I != E; ++I)
+      if (MRI.formalMayBeModified(P, I))
+        Entries.emplace(P->formals()[I], JumpFunction::bottom());
+    for (Variable *G : MRI.modifiedGlobals(P))
+      Entries.emplace(G, JumpFunction::bottom());
+  }
+
+  // Bottom-up over SCCs: callees are ready before their callers, except
+  // within a recursive component, where the pre-populated bottoms apply.
+  for (const std::vector<Procedure *> &SCC : CG.sccsBottomUp()) {
+    for (Procedure *P : SCC) {
+      auto SSAIt = SSA.find(P);
+      assert(SSAIt != SSA.end() && "missing SSA for procedure");
+      const SSAResult &ProcSSA = SSAIt->second;
+
+      auto &Entries = RJFs.Table[P];
+      if (Entries.empty())
+        continue;
+      if (ProcSSA.ExitValues.empty())
+        continue; // never returns: bottoms stay (never consulted anyway)
+
+      SymbolicLifter Lifter(Ctx, ProcSSA, &RJFs, CallOutMode::Symbolic,
+                            UseGatedSSA);
+      for (auto &[Var, JF] : Entries) {
+        auto ExitIt = ProcSSA.ExitValues.find(const_cast<Variable *>(Var));
+        if (ExitIt == ProcSSA.ExitValues.end())
+          continue; // not promoted here (e.g. global untouched): bottom
+        JF = JumpFunction(Lifter.lift(ExitIt->second));
+      }
+    }
+  }
+
+  return RJFs;
+}

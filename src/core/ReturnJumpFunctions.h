@@ -1,0 +1,73 @@
+//===- core/ReturnJumpFunctions.h - Return jump functions -------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Return jump functions (paper Section 3.2): for each formal parameter
+/// (and, as the natural extension of the paper's footnote 1, each global)
+/// that a procedure may modify, the best approximation of its value on
+/// return, as a polynomial over the procedure's entry values.
+///
+/// They are "calculated during an initial bottom-up pass through the call
+/// graph": we walk Tarjan SCCs callee-first; inside a recursive component
+/// the not-yet-built members resolve to bottom, keeping the single pass
+/// sound. Interprocedural MOD information determines which variables need
+/// a return jump function at all, and already-built return jump functions
+/// feed the value numbering of later procedures, exactly as described.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_CORE_RETURNJUMPFUNCTIONS_H
+#define IPCP_CORE_RETURNJUMPFUNCTIONS_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/ModRef.h"
+#include "analysis/SSAConstruction.h"
+#include "core/JumpFunction.h"
+
+#include <map>
+#include <unordered_map>
+
+namespace ipcp {
+
+/// Per-procedure SSA results, keyed by procedure.
+using SSAMap = std::unordered_map<Procedure *, SSAResult>;
+
+/// The table of return jump functions for one module.
+class ReturnJumpFunctions {
+public:
+  /// Builds the table bottom-up. \p SSA must contain every procedure.
+  /// \p UseGatedSSA selects the gated phi resolution (Options.h).
+  static ReturnJumpFunctions build(const CallGraph &CG, const ModRefInfo &MRI,
+                                   const SSAMap &SSA, SymExprContext &Ctx,
+                                   bool UseGatedSSA = false);
+
+  /// Three-way lookup:
+  ///  - null: \p P does not modify \p Var (no return jump function needed;
+  ///    the variable's value passes through the call untouched — but then
+  ///    no CallOut exists and this is never asked);
+  ///  - bottom JumpFunction: modified, value unknown;
+  ///  - expression: the value of \p Var on return as a function of \p P's
+  ///    entry values.
+  const JumpFunction *find(const Procedure *P, const Variable *Var) const;
+
+  /// Number of non-bottom return jump functions (for statistics).
+  unsigned knownCount() const;
+
+  /// Total entries (modifiable variables across all procedures).
+  unsigned entryCount() const;
+
+private:
+  ReturnJumpFunctions() = default;
+
+  // Keyed by (procedure, variable) with deterministic inner ordering.
+  std::unordered_map<const Procedure *,
+                     std::map<const Variable *, JumpFunction, VariableIdLess>>
+      Table;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_CORE_RETURNJUMPFUNCTIONS_H

@@ -1,0 +1,14 @@
+//===- frontend/Ast.cpp ---------------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Ast.h"
+
+using namespace ipcp;
+
+// Out-of-line virtual destructors anchor the vtables (see LLVM coding
+// standards, "Provide a Virtual Method Anchor for Classes in Headers").
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;

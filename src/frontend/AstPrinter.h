@@ -1,0 +1,31 @@
+//===- frontend/AstPrinter.h - Render a Program back to source --*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an AST back to canonical MiniFort source text. Used by tests
+/// (round-tripping), by the examples, and by the constant-substitution
+/// report. Output re-parses to a structurally identical program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_FRONTEND_ASTPRINTER_H
+#define IPCP_FRONTEND_ASTPRINTER_H
+
+#include "frontend/Ast.h"
+
+#include <string>
+
+namespace ipcp {
+
+/// Renders \p E as an expression (fully parenthesized compound terms).
+std::string printExpr(const Expr *E);
+
+/// Renders the whole program as canonical source.
+std::string printProgram(const Program &Prog);
+
+} // namespace ipcp
+
+#endif // IPCP_FRONTEND_ASTPRINTER_H

@@ -1,0 +1,97 @@
+//===- frontend/Parser.h - MiniFort parser ----------------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniFort. The grammar (see DESIGN.md):
+///
+/// \code
+///   program   := topdecl*
+///   topdecl   := 'global' item (',' item)* ';'
+///              | 'proc' ident '(' [ident (',' ident)*] ')' block
+///   item      := ident ['[' intlit ']']
+///   block     := '{' stmt* '}'
+///   stmt      := 'var' item (',' item)* ';'
+///              | lvalue '=' expr ';'
+///              | 'if' '(' expr ')' block ['else' (block | ifstmt)]
+///              | 'while' '(' expr ')' block
+///              | 'do' ident '=' expr ',' expr [',' expr] block
+///              | 'call' ident '(' [expr (',' expr)*] ')' ';'
+///              | 'print' expr ';'   | 'read' lvalue ';'  | 'return' ';'
+///   lvalue    := ident ['[' expr ']']
+///   expr      := addexpr [relop addexpr]
+///   addexpr   := mulexpr (('+'|'-') mulexpr)*
+///   mulexpr   := unary (('*'|'/'|'%') unary)*
+///   unary     := ('-'|'!') unary | intlit | lvalue | '(' expr ')'
+/// \endcode
+///
+/// On a syntax error the parser reports a diagnostic and synchronizes at
+/// the next statement or declaration boundary, so one run reports many
+/// errors. A program with errors must not be consumed downstream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_FRONTEND_PARSER_H
+#define IPCP_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <optional>
+
+namespace ipcp {
+
+/// Parses one MiniFort source buffer into a Program.
+class Parser {
+public:
+  Parser(std::string_view Source, DiagnosticsEngine &Diags);
+
+  /// Parses the whole buffer. Check \p Diags for errors afterwards.
+  Program parseProgram();
+
+private:
+  const Token &peek() const { return Tokens[Index]; }
+  const Token &peekAhead() const;
+  Token consume();
+  bool check(TokenKind Kind) const { return peek().is(Kind); }
+  bool match(TokenKind Kind);
+  /// Consumes a token of kind \p Kind or reports an error; returns whether
+  /// the expected token was present.
+  bool expect(TokenKind Kind, const char *Context);
+  void syncToStmtBoundary();
+  void syncToTopLevel();
+
+  std::vector<DeclItem> parseDeclItems(bool AllowArrays);
+  void parseGlobalDecl(Program &Prog);
+  void parseProcDecl(Program &Prog);
+  std::unique_ptr<BlockStmt> parseBlock();
+  StmtPtr parseStmt();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseDoLoop();
+  StmtPtr parseCall();
+  StmtPtr parseAssign();
+  ExprPtr parseLValue();
+  ExprPtr parseExpr();
+  ExprPtr parseAddExpr();
+  ExprPtr parseMulExpr();
+  ExprPtr parseUnary();
+
+  std::vector<Token> Tokens;
+  size_t Index = 0;
+  DiagnosticsEngine &Diags;
+};
+
+/// Convenience: lex+parse+check \p Source; returns nullopt (with
+/// diagnostics) on any error. \p RequireMain demands a zero-argument
+/// `main` procedure, which whole-program analysis needs.
+std::optional<Program> parseAndCheck(std::string_view Source,
+                                     DiagnosticsEngine &Diags,
+                                     bool RequireMain = true);
+
+} // namespace ipcp
+
+#endif // IPCP_FRONTEND_PARSER_H

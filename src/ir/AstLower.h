@@ -1,0 +1,39 @@
+//===- ir/AstLower.h - AST to IR lowering -----------------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a semantically checked MiniFort Program into pre-SSA IR:
+///
+///  - every scalar variable reference becomes one LoadInst (the unit the
+///    substitution metric counts) and every assignment one StoreInst;
+///  - scalar locals are explicitly zero-initialized at procedure entry
+///    (MiniFort semantics, keeping analysis and execution in agreement);
+///  - each procedure gets a single entry block and a single exit block
+///    holding the only Ret; `return` branches to the exit block;
+///  - DO loops evaluate their bounds and step once, before the loop, with
+///    the comparison direction chosen by the sign of a literal step;
+///  - call actuals record by-reference bindings (plain scalar variables)
+///    and syntactic-literal flags for the literal jump function;
+///  - statements made unreachable by `return` are dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IR_ASTLOWER_H
+#define IPCP_IR_ASTLOWER_H
+
+#include "frontend/Ast.h"
+#include "ir/Module.h"
+
+#include <memory>
+
+namespace ipcp {
+
+/// Lowers \p Prog (which must have passed Sema) into a fresh module.
+std::unique_ptr<Module> lowerProgram(const Program &Prog);
+
+} // namespace ipcp
+
+#endif // IPCP_IR_ASTLOWER_H

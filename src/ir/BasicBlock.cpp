@@ -1,0 +1,89 @@
+//===- ir/BasicBlock.cpp --------------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+#include <algorithm>
+
+using namespace ipcp;
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> Inst) {
+  assert(!hasTerminator() && "appending past a terminator");
+  Inst->setParent(this);
+  Insts.push_back(std::move(Inst));
+  return Insts.back().get();
+}
+
+Instruction *BasicBlock::insertAfter(Instruction *After,
+                                     std::unique_ptr<Instruction> Inst) {
+  auto It = std::find_if(
+      Insts.begin(), Insts.end(),
+      [&](const std::unique_ptr<Instruction> &P) { return P.get() == After; });
+  assert(It != Insts.end() && "insertion point not in this block");
+  Inst->setParent(this);
+  Instruction *Raw = Inst.get();
+  Insts.insert(std::next(It), std::move(Inst));
+  return Raw;
+}
+
+Instruction *BasicBlock::insertAtTop(std::unique_ptr<Instruction> Inst,
+                                     bool AfterPhis) {
+  auto It = Insts.begin();
+  if (AfterPhis)
+    while (It != Insts.end() && isa<PhiInst>(It->get()))
+      ++It;
+  Inst->setParent(this);
+  Instruction *Raw = Inst.get();
+  Insts.insert(It, std::move(Inst));
+  return Raw;
+}
+
+void BasicBlock::erase(Instruction *Inst) {
+  auto It = std::find_if(
+      Insts.begin(), Insts.end(),
+      [&](const std::unique_ptr<Instruction> &P) { return P.get() == Inst; });
+  assert(It != Insts.end() && "erasing instruction not in this block");
+  Insts.erase(It);
+}
+
+std::unique_ptr<Instruction> BasicBlock::detach(Instruction *Inst) {
+  auto It = std::find_if(
+      Insts.begin(), Insts.end(),
+      [&](const std::unique_ptr<Instruction> &P) { return P.get() == Inst; });
+  assert(It != Insts.end() && "detaching instruction not in this block");
+  std::unique_ptr<Instruction> Owned = std::move(*It);
+  Insts.erase(It);
+  Owned->setParent(nullptr);
+  return Owned;
+}
+
+Instruction *BasicBlock::getTerminator() const {
+  if (Insts.empty())
+    return nullptr;
+  Instruction *Last = Insts.back().get();
+  return Last->isTerminator() ? Last : nullptr;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  std::vector<BasicBlock *> Succs;
+  Instruction *Term = getTerminator();
+  if (!Term)
+    return Succs;
+  if (auto *Br = dyn_cast<BranchInst>(Term)) {
+    Succs.push_back(Br->getTarget());
+  } else if (auto *CBr = dyn_cast<CondBranchInst>(Term)) {
+    Succs.push_back(CBr->getTrueTarget());
+    if (CBr->getFalseTarget() != CBr->getTrueTarget())
+      Succs.push_back(CBr->getFalseTarget());
+  }
+  return Succs;
+}
+
+void BasicBlock::removePredecessor(BasicBlock *BB) {
+  auto It = std::find(Preds.begin(), Preds.end(), BB);
+  if (It != Preds.end())
+    Preds.erase(It);
+}

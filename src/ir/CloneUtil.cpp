@@ -1,0 +1,129 @@
+//===- ir/CloneUtil.cpp ---------------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CloneUtil.h"
+
+#include <unordered_set>
+
+using namespace ipcp;
+
+void ipcp::patchClonedOperands(IRCloneMaps &Maps) {
+  std::unordered_set<const Value *> Clones;
+  Clones.reserve(Maps.Values.size());
+  for (auto &[Old, New] : Maps.Values)
+    Clones.insert(New);
+
+  for (auto &[Old, New] : Maps.Values) {
+    auto *Inst = dyn_cast<Instruction>(New);
+    if (!Inst)
+      continue;
+    for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I) {
+      Value *Op = Inst->getOperand(I);
+      if (!Op || !Op->isInstruction())
+        continue;
+      auto It = Maps.Values.find(Op);
+      if (It != Maps.Values.end()) {
+        Inst->setOperand(I, It->second);
+        continue;
+      }
+      // Already resolved during the first pass (def preceded use), or a
+      // cloning bug: the operand must be one of the clones.
+      assert(Clones.count(Op) &&
+             "cloned instruction still references an original value");
+    }
+  }
+}
+
+std::unique_ptr<Instruction>
+ipcp::cloneInstructionWithMaps(const Instruction *Inst, Module &NewM,
+                               IRCloneMaps &Maps) {
+  auto MapValue = [&](Value *Old) -> Value * {
+    if (auto *C = dyn_cast<ConstantInt>(Old))
+      return NewM.getConstant(C->getValue());
+    if (isa<UndefValue>(Old))
+      return NewM.getUndef();
+    auto It = Maps.Values.find(Old);
+    // Forward references (defs later in block order) are resolved by
+    // patchClonedOperands once every instruction has a clone.
+    return It == Maps.Values.end() ? Old : It->second;
+  };
+
+  uint64_t Id = Inst->getId();
+  SourceLoc Loc = Inst->getLoc();
+  switch (Inst->getKind()) {
+  case ValueKind::Binary: {
+    const auto *Bin = cast<BinaryInst>(Inst);
+    return std::make_unique<BinaryInst>(Id, Loc, Bin->getOp(),
+                                        MapValue(Bin->getLHS()),
+                                        MapValue(Bin->getRHS()));
+  }
+  case ValueKind::Unary: {
+    const auto *Un = cast<UnaryInst>(Inst);
+    return std::make_unique<UnaryInst>(Id, Loc, Un->getOp(),
+                                       MapValue(Un->getValueOperand()));
+  }
+  case ValueKind::Load: {
+    const auto *Load = cast<LoadInst>(Inst);
+    return std::make_unique<LoadInst>(Id, Loc, Maps.var(Load->getVariable()));
+  }
+  case ValueKind::Store: {
+    const auto *Store = cast<StoreInst>(Inst);
+    return std::make_unique<StoreInst>(Id, Loc, Maps.var(Store->getVariable()),
+                                       MapValue(Store->getValueOperand()));
+  }
+  case ValueKind::ArrayLoad: {
+    const auto *ALoad = cast<ArrayLoadInst>(Inst);
+    return std::make_unique<ArrayLoadInst>(
+        Id, Loc, Maps.var(ALoad->getArray()), MapValue(ALoad->getIndex()));
+  }
+  case ValueKind::ArrayStore: {
+    const auto *AStore = cast<ArrayStoreInst>(Inst);
+    return std::make_unique<ArrayStoreInst>(
+        Id, Loc, Maps.var(AStore->getArray()), MapValue(AStore->getIndex()),
+        MapValue(AStore->getValueOperand()));
+  }
+  case ValueKind::Read:
+    return std::make_unique<ReadInst>(Id, Loc);
+  case ValueKind::Print: {
+    const auto *Print = cast<PrintInst>(Inst);
+    return std::make_unique<PrintInst>(Id, Loc,
+                                       MapValue(Print->getValueOperand()));
+  }
+  case ValueKind::Call: {
+    const auto *Call = cast<CallInst>(Inst);
+    std::vector<CallActual> Actuals;
+    for (unsigned I = 0, E = Call->getNumActuals(); I != E; ++I) {
+      CallActual A = Call->getActual(I);
+      A.Val = MapValue(Call->getActualValue(I));
+      A.ByRefLoc = Maps.var(A.ByRefLoc);
+      Actuals.push_back(A);
+    }
+    auto It = Maps.Procs.find(Call->getCallee());
+    assert(It != Maps.Procs.end() && "call to unmapped procedure");
+    return std::make_unique<CallInst>(Id, Loc, It->second,
+                                      std::move(Actuals));
+  }
+  case ValueKind::Branch: {
+    const auto *Br = cast<BranchInst>(Inst);
+    return std::make_unique<BranchInst>(Id, Loc, Maps.block(Br->getTarget()));
+  }
+  case ValueKind::CondBranch: {
+    const auto *CBr = cast<CondBranchInst>(Inst);
+    return std::make_unique<CondBranchInst>(
+        Id, Loc, MapValue(CBr->getCond()), Maps.block(CBr->getTrueTarget()),
+        Maps.block(CBr->getFalseTarget()));
+  }
+  case ValueKind::Ret:
+    return std::make_unique<RetInst>(Id, Loc);
+  case ValueKind::Phi:
+  case ValueKind::CallOut:
+    assert(false && "clone requires pre-SSA form");
+    return nullptr;
+  default:
+    assert(false && "unknown instruction kind in clone");
+    return nullptr;
+  }
+}

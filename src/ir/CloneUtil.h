@@ -1,0 +1,67 @@
+//===- ir/CloneUtil.h - Reusable instruction cloning ------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mapping tables and per-instruction cloning used by Module::clone,
+/// Module::cloneProcedure, and the inliner. Pre-SSA instructions only
+/// (no phis, entry values, or call-outs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IR_CLONEUTIL_H
+#define IPCP_IR_CLONEUTIL_H
+
+#include "ir/Module.h"
+
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+
+namespace ipcp {
+
+/// Identity maps for one cloning operation. Populate Vars/Procs/Blocks
+/// before cloning instructions; Values fills as instructions are cloned
+/// in def-before-use order.
+struct IRCloneMaps {
+  std::unordered_map<const Variable *, Variable *> Vars;
+  std::unordered_map<const Procedure *, Procedure *> Procs;
+  std::unordered_map<const BasicBlock *, BasicBlock *> Blocks;
+  std::unordered_map<const Value *, Value *> Values;
+
+  Variable *var(const Variable *Old) const {
+    if (!Old)
+      return nullptr;
+    auto It = Vars.find(Old);
+    assert(It != Vars.end() && "unmapped variable in clone");
+    return It->second;
+  }
+
+  BasicBlock *block(const BasicBlock *Old) const {
+    auto It = Blocks.find(Old);
+    assert(It != Blocks.end() && "unmapped block in clone");
+    return It->second;
+  }
+};
+
+/// Clones \p Inst into \p NewM, mapping operands/variables/blocks through
+/// \p Maps (constants are re-uniqued). Instruction-valued operands whose
+/// clone does not exist yet are left pointing at the *original* value;
+/// run patchClonedOperands over all clones afterwards. The clone keeps
+/// the original's instruction ID; callers wanting fresh identity must
+/// setId afterwards.
+std::unique_ptr<Instruction>
+cloneInstructionWithMaps(const Instruction *Inst, Module &NewM,
+                         IRCloneMaps &Maps);
+
+/// Second pass of a cloning operation: rewrites every instruction-valued
+/// operand of the cloned instructions through Maps.Values. Every such
+/// operand must have been cloned (asserts otherwise) — block order inside
+/// the source no longer matters.
+void patchClonedOperands(IRCloneMaps &Maps);
+
+} // namespace ipcp
+
+#endif // IPCP_IR_CLONEUTIL_H

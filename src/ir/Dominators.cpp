@@ -1,0 +1,118 @@
+//===- analysis/Dominators.cpp --------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Dominators.h"
+
+#include "ir/Traversal.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ipcp;
+
+DominatorTree::DominatorTree(const Procedure &P) {
+  RPO = reversePostOrder(P);
+  // Postorder numbers: entry gets the highest number.
+  for (unsigned I = 0; I != RPO.size(); ++I)
+    PostIndex[RPO[I]] = RPO.size() - 1 - I;
+
+  if (RPO.empty())
+    return;
+  BasicBlock *Entry = RPO.front();
+  IDom[Entry] = Entry; // sentinel; reported as null by idom()
+
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (PostIndex.at(A) < PostIndex.at(B))
+        A = IDom.at(A);
+      while (PostIndex.at(B) < PostIndex.at(A))
+        B = IDom.at(B);
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : RPO) {
+      if (BB == Entry)
+        continue;
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *Pred : BB->predecessors()) {
+        if (!PostIndex.count(Pred) || !IDom.count(Pred))
+          continue; // unreachable or not yet processed
+        NewIDom = NewIDom ? Intersect(Pred, NewIDom) : Pred;
+      }
+      assert(NewIDom && "reachable block with no processed predecessor");
+      auto It = IDom.find(BB);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  for (BasicBlock *BB : RPO) {
+    if (BB == Entry)
+      continue;
+    Children[IDom.at(BB)].push_back(BB);
+  }
+}
+
+BasicBlock *DominatorTree::idom(BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  assert(It != IDom.end() && "idom of unreachable block");
+  return It->second == BB ? nullptr : It->second;
+}
+
+bool DominatorTree::dominates(BasicBlock *A, BasicBlock *B) const {
+  // Walk B's idom chain up to A or the root. Fine for our block counts;
+  // switch to DFS-interval numbering if procedures ever get huge.
+  while (true) {
+    if (A == B)
+      return true;
+    BasicBlock *Up = idom(B);
+    if (!Up)
+      return false;
+    B = Up;
+  }
+}
+
+const std::vector<BasicBlock *> &
+DominatorTree::children(BasicBlock *BB) const {
+  auto It = Children.find(BB);
+  return It == Children.end() ? NoChildren : It->second;
+}
+
+DominanceFrontier::DominanceFrontier(const Procedure &P,
+                                     const DominatorTree &DT) {
+  // Cooper-Harvey-Kennedy frontier computation: for each join point, walk
+  // each predecessor's idom chain up to the join's idom.
+  for (BasicBlock *BB : DT.blocksInRPO()) {
+    const std::vector<BasicBlock *> &Preds = BB->predecessors();
+    if (Preds.size() < 2)
+      continue;
+    for (BasicBlock *Pred : Preds) {
+      if (!DT.isReachable(Pred))
+        continue;
+      BasicBlock *Runner = Pred;
+      while (Runner != DT.idom(BB)) {
+        std::vector<BasicBlock *> &Frontier = DF[Runner];
+        if (std::find(Frontier.begin(), Frontier.end(), BB) == Frontier.end())
+          Frontier.push_back(BB);
+        Runner = DT.idom(Runner);
+        assert(Runner && "ran past the entry while walking idom chain");
+      }
+    }
+  }
+  (void)P;
+}
+
+const std::vector<BasicBlock *> &
+DominanceFrontier::frontier(BasicBlock *BB) const {
+  auto It = DF.find(BB);
+  return It == DF.end() ? Empty : It->second;
+}

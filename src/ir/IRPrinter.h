@@ -1,0 +1,38 @@
+//===- ir/IRPrinter.h - Textual IR dump -------------------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders modules, procedures, and values as readable text for tests,
+/// debugging, and the examples. Instructions print as `%<id>`; entry
+/// values as `entry(<var>)`; constants as bare integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IR_IRPRINTER_H
+#define IPCP_IR_IRPRINTER_H
+
+#include "ir/Module.h"
+
+#include <string>
+
+namespace ipcp {
+
+/// Short name for a value usable inside an instruction ("%7", "42",
+/// "entry(n)", "undef").
+std::string printValueRef(const Value *V);
+
+/// One-line rendering of \p Inst ("  %7 = add %5, %6").
+std::string printInstruction(const Instruction *Inst);
+
+/// Full rendering of one procedure.
+std::string printProcedure(const Procedure &P);
+
+/// Full rendering of the module.
+std::string printModule(const Module &M);
+
+} // namespace ipcp
+
+#endif // IPCP_IR_IRPRINTER_H

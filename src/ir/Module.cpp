@@ -1,0 +1,156 @@
+//===- ir/Module.cpp ------------------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+
+#include "ir/CloneUtil.h"
+
+using namespace ipcp;
+
+Procedure *Module::createProcedure(const std::string &Name) {
+  Procs.push_back(std::make_unique<Procedure>(this, Name));
+  return Procs.back().get();
+}
+
+Procedure *Module::findProcedure(const std::string &Name) const {
+  for (const std::unique_ptr<Procedure> &P : Procs)
+    if (P->getName() == Name)
+      return P.get();
+  return nullptr;
+}
+
+void Module::eraseProcedure(Procedure *P) {
+  for (auto It = Procs.begin(); It != Procs.end(); ++It)
+    if (It->get() == P) {
+      Procs.erase(It);
+      return;
+    }
+  assert(false && "procedure not in this module");
+}
+
+Variable *Module::addGlobal(const std::string &Name, ConstantValue ArraySize) {
+  Variable::Kind Kind =
+      ArraySize ? Variable::Kind::GlobalArray : Variable::Kind::Global;
+  auto Var = std::make_unique<Variable>(nextVarId(), Kind, Name,
+                                        /*Parent=*/nullptr,
+                                        /*FormalIndex=*/0, ArraySize);
+  Globals.push_back(Var.get());
+  OwnedGlobals.push_back(std::move(Var));
+  return Globals.back();
+}
+
+Variable *Module::findGlobal(const std::string &Name) const {
+  for (Variable *V : Globals)
+    if (V->getName() == Name)
+      return V;
+  return nullptr;
+}
+
+ConstantInt *Module::getConstant(ConstantValue V) {
+  auto It = Constants.find(V);
+  if (It != Constants.end())
+    return It->second.get();
+  auto C = std::make_unique<ConstantInt>(V);
+  ConstantInt *Raw = C.get();
+  Constants.emplace(V, std::move(C));
+  return Raw;
+}
+
+unsigned Module::instructionCount() const {
+  unsigned Count = 0;
+  for (const std::unique_ptr<Procedure> &P : Procs)
+    Count += P->instructionCount();
+  return Count;
+}
+
+std::unique_ptr<Module> Module::clone() const {
+  auto NewM = std::make_unique<Module>();
+  IRCloneMaps Maps;
+
+  for (const Variable *G : Globals) {
+    Variable *NewG = NewM->addGlobal(G->getName(), G->getArraySize());
+    NewG->setId(G->getId());
+    Maps.Vars.emplace(G, NewG);
+  }
+
+  // Create all procedures, variables, and blocks first so call and branch
+  // targets can be mapped while cloning instructions.
+  for (const std::unique_ptr<Procedure> &P : Procs) {
+    Procedure *NewP = NewM->createProcedure(P->getName());
+    Maps.Procs.emplace(P.get(), NewP);
+    for (const Variable *F : P->formals()) {
+      Variable *NewF = NewP->addFormal(F->getName());
+      NewF->setId(F->getId());
+      Maps.Vars.emplace(F, NewF);
+    }
+    for (const Variable *L : P->locals()) {
+      Variable *NewL = NewP->addLocal(L->getName(), L->getArraySize());
+      NewL->setId(L->getId());
+      Maps.Vars.emplace(L, NewL);
+    }
+    for (const std::unique_ptr<BasicBlock> &BB : P->blocks())
+      Maps.Blocks.emplace(BB.get(), NewP->createBlock(BB->getName()));
+    if (P->getExitBlock())
+      NewP->setExitBlock(Maps.block(P->getExitBlock()));
+  }
+
+  for (const std::unique_ptr<Procedure> &P : Procs) {
+    for (const std::unique_ptr<BasicBlock> &BB : P->blocks()) {
+      BasicBlock *NewBB = Maps.block(BB.get());
+      for (const std::unique_ptr<Instruction> &Inst : BB->instructions()) {
+        std::unique_ptr<Instruction> NewInst =
+            cloneInstructionWithMaps(Inst.get(), *NewM, Maps);
+        Maps.Values.emplace(Inst.get(), NewInst.get());
+        NewBB->append(std::move(NewInst));
+      }
+      for (BasicBlock *Pred : BB->predecessors())
+        NewBB->addPredecessor(Maps.block(Pred));
+    }
+  }
+
+  patchClonedOperands(Maps);
+
+  // Preserve ID continuity for instructions added to the clone later.
+  NewM->NextInstId = NextInstId;
+  NewM->NextVarId = NextVarId;
+  return NewM;
+}
+
+Procedure *Module::cloneProcedure(const Procedure &Src,
+                                  const std::string &NewName) {
+  assert(Src.getModule() == this && "cloning a foreign procedure");
+  IRCloneMaps Maps;
+  // Globals and procedures are shared; local storage is fresh.
+  for (Variable *G : Globals)
+    Maps.Vars.emplace(G, G);
+  for (const std::unique_ptr<Procedure> &P : Procs)
+    Maps.Procs.emplace(P.get(), P.get());
+
+  Procedure *NewP = createProcedure(NewName);
+  for (const Variable *F : Src.formals())
+    Maps.Vars.emplace(F, NewP->addFormal(F->getName()));
+  for (const Variable *L : Src.locals())
+    Maps.Vars.emplace(L, NewP->addLocal(L->getName(), L->getArraySize()));
+  for (const std::unique_ptr<BasicBlock> &BB : Src.blocks())
+    Maps.Blocks.emplace(BB.get(), NewP->createBlock(BB->getName()));
+  if (Src.getExitBlock())
+    NewP->setExitBlock(Maps.block(Src.getExitBlock()));
+
+  for (const std::unique_ptr<BasicBlock> &BB : Src.blocks()) {
+    BasicBlock *NewBB = Maps.block(BB.get());
+    for (const std::unique_ptr<Instruction> &Inst : BB->instructions()) {
+      std::unique_ptr<Instruction> NewInst =
+          cloneInstructionWithMaps(Inst.get(), *this, Maps);
+      NewInst->setId(nextInstId()); // fresh identity for the copy
+      Maps.Values.emplace(Inst.get(), NewInst.get());
+      NewBB->append(std::move(NewInst));
+    }
+    for (BasicBlock *Pred : BB->predecessors())
+      NewBB->addPredecessor(Maps.block(Pred));
+  }
+  patchClonedOperands(Maps);
+  return NewP;
+}

@@ -1,0 +1,106 @@
+//===- ir/Module.h - Whole-program IR container -----------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module owns every procedure, every global variable, the uniqued
+/// integer constants, and the ID counters. Modules deep-clone with all
+/// instruction and variable IDs preserved, which is how analysis results
+/// computed on a scratch copy are applied back to the canonical program
+/// during complete propagation (see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IR_MODULE_H
+#define IPCP_IR_MODULE_H
+
+#include "ir/Procedure.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipcp {
+
+/// A whole MiniFort program in IR form.
+class Module {
+public:
+  Module() = default;
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  //===--------------------------------------------------------------------===
+  // Procedures and globals
+  //===--------------------------------------------------------------------===
+
+  Procedure *createProcedure(const std::string &Name);
+
+  const std::vector<std::unique_ptr<Procedure>> &procedures() const {
+    return Procs;
+  }
+
+  Procedure *findProcedure(const std::string &Name) const;
+
+  /// Destroys \p P and removes it from the module. The caller must
+  /// ensure no live procedure still calls it (the inliner removes whole
+  /// unreachable groups at once).
+  void eraseProcedure(Procedure *P);
+
+  /// Creates a global scalar (ArraySize 0) or array.
+  Variable *addGlobal(const std::string &Name, ConstantValue ArraySize = 0);
+
+  const std::vector<Variable *> &globals() const { return Globals; }
+
+  Variable *findGlobal(const std::string &Name) const;
+
+  //===--------------------------------------------------------------------===
+  // Uniqued values and IDs
+  //===--------------------------------------------------------------------===
+
+  /// The uniqued ConstantInt for \p V.
+  ConstantInt *getConstant(ConstantValue V);
+
+  /// The module's undef singleton.
+  UndefValue *getUndef() { return &Undef; }
+
+  /// Fresh module-unique instruction ID.
+  uint64_t nextInstId() { return NextInstId++; }
+
+  /// Fresh module-unique variable ID.
+  uint64_t nextVarId() { return NextVarId++; }
+
+  //===--------------------------------------------------------------------===
+  // Cloning
+  //===--------------------------------------------------------------------===
+
+  /// Deep-copies the module. Instruction and variable IDs are preserved,
+  /// so an (ID -> fact) map computed on the clone applies to the original.
+  /// Requires pre-SSA form (no phis, entry values, or call-outs), which is
+  /// the canonical on-disk form of a lowered program.
+  std::unique_ptr<Module> clone() const;
+
+  /// Copies procedure \p Src into this module (its own module) under
+  /// \p NewName, with fresh instruction and variable IDs. Globals and
+  /// callee references are shared with the original. Used by the
+  /// procedure-cloning transformation; requires pre-SSA form.
+  Procedure *cloneProcedure(const Procedure &Src, const std::string &NewName);
+
+  /// Total instructions across all procedures.
+  unsigned instructionCount() const;
+
+private:
+  std::vector<std::unique_ptr<Procedure>> Procs;
+  std::vector<Variable *> Globals;
+  std::vector<std::unique_ptr<Variable>> OwnedGlobals;
+  std::map<ConstantValue, std::unique_ptr<ConstantInt>> Constants;
+  UndefValue Undef;
+  uint64_t NextInstId = 0;
+  uint64_t NextVarId = 0;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_IR_MODULE_H

@@ -1,0 +1,114 @@
+//===- ir/Procedure.h - One procedure's CFG and symbols ---------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Procedure owns its basic blocks, its formal and local variables, and
+/// the per-variable EntryValue objects that jump functions range over.
+/// Lowering guarantees a single entry block and a single exit block whose
+/// only instruction is the Ret.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IR_PROCEDURE_H
+#define IPCP_IR_PROCEDURE_H
+
+#include "ir/BasicBlock.h"
+#include "ir/Value.h"
+#include "ir/Variable.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ipcp {
+
+class Module;
+
+/// One MiniFort procedure in IR form.
+class Procedure {
+public:
+  Procedure(Module *Parent, std::string Name)
+      : Parent(Parent), Name(std::move(Name)) {}
+
+  Module *getModule() const { return Parent; }
+  const std::string &getName() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
+  //===--------------------------------------------------------------------===
+  // Blocks
+  //===--------------------------------------------------------------------===
+
+  /// Creates and appends a new block.
+  BasicBlock *createBlock(std::string BlockName);
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+
+  BasicBlock *getEntryBlock() const {
+    return Blocks.empty() ? nullptr : Blocks.front().get();
+  }
+
+  BasicBlock *getExitBlock() const { return ExitBlock; }
+  void setExitBlock(BasicBlock *BB) { ExitBlock = BB; }
+
+  /// Destroys \p BB (must have no predecessors left). Instructions inside
+  /// are destroyed with it.
+  void eraseBlock(BasicBlock *BB);
+
+  /// Deletes blocks unreachable from the entry, fixing predecessor lists
+  /// and phis. Returns the number of blocks removed.
+  unsigned removeUnreachableBlocks();
+
+  //===--------------------------------------------------------------------===
+  // Variables
+  //===--------------------------------------------------------------------===
+
+  /// Appends a formal parameter (in positional order).
+  Variable *addFormal(const std::string &VarName);
+
+  /// Adds a scalar or array local.
+  Variable *addLocal(const std::string &VarName, ConstantValue ArraySize = 0);
+
+  const std::vector<Variable *> &formals() const { return Formals; }
+  const std::vector<Variable *> &locals() const { return Locals; }
+
+  /// Looks up a formal or local by name (globals live in the Module).
+  Variable *findVariable(const std::string &VarName) const;
+
+  /// The canonical "value of \p Var on entry" SSA object.
+  EntryValue *getEntryValue(Variable *Var);
+
+  //===--------------------------------------------------------------------===
+  // Misc
+  //===--------------------------------------------------------------------===
+
+  unsigned getNumFormals() const { return Formals.size(); }
+
+  /// Number of instructions across all blocks.
+  unsigned instructionCount() const;
+
+  /// Collects every CallInst in block order.
+  std::vector<CallInst *> callSites() const;
+
+private:
+  friend class Module; // clone support
+
+  Module *Parent;
+  std::string Name;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  BasicBlock *ExitBlock = nullptr;
+  std::vector<Variable *> Formals;
+  std::vector<Variable *> Locals;
+  std::vector<std::unique_ptr<Variable>> OwnedVars;
+  std::unordered_map<Variable *, std::unique_ptr<EntryValue>> EntryValues;
+  unsigned NextBlockId = 0;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_IR_PROCEDURE_H

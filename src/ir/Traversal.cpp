@@ -1,0 +1,44 @@
+//===- analysis/Traversal.cpp ---------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Traversal.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace ipcp;
+
+std::vector<BasicBlock *> ipcp::postOrder(const Procedure &P) {
+  std::vector<BasicBlock *> Order;
+  if (P.blocks().empty())
+    return Order;
+
+  // Iterative DFS with an explicit stack of (block, next-successor-index).
+  std::unordered_set<BasicBlock *> Visited;
+  std::vector<std::pair<BasicBlock *, size_t>> Stack;
+  BasicBlock *Entry = P.getEntryBlock();
+  Visited.insert(Entry);
+  Stack.push_back({Entry, 0});
+  while (!Stack.empty()) {
+    auto &[BB, NextIdx] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (NextIdx >= Succs.size()) {
+      Order.push_back(BB);
+      Stack.pop_back();
+      continue;
+    }
+    BasicBlock *Succ = Succs[NextIdx++];
+    if (Visited.insert(Succ).second)
+      Stack.push_back({Succ, 0});
+  }
+  return Order;
+}
+
+std::vector<BasicBlock *> ipcp::reversePostOrder(const Procedure &P) {
+  std::vector<BasicBlock *> Order = postOrder(P);
+  std::reverse(Order.begin(), Order.end());
+  return Order;
+}

@@ -1,0 +1,30 @@
+//===- ir/Traversal.h - CFG orderings ---------------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reverse-postorder and postorder walks over the reachable CFG of a
+/// procedure, used by the dominator computation and the dataflow passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IR_TRAVERSAL_H
+#define IPCP_IR_TRAVERSAL_H
+
+#include "ir/Procedure.h"
+
+#include <vector>
+
+namespace ipcp {
+
+/// Reachable blocks in postorder (entry last).
+std::vector<BasicBlock *> postOrder(const Procedure &P);
+
+/// Reachable blocks in reverse postorder (entry first).
+std::vector<BasicBlock *> reversePostOrder(const Procedure &P);
+
+} // namespace ipcp
+
+#endif // IPCP_IR_TRAVERSAL_H

@@ -1,0 +1,97 @@
+//===- ir/Variable.h - Named storage locations ------------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Variable is a named storage location: a global (COMMON-like), a formal
+/// parameter (a by-reference cell), a procedure local, or an array of any
+/// of those. Pre-SSA IR reads and writes variables through Load/Store
+/// instructions; SSA construction promotes scalar variables to SSA values.
+///
+/// Variables carry module-unique IDs that deep-cloning preserves, so
+/// analysis facts computed on a clone can be mapped back to the original.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_IR_VARIABLE_H
+#define IPCP_IR_VARIABLE_H
+
+#include "support/ConstantMath.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+namespace ipcp {
+
+class Procedure;
+
+/// A named storage location in a MiniFort program.
+class Variable {
+public:
+  enum class Kind {
+    Global,      ///< shared scalar, zero-initialized
+    GlobalArray, ///< shared array, zero-initialized
+    Formal,      ///< by-reference parameter cell
+    Local,       ///< procedure-scoped scalar, zero-initialized
+    LocalArray,  ///< procedure-scoped array, zero-initialized
+  };
+
+  Variable(uint64_t Id, Kind TheKind, std::string Name, Procedure *Parent,
+           unsigned FormalIndex = 0, ConstantValue ArraySize = 0)
+      : Id(Id), TheKind(TheKind), Name(std::move(Name)), Parent(Parent),
+        FormalIndex(FormalIndex), ArraySize(ArraySize) {}
+
+  uint64_t getId() const { return Id; }
+  /// Used only by Module::clone to preserve IDs across deep copies.
+  void setId(uint64_t NewId) { Id = NewId; }
+  Kind getKind() const { return TheKind; }
+  const std::string &getName() const { return Name; }
+
+  /// The owning procedure; null for globals.
+  Procedure *getParent() const { return Parent; }
+
+  bool isGlobal() const {
+    return TheKind == Kind::Global || TheKind == Kind::GlobalArray;
+  }
+  bool isFormal() const { return TheKind == Kind::Formal; }
+  bool isLocal() const {
+    return TheKind == Kind::Local || TheKind == Kind::LocalArray;
+  }
+  bool isArray() const {
+    return TheKind == Kind::GlobalArray || TheKind == Kind::LocalArray;
+  }
+  /// Scalars are candidates for SSA promotion and constant propagation.
+  bool isScalar() const { return !isArray(); }
+
+  /// Position in the owning procedure's parameter list (formals only).
+  unsigned getFormalIndex() const { return FormalIndex; }
+
+  /// Declared extent (arrays only).
+  ConstantValue getArraySize() const { return ArraySize; }
+
+private:
+  uint64_t Id;
+  Kind TheKind;
+  std::string Name;
+  Procedure *Parent;
+  unsigned FormalIndex;
+  ConstantValue ArraySize;
+};
+
+/// Deterministic variable ordering (by clone-stable ID). Analyses iterate
+/// variable sets; ordering them by ID keeps every run reproducible.
+struct VariableIdLess {
+  bool operator()(const Variable *A, const Variable *B) const {
+    return A->getId() < B->getId();
+  }
+};
+
+/// An ID-ordered set of variables.
+using VariableSet = std::set<Variable *, VariableIdLess>;
+
+} // namespace ipcp
+
+#endif // IPCP_IR_VARIABLE_H

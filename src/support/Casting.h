@@ -1,0 +1,79 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++ -*-===//
+//
+// Part of the ipcp project: a reproduction of jump-function interprocedural
+// constant propagation (Callahan, Cooper, Kennedy, Torczon, SIGPLAN '86).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal reimplementation of the LLVM casting machinery (isa<>, cast<>,
+/// dyn_cast<> and the *_or_null variants) driven by a static `classof`
+/// member on each class in a hierarchy. This lets the IR and jump-function
+/// hierarchies dispatch on a Kind enum without C++ RTTI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_CASTING_H
+#define IPCP_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace ipcp {
+
+/// Returns true if \p Val is an instance of type To (or a subclass).
+///
+/// Every class participating in a hierarchy must define
+/// `static bool classof(const Base *)`.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Variadic isa: true if \p Val is any of the listed types.
+template <typename To, typename Second, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<Second, Rest...>(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast, const overload.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null if \p Val is not a To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast, const overload.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates (and returns false for) null pointers.
+template <typename To, typename From> bool isa_and_nonnull(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Like dyn_cast<>, but tolerates (and propagates) null pointers.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return (Val && isa<To>(Val)) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast<>, const overload tolerating null.
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return (Val && isa<To>(Val)) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_CASTING_H

@@ -1,0 +1,162 @@
+//===- support/ConstantMath.cpp -------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ConstantMath.h"
+
+#include <limits>
+
+using namespace ipcp;
+
+const char *ipcp::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::CmpEq:
+    return "==";
+  case BinaryOp::CmpNe:
+    return "!=";
+  case BinaryOp::CmpLt:
+    return "<";
+  case BinaryOp::CmpLe:
+    return "<=";
+  case BinaryOp::CmpGt:
+    return ">";
+  case BinaryOp::CmpGe:
+    return ">=";
+  }
+  return "?";
+}
+
+const char *ipcp::unaryOpSpelling(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return "-";
+  case UnaryOp::Not:
+    return "!";
+  }
+  return "?";
+}
+
+bool ipcp::isComparisonOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::CmpEq:
+  case BinaryOp::CmpNe:
+  case BinaryOp::CmpLt:
+  case BinaryOp::CmpLe:
+  case BinaryOp::CmpGt:
+  case BinaryOp::CmpGe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool ipcp::isCommutativeOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+  case BinaryOp::Mul:
+  case BinaryOp::CmpEq:
+  case BinaryOp::CmpNe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::optional<ConstantValue> ipcp::checkedAdd(ConstantValue L,
+                                              ConstantValue R) {
+  ConstantValue Result;
+  if (__builtin_add_overflow(L, R, &Result))
+    return std::nullopt;
+  return Result;
+}
+
+std::optional<ConstantValue> ipcp::checkedSub(ConstantValue L,
+                                              ConstantValue R) {
+  ConstantValue Result;
+  if (__builtin_sub_overflow(L, R, &Result))
+    return std::nullopt;
+  return Result;
+}
+
+std::optional<ConstantValue> ipcp::checkedMul(ConstantValue L,
+                                              ConstantValue R) {
+  ConstantValue Result;
+  if (__builtin_mul_overflow(L, R, &Result))
+    return std::nullopt;
+  return Result;
+}
+
+std::optional<ConstantValue> ipcp::checkedDiv(ConstantValue L,
+                                              ConstantValue R) {
+  if (R == 0)
+    return std::nullopt;
+  if (L == std::numeric_limits<ConstantValue>::min() && R == -1)
+    return std::nullopt;
+  return L / R;
+}
+
+std::optional<ConstantValue> ipcp::checkedRem(ConstantValue L,
+                                              ConstantValue R) {
+  if (R == 0)
+    return std::nullopt;
+  if (L == std::numeric_limits<ConstantValue>::min() && R == -1)
+    return std::nullopt;
+  return L % R;
+}
+
+std::optional<ConstantValue> ipcp::checkedNeg(ConstantValue V) {
+  if (V == std::numeric_limits<ConstantValue>::min())
+    return std::nullopt;
+  return -V;
+}
+
+std::optional<ConstantValue> ipcp::foldBinary(BinaryOp Op, ConstantValue L,
+                                              ConstantValue R) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return checkedAdd(L, R);
+  case BinaryOp::Sub:
+    return checkedSub(L, R);
+  case BinaryOp::Mul:
+    return checkedMul(L, R);
+  case BinaryOp::Div:
+    return checkedDiv(L, R);
+  case BinaryOp::Mod:
+    return checkedRem(L, R);
+  case BinaryOp::CmpEq:
+    return ConstantValue(L == R);
+  case BinaryOp::CmpNe:
+    return ConstantValue(L != R);
+  case BinaryOp::CmpLt:
+    return ConstantValue(L < R);
+  case BinaryOp::CmpLe:
+    return ConstantValue(L <= R);
+  case BinaryOp::CmpGt:
+    return ConstantValue(L > R);
+  case BinaryOp::CmpGe:
+    return ConstantValue(L >= R);
+  }
+  return std::nullopt;
+}
+
+std::optional<ConstantValue> ipcp::foldUnary(UnaryOp Op, ConstantValue V) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return checkedNeg(V);
+  case UnaryOp::Not:
+    return ConstantValue(V == 0);
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,87 @@
+//===- support/ConstantMath.h - Checked integer folding ---------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Overflow-checked 64-bit integer arithmetic used everywhere the analysis
+/// folds constants (value numbering, SCCP, jump-function evaluation). An
+/// operation that would overflow, divide by zero, or otherwise not produce
+/// a well-defined compile-time value returns nullopt, which callers must
+/// treat as lattice bottom: it is always sound to decline to fold.
+///
+/// Division and modulus fold with C++ (truncating) semantics, matching the
+/// MiniFort interpreter, so folded results agree with execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_CONSTANTMATH_H
+#define IPCP_SUPPORT_CONSTANTMATH_H
+
+#include <cstdint>
+#include <optional>
+
+namespace ipcp {
+
+/// The integer type of every MiniFort scalar value.
+using ConstantValue = int64_t;
+
+/// Binary operators shared by the AST, the IR, and jump functions.
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  CmpEq,
+  CmpNe,
+  CmpLt,
+  CmpLe,
+  CmpGt,
+  CmpGe,
+};
+
+/// Unary operators.
+enum class UnaryOp { Neg, Not };
+
+/// Returns a printable spelling ("+", "<=", ...) for \p Op.
+const char *binaryOpSpelling(BinaryOp Op);
+
+/// Returns a printable spelling ("-", "!") for \p Op.
+const char *unaryOpSpelling(UnaryOp Op);
+
+/// True for the six comparison operators (which produce 0 or 1).
+bool isComparisonOp(BinaryOp Op);
+
+/// True for +, *, and the symmetric comparisons == and !=.
+bool isCommutativeOp(BinaryOp Op);
+
+/// Folds L + R; nullopt on signed overflow.
+std::optional<ConstantValue> checkedAdd(ConstantValue L, ConstantValue R);
+
+/// Folds L - R; nullopt on signed overflow.
+std::optional<ConstantValue> checkedSub(ConstantValue L, ConstantValue R);
+
+/// Folds L * R; nullopt on signed overflow.
+std::optional<ConstantValue> checkedMul(ConstantValue L, ConstantValue R);
+
+/// Folds L / R (truncating); nullopt when R==0 or INT64_MIN / -1.
+std::optional<ConstantValue> checkedDiv(ConstantValue L, ConstantValue R);
+
+/// Folds L % R (C++ semantics); nullopt when R==0 or INT64_MIN % -1.
+std::optional<ConstantValue> checkedRem(ConstantValue L, ConstantValue R);
+
+/// Folds -V; nullopt for INT64_MIN.
+std::optional<ConstantValue> checkedNeg(ConstantValue V);
+
+/// Folds any binary operator; comparisons yield 0 or 1.
+std::optional<ConstantValue> foldBinary(BinaryOp Op, ConstantValue L,
+                                        ConstantValue R);
+
+/// Folds any unary operator.
+std::optional<ConstantValue> foldUnary(UnaryOp Op, ConstantValue V);
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_CONSTANTMATH_H

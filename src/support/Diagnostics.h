@@ -1,0 +1,64 @@
+//===- support/Diagnostics.h - Diagnostic reporting -------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. Library code never prints or aborts on user
+/// errors; it records diagnostics here, and tools decide how to render them.
+/// Message style follows the LLVM convention: lowercase first letter, no
+/// trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_DIAGNOSTICS_H
+#define IPCP_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace ipcp {
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders "12:3: error: message" (location omitted when invalid).
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one source unit.
+class DiagnosticsEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every diagnostic, one per line.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,47 @@
+//===- support/SourceLoc.h - Source positions -------------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Line/column source locations used by the lexer, parser, semantic checker
+/// and diagnostics engine. Line and column are 1-based; an invalid location
+/// is all zeros.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_SOURCELOC_H
+#define IPCP_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace ipcp {
+
+/// A position in MiniFort source text.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &RHS) const {
+    return Line == RHS.Line && Col == RHS.Col;
+  }
+  bool operator!=(const SourceLoc &RHS) const { return !(*this == RHS); }
+
+  /// Renders "line:col", or "<unknown>" for an invalid location.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_SOURCELOC_H

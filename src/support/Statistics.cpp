@@ -1,0 +1,20 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+using namespace ipcp;
+
+std::string StatisticSet::str() const {
+  std::string Out;
+  for (const auto &[Name, Count] : Counters) {
+    Out += Name;
+    Out += " = ";
+    Out += std::to_string(Count);
+    Out += '\n';
+  }
+  return Out;
+}

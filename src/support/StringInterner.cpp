@@ -1,0 +1,19 @@
+//===- support/StringInterner.cpp -----------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+using namespace ipcp;
+
+const std::string *StringInterner::intern(std::string_view S) {
+  auto It = Table.find(S);
+  if (It != Table.end())
+    return It->second;
+  Storage.emplace_back(S);
+  const std::string *Handle = &Storage.back();
+  Table.emplace(std::string_view(*Handle), Handle);
+  return Handle;
+}

@@ -1,0 +1,44 @@
+//===- support/StringInterner.h - Unique string pool ------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A string interner: maps strings to stable, unique `const std::string *`
+/// handles so that identifier comparisons throughout the compiler are
+/// pointer comparisons. Pointers remain valid for the interner's lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_STRINGINTERNER_H
+#define IPCP_SUPPORT_STRINGINTERNER_H
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ipcp {
+
+/// Interns strings; returned pointers are stable and unique per content.
+class StringInterner {
+public:
+  StringInterner() = default;
+  StringInterner(const StringInterner &) = delete;
+  StringInterner &operator=(const StringInterner &) = delete;
+
+  /// Returns the canonical handle for \p S, inserting it if new.
+  const std::string *intern(std::string_view S);
+
+  /// Number of distinct strings interned so far.
+  size_t size() const { return Table.size(); }
+
+private:
+  std::deque<std::string> Storage;
+  std::unordered_map<std::string_view, const std::string *> Table;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,54 @@
+//===- support/Worklist.h - Deduplicating worklist --------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A FIFO worklist that keeps at most one pending occurrence of each item.
+/// Used by the SCCP solver, the MOD/REF fixpoint, and the interprocedural
+/// constant propagator (the paper's "simple worklist iterative scheme").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_WORKLIST_H
+#define IPCP_SUPPORT_WORKLIST_H
+
+#include <cassert>
+#include <deque>
+#include <unordered_set>
+
+namespace ipcp {
+
+/// FIFO queue of unique T values; re-inserting a pending item is a no-op,
+/// but an item may be re-inserted after it has been popped.
+template <typename T> class Worklist {
+public:
+  /// Enqueues \p Item; returns false if it was already pending.
+  bool insert(const T &Item) {
+    if (!Pending.insert(Item).second)
+      return false;
+    Queue.push_back(Item);
+    return true;
+  }
+
+  /// Dequeues the oldest item. Precondition: !empty().
+  T pop() {
+    assert(!empty() && "pop from empty worklist");
+    T Item = Queue.front();
+    Queue.pop_front();
+    Pending.erase(Item);
+    return Item;
+  }
+
+  bool empty() const { return Queue.empty(); }
+  size_t size() const { return Queue.size(); }
+
+private:
+  std::deque<T> Queue;
+  std::unordered_set<T> Pending;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_WORKLIST_H

@@ -1,0 +1,65 @@
+//===- workload/Generator.h - Random program generator ----------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random MiniFort program generator, used by the property tests
+/// (jump-function containment, soundness against the interpreter, MOD
+/// monotonicity) and the scaling benchmarks.
+///
+/// Generated programs are layered: procedure i only calls procedures with
+/// larger indices, so the call graph is acyclic unless AllowRecursion
+/// requests self-calls. Control flow uses bounded DO loops and IF
+/// statements only, so every generated program terminates. Generated
+/// expressions avoid division and modulus (no trap-by-zero), variable
+/// actuals are locals/formals only and never repeated within one call
+/// (the Fortran no-alias rule the framework assumes), and literals stay
+/// small to keep overflow rare — a trapped execution is still handled
+/// gracefully by the oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_WORKLOAD_GENERATOR_H
+#define IPCP_WORKLOAD_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace ipcp {
+
+/// Shape parameters for one generated program.
+struct GeneratorConfig {
+  uint64_t Seed = 1;
+  unsigned NumProcs = 8;       ///< besides main
+  unsigned NumGlobals = 4;     ///< scalar globals
+  unsigned MaxParams = 3;      ///< per procedure
+  unsigned StmtsPerProc = 10;  ///< top-level statements per body
+  unsigned MaxExprDepth = 3;
+  /// Percent chances (0..100) steering statement selection.
+  unsigned CallChance = 30;
+  unsigned IfChance = 15;
+  unsigned LoopChance = 15;
+  unsigned ReadChance = 5;
+  unsigned GlobalAssignChance = 25; ///< assignments targeting globals
+  /// Percent of call actuals that are literal constants.
+  unsigned LiteralArgChance = 40;
+  bool AllowRecursion = false;
+
+  /// Emit array traffic (a 16-element global array plus a local array per
+  /// procedure; indices are loop variables or small literals, so accesses
+  /// stay in bounds). Arrays are opaque to the analysis — this exercises
+  /// the bottom paths.
+  bool UseArrays = true;
+
+  /// Emit bounded counter-controlled while loops in addition to DO loops.
+  bool UseWhileLoops = true;
+};
+
+/// Produces MiniFort source text; same config -> same text.
+std::string generateProgram(const GeneratorConfig &Config);
+
+} // namespace ipcp
+
+#endif // IPCP_WORKLOAD_GENERATOR_H

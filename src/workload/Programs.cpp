@@ -1,0 +1,63 @@
+//===- workload/Programs.cpp ----------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Programs.h"
+
+#include "frontend/Parser.h"
+#include "ir/AstLower.h"
+#include "workload/ProgramsInternal.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ipcp;
+
+const std::vector<SuiteProgram> &ipcp::benchmarkSuite() {
+  static const std::vector<SuiteProgram> Suite = [] {
+    std::vector<SuiteProgram> All = suiteProgramsAtoM();
+    std::vector<SuiteProgram> Rest = suiteProgramsNtoZ();
+    All.insert(All.end(), std::make_move_iterator(Rest.begin()),
+               std::make_move_iterator(Rest.end()));
+    return All;
+  }();
+  return Suite;
+}
+
+const SuiteProgram *ipcp::findSuiteProgram(const std::string &Name) {
+  for (const SuiteProgram &P : benchmarkSuite())
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+std::unique_ptr<Module> ipcp::loadSuiteModule(const SuiteProgram &Prog) {
+  DiagnosticsEngine Diags;
+  std::optional<Program> Ast = parseAndCheck(Prog.Source, Diags);
+  if (!Ast) {
+    std::fprintf(stderr, "suite program '%s' failed to compile:\n%s",
+                 Prog.Name.c_str(), Diags.str().c_str());
+    std::abort();
+  }
+  return lowerProgram(*Ast);
+}
+
+unsigned ipcp::countCodeLines(const std::string &Source) {
+  unsigned Lines = 0;
+  size_t Pos = 0;
+  while (Pos < Source.size()) {
+    size_t End = Source.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Source.size();
+    std::string_view Line(Source.data() + Pos, End - Pos);
+    // Strip leading whitespace; skip blanks and pure comments.
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First != std::string_view::npos &&
+        Line.substr(First, 2) != "//")
+      ++Lines;
+    Pos = End + 1;
+  }
+  return Lines;
+}

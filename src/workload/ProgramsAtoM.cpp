@@ -1,0 +1,518 @@
+//===- workload/ProgramsAtoM.cpp - Suite programs adm..mdg ----------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/ProgramsInternal.h"
+
+using namespace ipcp;
+
+std::vector<SuiteProgram> ipcp::suiteProgramsAtoM() {
+  std::vector<SuiteProgram> Programs;
+
+  //===------------------------------------------------------------------===//
+  // adm: air-pollution transport. Constants enter as literal actuals at
+  // flat call sites; expected: all four jump function classes equal,
+  // intraprocedural baseline lower, return jump functions irrelevant.
+  //===------------------------------------------------------------------===//
+  Programs.push_back({"adm", R"(
+// adm: pollutant transport over a 1-D grid, phases called with literal
+// grid sizes and rates from the driver.
+global conc[256], emis[256], wind[64];
+
+proc setrow(base, count, value) {
+  var i;
+  do i = 0, count - 1 {
+    conc[base + i] = value;
+    emis[base + i] = value / 2;
+  }
+}
+
+proc emit(n, scale) {
+  var i;
+  do i = 0, n - 1 {
+    conc[i] = conc[i] + emis[i] * scale;
+  }
+}
+
+proc advect(n, cfl) {
+  var i, flux;
+  do i = 1, n - 1 {
+    flux = (conc[i] - conc[i - 1]) * cfl;
+    conc[i] = conc[i] - flux / 8;
+  }
+}
+
+proc diffusevert(n, k) {
+  var i, lap;
+  do i = 1, n - 2 {
+    lap = conc[i - 1] - 2 * conc[i] + conc[i + 1];
+    conc[i] = conc[i] + lap / k;
+  }
+}
+
+proc chem(n, rate) {
+  var i, loss;
+  do i = 0, n - 1 {
+    loss = conc[i] / rate;
+    conc[i] = conc[i] - loss;
+  }
+}
+
+proc settle(n, speed) {
+  var i;
+  do i = 0, n - 2 {
+    conc[i] = conc[i] + conc[i + 1] / speed;
+  }
+}
+
+proc stats(n) {
+  var i, total, peak;
+  total = 0;
+  peak = 0;
+  do i = 0, n - 1 {
+    total = total + conc[i];
+    if (conc[i] > peak) {
+      peak = conc[i];
+    }
+  }
+  print total;
+  print peak;
+}
+
+proc main() {
+  var t, hours;
+  hours = 6;
+  call setrow(0, 16, 8);
+  call setrow(16, 16, 4);
+  do t = 1, hours {
+    call emit(32, 2);
+    call advect(32, 4);
+    call diffusevert(32, 5);
+    call chem(32, 10);
+    call settle(32, 6);
+    wind[t] = t * 3;
+  }
+  call stats(32);
+}
+)",
+                      "literal actuals only; expect literal == intra == "
+                      "pass-through == polynomial; return JFs no effect"});
+
+  //===------------------------------------------------------------------===//
+  // doduc: nuclear reactor kinetics. Almost everything is a literal
+  // actual; one actual is an intraprocedurally computed constant and one
+  // out-parameter initialization needs a return jump function.
+  //===------------------------------------------------------------------===//
+  Programs.push_back({"doduc", R"(
+// doduc: reactor channel simulation; dozens of literal rate constants,
+// one computed table size, one out-parameter setup routine.
+global temp[128], rho[128], press[128];
+
+proc heat(n, q, cap) {
+  var i;
+  do i = 0, n - 1 {
+    temp[i] = temp[i] + q / cap;
+  }
+}
+
+proc expand(n, alpha) {
+  var i;
+  do i = 0, n - 1 {
+    rho[i] = rho[i] - temp[i] / alpha;
+  }
+}
+
+proc pressurize(n, gamma, bias) {
+  var i;
+  do i = 0, n - 1 {
+    press[i] = rho[i] * gamma + bias;
+  }
+}
+
+proc relax(n, w) {
+  var i, d;
+  do i = 1, n - 1 {
+    d = press[i] - press[i - 1];
+    press[i] = press[i] - d / w;
+  }
+}
+
+proc setfreq(every) {
+  every = 8;
+}
+
+proc inittables(n, t0, r0) {
+  var i;
+  do i = 0, n - 1 {
+    temp[i] = t0;
+    rho[i] = r0;
+    press[i] = 0;
+  }
+}
+
+proc probe(n, every) {
+  var i;
+  do i = 0, n - 1 {
+    if (i % every == 0) {
+      print temp[i] + press[i];
+    }
+  }
+}
+
+proc main() {
+  var cells, t, span, freq;
+  cells = 32;
+  span = 4;
+  call setfreq(freq);
+  call inittables(cells, 500, 9);
+  do t = 1, span {
+    call heat(32, 60, 3);
+    call expand(32, 25);
+    call pressurize(32, 7, 100);
+    call relax(32, 4);
+  }
+  call probe(cells, freq);
+}
+)",
+                      "mostly literal actuals; only probe's arguments need "
+                      "gcp ('cells') and the return jump function of "
+                      "setfreq ('freq'); expect literal slightly below the "
+                      "rest and a small drop without return JFs"});
+
+  //===------------------------------------------------------------------===//
+  // fpppp: quantum chemistry, one huge routine plus helpers. Every
+  // mechanism appears: literal actuals, constant globals, pass-through
+  // chains, out-parameter setup.
+  //===------------------------------------------------------------------===//
+  Programs.push_back({"fpppp", R"(
+// fpppp: two-electron integrals; a single dominant routine (fockbuild)
+// and small helpers; constants arrive every way the framework knows.
+global norb, nshell, cutoff;
+global dens[256], fock[256], eri[256];
+
+proc setup() {
+  cutoff = 1000;
+}
+
+proc scaledens(n, f) {
+  var i;
+  do i = 0, n * n - 1 {
+    dens[i] = dens[i] * f + 1;
+  }
+}
+
+proc contract(n, f) {
+  // pass-through: forwards both parameters unchanged
+  call scaledens(n, f);
+}
+
+proc pairenergy(i, j, n) {
+  var e;
+  e = dens[i * n + j] * eri[i * n + j];
+  print e;
+}
+
+proc fockbuild(n) {
+  var i, j, k, acc, scale, half;
+  scale = 2;
+  half = n / 2;
+  do i = 0, n - 1 {
+    do j = 0, n - 1 {
+      acc = 0;
+      do k = 0, n - 1 {
+        acc = acc + dens[i * n + k] * eri[k * n + j];
+      }
+      fock[i * n + j] = acc * scale;
+      if (fock[i * n + j] > cutoff) {
+        fock[i * n + j] = cutoff;
+      }
+    }
+  }
+  do i = 0, half - 1 {
+    fock[i] = fock[i] + nshell;
+  }
+}
+
+proc main() {
+  var n, i, iter;
+  n = 12;
+  nshell = 4;
+  call setup();
+  do i = 0, n * n - 1 {
+    dens[i] = i % 5;
+    eri[i] = i % 7;
+  }
+  do iter = 1, 3 {
+    call contract(n, 3);
+    call fockbuild(n);
+  }
+  call pairenergy(2, 3, n);
+  call pairenergy(5, 1, n);
+  print fock[0];
+}
+)",
+                      "one dominant routine; constants via gcp ('n', "
+                      "'nshell') and one return jump function ('cutoff'); "
+                      "literal < intra < pass-through; the in-loop calls "
+                      "make the no-MOD ablation destructive"});
+
+  //===------------------------------------------------------------------===//
+  // linpackd: dense linear algebra. The driver computes the problem size
+  // once and passes it by variable to every routine; inner routines get
+  // derived (non-constant) arguments. Inner calls make the no-MOD
+  // ablation destructive.
+  //===------------------------------------------------------------------===//
+  Programs.push_back({"linpackd", R"(
+// linpackd: LU factorization and solve on a n x n matrix stored in a
+// global array; the driver owns the constants.
+global a[400], b[20], x[20], pivots[20];
+
+proc fill(base, count, seed) {
+  var i;
+  do i = 0, count - 1 {
+    a[base + i] = (seed * (i + 3)) % 19 + 1;
+  }
+}
+
+proc matgen(n, lda) {
+  var j;
+  do j = 0, n - 1 {
+    call fill(j * lda, n, j + 7);
+    b[j] = j % 11 + 1;
+  }
+}
+
+proc idamax(base, count, out) {
+  var i, best;
+  best = 0;
+  out = 0;
+  do i = 0, count - 1 {
+    if (a[base + i] > best) {
+      best = a[base + i];
+      out = i;
+    }
+  }
+}
+
+proc dscal(base, count, divisor) {
+  var i;
+  do i = 0, count - 1 {
+    a[base + i] = a[base + i] / divisor;
+  }
+}
+
+proc daxpy(srcbase, dstbase, count, factor) {
+  var i;
+  do i = 0, count - 1 {
+    a[dstbase + i] = a[dstbase + i] - a[srcbase + i] * factor;
+  }
+}
+
+proc dgefa(n, lda) {
+  var k, j, p, piv;
+  do k = 0, n - 2 {
+    call idamax(k * lda + k, n - k, p);
+    pivots[k] = p;
+    piv = a[k * lda + k];
+    if (piv == 0) {
+      piv = 1;
+    }
+    call dscal(k * lda + k, n - k, piv);
+    do j = k + 1, n - 1 {
+      call daxpy(k * lda + k, j * lda + k, n - k, a[j * lda + k]);
+    }
+  }
+}
+
+proc dgesl(n, lda) {
+  var i, j, acc;
+  do i = 0, n - 1 {
+    acc = b[i];
+    do j = 0, i - 1 {
+      acc = acc - a[i * lda + j] * x[j];
+    }
+    x[i] = acc;
+  }
+}
+
+proc residual(n) {
+  var i, r;
+  r = 0;
+  do i = 0, n - 1 {
+    r = r + x[i] - b[i];
+  }
+  print r;
+}
+
+proc main() {
+  var n, lda, trials, t;
+  n = 16;
+  lda = 20;
+  trials = 2;
+  do t = 1, trials {
+    call matgen(n, lda);
+    call dgefa(n, lda);
+    call dgesl(n, lda);
+    call residual(n);
+  }
+  print a[0] + x[0];
+}
+)",
+                      "driver-computed constants passed by variable to flat "
+                      "calls; literal far below the rest; no-MOD ablation "
+                      "destroys nearly everything (inner calls kill the "
+                      "by-ref actuals)"});
+
+  //===------------------------------------------------------------------===//
+  // matrix300: dense matrix multiply variants. Dimensions live in
+  // globals assigned by the driver; one helper level needs pass-through.
+  //===------------------------------------------------------------------===//
+  Programs.push_back({"matrix300", R"(
+// matrix300: blocked matrix products; dimensions in globals, inner
+// kernels reached through one forwarding level.
+global nrows, ncols, blocksz;
+global ma[324], mb[324], mc[324];
+
+proc kernel(arow, bcol, n) {
+  var k, acc;
+  acc = 0;
+  do k = 0, n - 1 {
+    acc = acc + ma[arow * n + k] * mb[k * n + bcol];
+  }
+  mc[arow * n + bcol] = acc;
+}
+
+proc block(rowbase, colbase, n, bs) {
+  var i, j;
+  do i = rowbase, rowbase + bs - 1 {
+    do j = colbase, colbase + bs - 1 {
+      call kernel(i, j, n);
+    }
+  }
+}
+
+proc multiply(n, bs) {
+  var bi, bj, nb;
+  nb = n / bs;
+  do bi = 0, nb - 1 {
+    do bj = 0, nb - 1 {
+      call block(bi * bs, bj * bs, n, bs);
+    }
+  }
+}
+
+proc loadmats(n, seed) {
+  var i;
+  do i = 0, n * n - 1 {
+    ma[i] = (i + seed) % 9;
+    mb[i] = (i * seed) % 7;
+    mc[i] = 0;
+  }
+}
+
+proc checksum(n) {
+  var i, s;
+  s = 0;
+  do i = 0, n * n - 1 {
+    s = s + mc[i];
+  }
+  print s;
+}
+
+proc main() {
+  nrows = 12;
+  ncols = 12;
+  blocksz = 4;
+  call loadmats(nrows, 5);
+  call multiply(nrows, blocksz);
+  call checksum(nrows);
+  print nrows * ncols;
+}
+)",
+                      "constant globals + a forwarding level (multiply -> "
+                      "block -> kernel); literal < intra < pass-through; "
+                      "no-MOD loses the globals"});
+
+  //===------------------------------------------------------------------===//
+  // mdg: molecular dynamics of water. Mixed mechanisms with a small
+  // return-jump-function effect through an out-parameter particle count.
+  //===------------------------------------------------------------------===//
+  Programs.push_back({"mdg", R"(
+// mdg: pairwise forces on a particle set; the neighbor cutoff and box
+// size are globals, the particle count is produced by a setup routine.
+global boxlen, cutoff2, pairskip;
+global posx[64], posy[64], fx[64], fy[64];
+
+proc pickseed(out) {
+  out = 7;
+}
+
+proc initpos(n, seed) {
+  var i;
+  do i = 0, n - 1 {
+    posx[i] = (i * seed) % 13;
+    posy[i] = (i * 5) % 11;
+    fx[i] = 0;
+    fy[i] = 0;
+  }
+}
+
+proc forces(n, strength) {
+  var i, j, dx, dy, d2;
+  do i = 0, n - 1 {
+    do j = 0, n - 1 {
+      if (j != i) {
+        dx = posx[i] - posx[j];
+        dy = posy[i] - posy[j];
+        d2 = dx * dx + dy * dy + 1;
+        if (d2 < cutoff2) {
+          fx[i] = fx[i] + dx * strength / d2;
+          fy[i] = fy[i] + dy * strength / d2;
+        }
+      }
+    }
+  }
+}
+
+proc advance(n, dt) {
+  var i;
+  do i = 0, n - 1 {
+    posx[i] = (posx[i] + fx[i] * dt) % boxlen;
+    posy[i] = (posy[i] + fy[i] * dt) % boxlen;
+  }
+}
+
+proc kinetic(n) {
+  var i, e;
+  e = 0;
+  do i = 0, n - 1 {
+    e = e + fx[i] * fx[i] + fy[i] * fy[i];
+  }
+  print e;
+}
+
+proc main() {
+  var nparts, step, nsteps, seed;
+  boxlen = 13;
+  cutoff2 = 50;
+  pairskip = 2;
+  nsteps = 3;
+  nparts = 24;
+  call pickseed(seed);
+  call initpos(nparts, seed);
+  do step = 1, nsteps {
+    call forces(nparts, 9);
+    call advance(nparts, 1);
+  }
+  call kinetic(nparts);
+  print pairskip + boxlen;
+}
+)",
+                      "constant globals plus one out-parameter seed; "
+                      "return JFs add a single reference; literal < intra "
+                      "< pass-through"});
+
+  return Programs;
+}

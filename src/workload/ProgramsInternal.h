@@ -1,0 +1,28 @@
+//===- workload/ProgramsInternal.h - Suite chunks ---------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Private header splitting the embedded suite sources across two
+/// translation units (see Programs.h for the public interface).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_WORKLOAD_PROGRAMSINTERNAL_H
+#define IPCP_WORKLOAD_PROGRAMSINTERNAL_H
+
+#include "workload/Programs.h"
+
+namespace ipcp {
+
+/// adm, doduc, fpppp, linpackd, matrix300, mdg.
+std::vector<SuiteProgram> suiteProgramsAtoM();
+
+/// ocean, qcd, simple, snasa7, spec77, trfd.
+std::vector<SuiteProgram> suiteProgramsNtoZ();
+
+} // namespace ipcp
+
+#endif // IPCP_WORKLOAD_PROGRAMSINTERNAL_H

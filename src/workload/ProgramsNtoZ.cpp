@@ -1,0 +1,479 @@
+//===- workload/ProgramsNtoZ.cpp - Suite programs ocean..trfd -------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/ProgramsInternal.h"
+
+using namespace ipcp;
+
+std::vector<SuiteProgram> ipcp::suiteProgramsNtoZ() {
+  std::vector<SuiteProgram> Programs;
+
+  //===------------------------------------------------------------------===//
+  // ocean: the paper's star witness for return jump functions ("the
+  // initialization routine at the start of ocean resulted in the
+  // assignment of constant values to many variables") and for complete
+  // propagation (+dead code, Table 3). An init procedure assigns many
+  // constant globals; a debug flag guards a call that would otherwise
+  // clobber one of them.
+  //===------------------------------------------------------------------===//
+  Programs.push_back({"ocean", R"(
+// ocean: 2-D basin circulation; every physical parameter is a global
+// assigned once by init() and read everywhere.
+global nx, ny, dt, nsteps, visc, depth, outfreq, windamp, coriolis, debug;
+global eta[144], u[144], v[144];
+
+proc init() {
+  nx = 10;
+  ny = 10;
+  dt = 3;
+  nsteps = 4;
+  visc = 2;
+  depth = 50;
+  outfreq = 2;
+  windamp = 6;
+  coriolis = 4;
+  debug = 0;
+  var i;
+  do i = 0, 143 {
+    eta[i] = 0;
+    u[i] = i % 3;
+    v[i] = i % 5;
+  }
+}
+
+proc perturb() {
+  var w;
+  read w;
+  depth = w;
+  windamp = w % 7 + 1;
+}
+
+proc windstress() {
+  var i, amp;
+  amp = windamp * dt;
+  do i = 0, nx * ny - 1 {
+    u[i] = u[i] + amp / 3;
+  }
+}
+
+proc rotate() {
+  var i, f;
+  f = coriolis * dt;
+  do i = 0, nx * ny - 1 {
+    u[i] = u[i] - v[i] * f / 16;
+    v[i] = v[i] + u[i] * f / 16;
+  }
+}
+
+proc continuity() {
+  var i, h;
+  h = depth / 2;
+  do i = 1, nx * ny - 1 {
+    eta[i] = eta[i] - (u[i] - u[i - 1]) * h / 64;
+  }
+}
+
+proc smooth() {
+  var i, k;
+  k = visc;
+  do i = 1, nx * ny - 2 {
+    eta[i] = (eta[i - 1] + eta[i] * k + eta[i + 1]) / (k + 2);
+  }
+}
+
+proc report(step) {
+  if (step % outfreq == 0) {
+    print eta[nx * ny / 2] + depth;
+  }
+}
+
+proc main() {
+  var t;
+  call init();
+  if (debug != 0) {
+    call perturb();
+  }
+  do t = 1, nsteps {
+    call windstress();
+    call rotate();
+    call continuity();
+    call smooth();
+    call report(t);
+  }
+  print eta[0] + depth + windamp;
+}
+)",
+                      "init() assigns many constant globals: return JFs "
+                      "multiply the constant count; the guarded perturb() "
+                      "call is the complete-propagation pattern (dead code "
+                      "kills depth/windamp until DCE removes it); literal "
+                      "finds almost nothing"});
+
+  //===------------------------------------------------------------------===//
+  // qcd: lattice gauge theory. Literal actuals at every site; all four
+  // classes find the same constants, and the intraprocedural baseline is
+  // nearly as good.
+  //===------------------------------------------------------------------===//
+  Programs.push_back({"qcd", R"(
+// qcd: quenched lattice updates; every routine takes literal coupling
+// constants and lattice extents from the driver.
+global links[256], action[64];
+
+proc staple(site, extent) {
+  var s;
+  s = links[site % 256] + links[(site + extent) % 256];
+  action[site % 64] = s;
+}
+
+proc sweep(extent, beta) {
+  var s, delta;
+  do s = 0, extent - 1 {
+    call staple(s, extent);
+    delta = action[s % 64] * beta / 6;
+    links[s % 256] = links[s % 256] + delta;
+  }
+}
+
+proc heatbath(extent, beta, tries) {
+  var t;
+  do t = 1, tries {
+    call sweep(extent, beta);
+  }
+}
+
+proc overrelax(extent, mix) {
+  var s;
+  do s = 0, extent - 1 {
+    links[s % 256] = links[s % 256] * mix / (mix + 1);
+  }
+}
+
+proc measure(extent, norm) {
+  var s, plaq;
+  plaq = 0;
+  do s = 0, extent - 1 {
+    plaq = plaq + action[s % 64];
+  }
+  print plaq / norm;
+}
+
+proc main() {
+  var iter, iters;
+  iters = 3;
+  do iter = 1, iters {
+    call heatbath(48, 5, 2);
+    call overrelax(48, 3);
+    call measure(48, 16);
+  }
+  do iter = 0, 255 {
+    links[iter] = iter % 4;
+  }
+  call sweep(48, 5);
+  call measure(48, 16);
+}
+)",
+                      "literal actuals everywhere; expect all four classes "
+                      "equal and the intraprocedural baseline close behind "
+                      "(one pass-through level inside heatbath->sweep)"});
+
+  //===------------------------------------------------------------------===//
+  // simple: hydrodynamics with one dominant routine. Literal < intra <
+  // pass-through, modest return-jump-function effect.
+  //===------------------------------------------------------------------===//
+  Programs.push_back({"simple", R"(
+// simple: Lagrangian hydro on a small mesh; the big loop nest lives in
+// hydro(), helpers are thin.
+global meshn, gamma, courant;
+global r[100], p[100], q[100], e[100];
+
+proc boundary(n, val) {
+  r[0] = val;
+  r[n - 1] = val;
+  p[0] = val * 2;
+  p[n - 1] = val * 2;
+}
+
+proc hydro(n, dtfac) {
+  var i, j, dv, work, steps, cmax;
+  steps = 4;
+  cmax = 0;
+  do j = 1, steps {
+    do i = 1, n - 2 {
+      dv = (r[i + 1] - r[i - 1]) * dtfac;
+      q[i] = dv * dv / (gamma + 1);
+      p[i] = p[i] + q[i] - dv;
+      e[i] = e[i] + p[i] * dv / courant;
+      if (p[i] > cmax) {
+        cmax = p[i];
+      }
+    }
+    do i = 1, n - 2 {
+      r[i] = r[i] + p[i] / (gamma * 4);
+    }
+  }
+  print cmax;
+}
+
+proc energy(n) {
+  var i, tot;
+  tot = 0;
+  do i = 0, n - 1 {
+    tot = tot + e[i];
+  }
+  print tot;
+}
+
+proc main() {
+  var n, i, cycle;
+  n = 9;
+  gamma = 5;
+  courant = 3;
+  meshn = 9;
+  do i = 0, n - 1 {
+    r[i] = i + 2;
+    p[i] = 10 - i;
+    q[i] = 0;
+    e[i] = 100;
+  }
+  call boundary(n, 7);
+  do cycle = 1, 2 {
+    call hydro(n, 2);
+    call energy(n);
+  }
+  print meshn;
+}
+)",
+                      "one dominant routine (hydro); constants through "
+                      "globals and gcp; no return-jump-function effect; "
+                      "the in-loop calls make the no-MOD ablation "
+                      "destructive; literal < intra"});
+
+  //===------------------------------------------------------------------===//
+  // snasa7: the seven NASA kernels. Deep pass-through chains move the
+  // driver's constants through three call levels; literal sees almost
+  // none of it.
+  //===------------------------------------------------------------------===//
+  Programs.push_back({"snasa7", R"(
+// snasa7: kernel collection; one shared driver constant set flows down a
+// three-deep call chain into each kernel.
+global sig[128], buf[128], out[128];
+
+proc fftpass(n, stride, w) {
+  var i, t;
+  do i = 0, n - stride - 1 {
+    t = sig[i] + sig[i + stride] * w;
+    buf[i] = t;
+  }
+}
+
+proc fftstage(n, w) {
+  call fftpass(n, 1, w);
+  call fftpass(n, 2, w);
+  call fftpass(n, 4, w);
+}
+
+proc fft(n, w) {
+  call fftstage(n, w);
+  call fftstage(n, w + 1);
+}
+
+proc cholcol(n, base) {
+  var i, d;
+  d = buf[base % 128] + 1;
+  if (d == 0) {
+    d = 1;
+  }
+  do i = 0, n - 1 {
+    out[i] = buf[i] / d;
+  }
+}
+
+proc cholesky(n) {
+  call cholcol(n, 0);
+  call cholcol(n, 3);
+}
+
+proc btrix(n, bw) {
+  var i;
+  do i = bw, n - 1 {
+    out[i] = out[i] + out[i - bw];
+  }
+}
+
+proc vpenta(n, passes) {
+  var p;
+  do p = 1, passes {
+    call btrix(n, 1);
+    call btrix(n, 2);
+  }
+}
+
+proc emit2(n) {
+  var i, s;
+  s = 0;
+  do i = 0, n - 1 {
+    s = s + out[i];
+  }
+  print s;
+}
+
+proc kernels(n, w, passes) {
+  call fft(n, w);
+  call cholesky(n);
+  call vpenta(n, passes);
+  call emit2(n);
+}
+
+proc main() {
+  var i, n;
+  n = 32;
+  do i = 0, 127 {
+    sig[i] = i % 9;
+    buf[i] = 0;
+    out[i] = i % 4;
+  }
+  call kernels(n, 3, 2);
+  call kernels(n, 5, 2);
+}
+)",
+                      "three-deep pass-through chains (kernels -> fft -> "
+                      "fftstage -> fftpass); literal far below everything "
+                      "else"});
+
+  //===------------------------------------------------------------------===//
+  // spec77: spectral weather model. Global constants plus chains, with a
+  // second complete-propagation pattern (a never-taken restart path whose
+  // call clobbers the timestep).
+  //===------------------------------------------------------------------===//
+  Programs.push_back({"spec77", R"(
+// spec77: spectral transform climate step; physics constants in globals,
+// a restart path that never executes guards a clobbering reload.
+global nlat, nlon, dt, restart, rotrate;
+global field2[144], spect[144], tend[144];
+
+proc reload() {
+  var w;
+  read w;
+  dt = w % 5 + 1;
+  rotrate = w % 3;
+}
+
+proc transform(n, m) {
+  var i, j, acc;
+  do i = 0, n - 1 {
+    acc = 0;
+    do j = 0, m - 1 {
+      acc = acc + field2[i * m + j];
+    }
+    spect[i] = acc;
+  }
+}
+
+proc dynamics(n, m) {
+  var i, f;
+  f = rotrate * dt;
+  do i = 0, n * m - 1 {
+    tend[i] = spect[i % 144] * f / 8;
+  }
+}
+
+proc physics(n, m, heatrate) {
+  var i;
+  do i = 0, n * m - 1 {
+    tend[i] = tend[i] + heatrate;
+  }
+}
+
+proc advance2(n, m) {
+  var i;
+  do i = 0, n * m - 1 {
+    field2[i] = field2[i] + tend[i] * dt / 4;
+  }
+}
+
+proc spectra(n) {
+  var i, s;
+  s = 0;
+  do i = 0, n - 1 {
+    s = s + spect[i];
+  }
+  print s;
+}
+
+proc main() {
+  var step, nsteps;
+  nlat = 8;
+  nlon = 12;
+  dt = 2;
+  rotrate = 3;
+  restart = 0;
+  nsteps = 3;
+  if (restart == 1) {
+    call reload();
+  }
+  do step = 1, nsteps {
+    call transform(nlat, nlon);
+    call dynamics(nlat, nlon);
+    call physics(nlat, nlon, 4);
+    call advance2(nlat, nlon);
+  }
+  call spectra(nlat);
+  print dt + rotrate;
+}
+)",
+                      "constant globals; the guarded reload() is the "
+                      "complete-propagation pattern (dt/rotrate recovered "
+                      "after DCE); literal < intra"});
+
+  //===------------------------------------------------------------------===//
+  // trfd: two-electron integral transformation; small and regular, all
+  // classes equal.
+  //===------------------------------------------------------------------===//
+  Programs.push_back({"trfd", R"(
+// trfd: small integral transformation; a handful of literal-driven
+// routines.
+global ints[128], half[128];
+
+proc phase1(n, scale) {
+  var i;
+  do i = 0, n - 1 {
+    half[i] = ints[i] * scale;
+  }
+}
+
+proc phase2(n, shift) {
+  var i;
+  do i = 0, n - 1 {
+    half[i] = half[i] + shift;
+  }
+}
+
+proc total(n) {
+  var i, s;
+  s = 0;
+  do i = 0, n - 1 {
+    s = s + half[i];
+  }
+  print s;
+}
+
+proc main() {
+  var i, m;
+  m = 40;
+  do i = 0, 127 {
+    ints[i] = i % 6;
+  }
+  call phase1(40, 3);
+  call phase2(40, 9);
+  call total(40);
+  print m;
+}
+)",
+                      "small; literal actuals only; all classes equal, "
+                      "intraprocedural baseline one reference behind"});
+
+  return Programs;
+}

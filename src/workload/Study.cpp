@@ -1,0 +1,183 @@
+//===- workload/Study.cpp -------------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Study.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace ipcp;
+
+unsigned ipcp::runCell(const SuiteProgram &Prog, const IPCPOptions &Opts) {
+  std::unique_ptr<Module> M = loadSuiteModule(Prog);
+  return runIPCP(*M, Opts).TotalConstantRefs;
+}
+
+std::vector<Table1Row>
+ipcp::computeTable1(const std::vector<SuiteProgram> &Suite) {
+  std::vector<Table1Row> Rows;
+  for (const SuiteProgram &Prog : Suite) {
+    Table1Row Row;
+    Row.Name = Prog.Name;
+    Row.Lines = countCodeLines(Prog.Source);
+
+    // Per-procedure line counts, from the source text ("proc " starts a
+    // procedure chunk).
+    std::vector<unsigned> PerProc;
+    size_t Pos = 0;
+    unsigned Current = 0;
+    bool InProc = false;
+    while (Pos < Prog.Source.size()) {
+      size_t End = Prog.Source.find('\n', Pos);
+      if (End == std::string::npos)
+        End = Prog.Source.size();
+      std::string_view Line(Prog.Source.data() + Pos, End - Pos);
+      size_t First = Line.find_first_not_of(" \t\r");
+      bool Code = First != std::string_view::npos &&
+                  Line.substr(First, 2) != "//";
+      if (Code && Line.substr(First, 5) == "proc ") {
+        if (InProc)
+          PerProc.push_back(Current);
+        InProc = true;
+        Current = 0;
+      }
+      if (Code && InProc)
+        ++Current;
+      Pos = End + 1;
+    }
+    if (InProc)
+      PerProc.push_back(Current);
+
+    Row.Procs = PerProc.size();
+    if (!PerProc.empty()) {
+      unsigned Total = 0;
+      for (unsigned N : PerProc)
+        Total += N;
+      Row.MeanLinesPerProc = Total / PerProc.size();
+      std::vector<unsigned> Sorted = PerProc;
+      std::sort(Sorted.begin(), Sorted.end());
+      Row.MedianLinesPerProc = Sorted[Sorted.size() / 2];
+    }
+
+    std::unique_ptr<Module> M = loadSuiteModule(Prog);
+    Row.Globals = M->globals().size();
+    for (const std::unique_ptr<Procedure> &P : M->procedures())
+      Row.CallSites += P->callSites().size();
+    Rows.push_back(Row);
+  }
+  return Rows;
+}
+
+std::vector<Table2Row>
+ipcp::computeTable2(const std::vector<SuiteProgram> &Suite) {
+  std::vector<Table2Row> Rows;
+  for (const SuiteProgram &Prog : Suite) {
+    Table2Row Row;
+    Row.Name = Prog.Name;
+
+    auto Cell = [&](JumpFunctionKind Kind, bool UseRet) {
+      IPCPOptions Opts;
+      Opts.ForwardKind = Kind;
+      Opts.UseReturnJumpFunctions = UseRet;
+      return runCell(Prog, Opts);
+    };
+
+    Row.Polynomial = Cell(JumpFunctionKind::Polynomial, true);
+    Row.PassThrough = Cell(JumpFunctionKind::PassThrough, true);
+    Row.Intraprocedural =
+        Cell(JumpFunctionKind::IntraproceduralConstant, true);
+    Row.Literal = Cell(JumpFunctionKind::Literal, true);
+    Row.PolynomialNoRet = Cell(JumpFunctionKind::Polynomial, false);
+    Row.PassThroughNoRet = Cell(JumpFunctionKind::PassThrough, false);
+    Rows.push_back(Row);
+  }
+  return Rows;
+}
+
+std::vector<Table3Row>
+ipcp::computeTable3(const std::vector<SuiteProgram> &Suite) {
+  std::vector<Table3Row> Rows;
+  for (const SuiteProgram &Prog : Suite) {
+    Table3Row Row;
+    Row.Name = Prog.Name;
+
+    IPCPOptions NoMod;
+    NoMod.UseModInformation = false;
+    Row.PolynomialWithoutMod = runCell(Prog, NoMod);
+
+    Row.PolynomialWithMod = runCell(Prog, IPCPOptions());
+
+    std::unique_ptr<Module> M = loadSuiteModule(Prog);
+    Row.CompletePropagation =
+        runCompletePropagation(*M, IPCPOptions()).TotalConstantRefs;
+
+    IPCPOptions Intra;
+    Intra.IntraproceduralOnly = true;
+    Row.IntraproceduralOnly = runCell(Prog, Intra);
+    Rows.push_back(Row);
+  }
+  return Rows;
+}
+
+namespace {
+
+std::string pad(const std::string &Text, size_t Width) {
+  std::string Out = Text;
+  while (Out.size() < Width)
+    Out += ' ';
+  return Out;
+}
+
+std::string num(unsigned Value, size_t Width) {
+  std::string Text = std::to_string(Value);
+  std::string Out;
+  while (Out.size() + Text.size() < Width)
+    Out += ' ';
+  return Out + Text;
+}
+
+} // namespace
+
+std::string ipcp::formatTable1(const std::vector<Table1Row> &Rows) {
+  std::string Out =
+      "Table 1: Characteristics of program test suite\n"
+      "program      lines  procs  mean l/p  median l/p  call sites  "
+      "globals\n";
+  for (const Table1Row &R : Rows) {
+    Out += pad(R.Name, 12) + num(R.Lines, 6) + num(R.Procs, 7) +
+           num(R.MeanLinesPerProc, 10) + num(R.MedianLinesPerProc, 12) +
+           num(R.CallSites, 12) + num(R.Globals, 9) + "\n";
+  }
+  return Out;
+}
+
+std::string ipcp::formatTable2(const std::vector<Table2Row> &Rows) {
+  std::string Out =
+      "Table 2: Constants found through use of jump functions\n"
+      "                 -- using return JFs --------------   -- no return "
+      "JFs --\n"
+      "program      polynomial  pass-thru  intra  literal   polynomial  "
+      "pass-thru\n";
+  for (const Table2Row &R : Rows) {
+    Out += pad(R.Name, 12) + num(R.Polynomial, 11) + num(R.PassThrough, 11) +
+           num(R.Intraprocedural, 7) + num(R.Literal, 9) +
+           num(R.PolynomialNoRet, 13) + num(R.PassThroughNoRet, 11) + "\n";
+  }
+  return Out;
+}
+
+std::string ipcp::formatTable3(const std::vector<Table3Row> &Rows) {
+  std::string Out =
+      "Table 3: Most precise jump function vs other propagation "
+      "techniques\n"
+      "program      poly w/o MOD  poly w/ MOD  complete  intraprocedural\n";
+  for (const Table3Row &R : Rows) {
+    Out += pad(R.Name, 12) + num(R.PolynomialWithoutMod, 13) +
+           num(R.PolynomialWithMod, 13) + num(R.CompletePropagation, 10) +
+           num(R.IntraproceduralOnly, 17) + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,83 @@
+//===- workload/Study.h - The paper's tables --------------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the evaluation tables over the benchmark suite:
+///
+///  - Table 1: program characteristics (lines, procedures, lines per
+///    procedure);
+///  - Table 2: constants found through use of jump functions — the four
+///    forward classes with return jump functions, plus polynomial and
+///    pass-through without them;
+///  - Table 3: comparison of the most precise jump function with other
+///    propagation techniques — polynomial without MOD, with MOD, complete
+///    propagation, and purely intraprocedural propagation.
+///
+/// Each cell is the substituted-constant count (variable references
+/// proven constant; see Pipeline.h). Formatting helpers render the same
+/// row layout as the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_WORKLOAD_STUDY_H
+#define IPCP_WORKLOAD_STUDY_H
+
+#include "core/Pipeline.h"
+#include "workload/Programs.h"
+
+#include <string>
+#include <vector>
+
+namespace ipcp {
+
+/// Table 1: characteristics of the program test suite.
+struct Table1Row {
+  std::string Name;
+  unsigned Lines = 0;
+  unsigned Procs = 0;
+  unsigned MeanLinesPerProc = 0;
+  unsigned MedianLinesPerProc = 0;
+  unsigned CallSites = 0;
+  unsigned Globals = 0;
+};
+
+/// Table 2: constants found through use of jump functions.
+struct Table2Row {
+  std::string Name;
+  // With return jump functions.
+  unsigned Polynomial = 0;
+  unsigned PassThrough = 0;
+  unsigned Intraprocedural = 0;
+  unsigned Literal = 0;
+  // Without return jump functions.
+  unsigned PolynomialNoRet = 0;
+  unsigned PassThroughNoRet = 0;
+};
+
+/// Table 3: the most precise jump function vs other techniques.
+struct Table3Row {
+  std::string Name;
+  unsigned PolynomialWithoutMod = 0;
+  unsigned PolynomialWithMod = 0;
+  unsigned CompletePropagation = 0;
+  unsigned IntraproceduralOnly = 0;
+};
+
+std::vector<Table1Row> computeTable1(const std::vector<SuiteProgram> &Suite);
+std::vector<Table2Row> computeTable2(const std::vector<SuiteProgram> &Suite);
+std::vector<Table3Row> computeTable3(const std::vector<SuiteProgram> &Suite);
+
+std::string formatTable1(const std::vector<Table1Row> &Rows);
+std::string formatTable2(const std::vector<Table2Row> &Rows);
+std::string formatTable3(const std::vector<Table3Row> &Rows);
+
+/// Runs one configuration over one program and returns the substituted-
+/// constant count (one table cell).
+unsigned runCell(const SuiteProgram &Prog, const IPCPOptions &Opts);
+
+} // namespace ipcp
+
+#endif // IPCP_WORKLOAD_STUDY_H

@@ -1,0 +1,110 @@
+//===- tests/AliasCheckTests.cpp - no-alias rule checker tests ------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/AliasCheck.h"
+#include "workload/Generator.h"
+#include "workload/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+namespace {
+
+std::vector<Diagnostic> check(const std::string &Source) {
+  auto M = lowerOk(Source);
+  return checkAliasHazards(*M);
+}
+
+TEST(AliasCheck, CleanProgramHasNoWarnings) {
+  EXPECT_TRUE(check("global g;\n"
+                    "proc f(a, b) { a = b + g; }\n"
+                    "proc main() { var x, y; call f(x, y); }")
+                  .empty());
+}
+
+TEST(AliasCheck, DuplicateModifiedActualWarns) {
+  std::vector<Diagnostic> Warnings =
+      check("proc two(a, b) { a = 1; }\n"
+            "proc main() { var v; call two(v, v); }");
+  ASSERT_EQ(Warnings.size(), 1u);
+  EXPECT_NE(Warnings[0].Message.find("passed twice"), std::string::npos);
+}
+
+TEST(AliasCheck, DuplicateReadOnlyActualIsFine) {
+  EXPECT_TRUE(check("proc two(a, b) { print a + b; }\n"
+                    "proc main() { var v; call two(v, v); }")
+                  .empty())
+      << "aliasing is harmless when neither formal is assigned";
+}
+
+TEST(AliasCheck, DuplicateDetectionUsesTransitiveMod) {
+  std::vector<Diagnostic> Warnings =
+      check("proc sink(x) { x = 9; }\n"
+            "proc two(a, b) { call sink(b); }\n"
+            "proc main() { var v; call two(v, v); }");
+  ASSERT_EQ(Warnings.size(), 1u) << "b is modified through sink";
+}
+
+TEST(AliasCheck, GlobalPassedToTouchingCalleeWarns) {
+  std::vector<Diagnostic> Warnings =
+      check("global g;\n"
+            "proc f(a) { a = 1; print g; }\n"
+            "proc main() { call f(g); }");
+  ASSERT_EQ(Warnings.size(), 1u);
+  EXPECT_NE(Warnings[0].Message.find("passed by reference"),
+            std::string::npos);
+}
+
+TEST(AliasCheck, GlobalModifiedDirectlyWarnsEvenIfFormalIsReadOnly) {
+  std::vector<Diagnostic> Warnings =
+      check("global g;\n"
+            "proc f(a) { g = 2; print a; }\n"
+            "proc main() { call f(g); }");
+  EXPECT_EQ(Warnings.size(), 1u);
+}
+
+TEST(AliasCheck, GlobalPassedToObliviousCalleeIsFine) {
+  EXPECT_TRUE(check("global g;\n"
+                    "proc f(a) { a = a + 1; }\n"
+                    "proc main() { call f(g); }")
+                  .empty())
+      << "the callee never names g directly: binding is unambiguous";
+}
+
+TEST(AliasCheck, TransitiveGlobalAccessWarns) {
+  std::vector<Diagnostic> Warnings =
+      check("global g;\n"
+            "proc leaf() { print g; }\n"
+            "proc f(a) { a = 1; call leaf(); }\n"
+            "proc main() { call f(g); }");
+  EXPECT_EQ(Warnings.size(), 1u) << "g is reached through leaf";
+}
+
+TEST(AliasCheck, SuiteProgramsAreClean) {
+  for (const SuiteProgram &Prog : benchmarkSuite()) {
+    auto M = loadSuiteModule(Prog);
+    EXPECT_TRUE(checkAliasHazards(*M).empty()) << Prog.Name;
+  }
+}
+
+class GeneratedAliasFree : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratedAliasFree, GeneratorNeverCreatesHazards) {
+  GeneratorConfig Config;
+  Config.Seed = GetParam();
+  Config.AllowRecursion = (GetParam() % 2) == 0;
+  auto M = lowerOk(generateProgram(Config));
+  EXPECT_TRUE(checkAliasHazards(*M).empty()) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedAliasFree,
+                         ::testing::Range<uint64_t>(400, 415));
+
+} // namespace

@@ -1,0 +1,185 @@
+//===- tests/BindingGraphTests.cpp - binding multigraph solver tests ------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The binding-multigraph propagator (the paper's cited alternative
+// formulation [7]) must compute exactly the same fixpoint as the
+// call-graph worklist, while re-evaluating only jump functions whose
+// support changed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "core/BindingGraph.h"
+#include "core/Pipeline.h"
+#include "core/ValueNumbering.h"
+#include "workload/Generator.h"
+#include "workload/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+namespace {
+
+/// Builds the analysis state and runs both solvers on the same inputs.
+struct DualRun {
+  std::unique_ptr<Module> M;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<ModRefInfo> MRI;
+  SSAMap SSA;
+  SymExprContext Ctx;
+  std::unique_ptr<ReturnJumpFunctions> RJFs;
+  std::unique_ptr<ForwardJumpFunctions> FJFs;
+  IPCPOptions Opts;
+
+  explicit DualRun(std::unique_ptr<Module> Input, IPCPOptions TheOpts = {})
+      : M(std::move(Input)), Opts(TheOpts) {
+    CG = std::make_unique<CallGraph>(*M);
+    MRI = std::make_unique<ModRefInfo>(
+        Opts.UseModInformation ? ModRefInfo::compute(*M, *CG)
+                               : ModRefInfo::worstCase(*M));
+    for (const std::unique_ptr<Procedure> &P : M->procedures())
+      SSA.emplace(P.get(), constructSSA(*P, *MRI));
+    if (Opts.UseReturnJumpFunctions)
+      RJFs = std::make_unique<ReturnJumpFunctions>(
+          ReturnJumpFunctions::build(*CG, *MRI, SSA, Ctx));
+    FJFs = std::make_unique<ForwardJumpFunctions>(ForwardJumpFunctions::build(
+        *CG, *MRI, SSA, RJFs.get(), Ctx, Opts.ForwardKind));
+  }
+
+  ConstantsMap callGraph(PropagatorStats *Stats = nullptr) {
+    return propagateConstants(*CG, *MRI, *FJFs, Opts, Stats);
+  }
+  ConstantsMap bindingGraph(PropagatorStats *Stats = nullptr) {
+    return propagateConstantsBindingGraph(*CG, *MRI, *FJFs, Opts, Stats);
+  }
+};
+
+TEST(BindingGraph, AgreesOnSimpleChain) {
+  DualRun Run(lowerOk("proc c(z) { print z; }\n"
+                      "proc b(y) { call c(y + 1); }\n"
+                      "proc a(x) { call b(x * 2); }\n"
+                      "proc main() { call a(5); }"));
+  ConstantsMap A = Run.callGraph();
+  ConstantsMap B = Run.bindingGraph();
+  EXPECT_TRUE(A.equals(B));
+  Procedure *C = getProc(*Run.M, "c");
+  EXPECT_EQ(B.valueOf(C, C->formals()[0]).getConstant(), 11);
+}
+
+TEST(BindingGraph, AgreesOnConflicts) {
+  DualRun Run(lowerOk("proc f(a, b) { print a + b; }\n"
+                      "proc main() { call f(1, 9); call f(2, 9); }"));
+  ConstantsMap A = Run.callGraph();
+  ConstantsMap B = Run.bindingGraph();
+  EXPECT_TRUE(A.equals(B));
+  Procedure *F = getProc(*Run.M, "f");
+  EXPECT_TRUE(B.valueOf(F, F->formals()[0]).isBottom());
+  EXPECT_EQ(B.valueOf(F, F->formals()[1]).getConstant(), 9);
+}
+
+TEST(BindingGraph, AgreesOnRecursion) {
+  DualRun Run(lowerOk(
+      "proc f(n, k) { if (n > 0) { call f(n - 1, k); } print k; }\n"
+      "proc main() { call f(3, 42); }"));
+  EXPECT_TRUE(Run.callGraph().equals(Run.bindingGraph()));
+}
+
+TEST(BindingGraph, AgreesOnGlobalsAndEntryEdge) {
+  DualRun Run(lowerOk("global g, h;\n"
+                      "proc use() { print g + h; }\n"
+                      "proc main() { g = 5; call use(); }"));
+  ConstantsMap A = Run.callGraph();
+  ConstantsMap B = Run.bindingGraph();
+  EXPECT_TRUE(A.equals(B));
+  Procedure *Use = getProc(*Run.M, "use");
+  EXPECT_EQ(B.valueOf(Use, Run.M->findGlobal("g")).getConstant(), 5);
+  // h reaches use still holding its initial zero.
+  EXPECT_EQ(B.valueOf(Use, Run.M->findGlobal("h")).getConstant(), 0);
+}
+
+TEST(BindingGraph, AgreesOnUnreachableCallerSemantics) {
+  DualRun Run(lowerOk("proc f(a) { print a; }\n"
+                      "proc dead() { call f(1); }\n"
+                      "proc main() { call f(2); }"));
+  ConstantsMap A = Run.callGraph();
+  ConstantsMap B = Run.bindingGraph();
+  EXPECT_TRUE(A.equals(B));
+  Procedure *F = getProc(*Run.M, "f");
+  EXPECT_TRUE(B.valueOf(F, F->formals()[0]).isBottom())
+      << "the dead call's literal still meets (paper semantics)";
+}
+
+TEST(BindingGraph, ReevaluatesOnlyDependentEdges) {
+  // A wide fan where only one parameter's lowering matters: the binding
+  // graph must evaluate far fewer jump functions than the per-procedure
+  // worklist visits.
+  std::string Src;
+  for (int I = 0; I != 30; ++I)
+    Src += "proc leaf" + std::to_string(I) + "(x) { print x; }\n";
+  Src += "proc hub(v) {\n";
+  for (int I = 0; I != 30; ++I)
+    Src += "  call leaf" + std::to_string(I) + "(" + std::to_string(I) +
+           ");\n";
+  Src += "  call leaf0(v);\n}\n";
+  Src += "proc main() { call hub(7); }\n";
+
+  DualRun Run(lowerOk(Src));
+  PropagatorStats CGStats, BGStats;
+  ConstantsMap A = Run.callGraph(&CGStats);
+  ConstantsMap B = Run.bindingGraph(&BGStats);
+  EXPECT_TRUE(A.equals(B));
+  // Call-graph worklist: hub is revisited after v lowers, re-evaluating
+  // all 31 jump functions. Binding graph: only the single v-dependent
+  // edge is re-evaluated beyond the initial sweep.
+  EXPECT_LT(BGStats.JumpFunctionEvaluations,
+            CGStats.JumpFunctionEvaluations);
+}
+
+TEST(BindingGraph, PipelineOptionProducesSameResults) {
+  for (const char *Name : {"ocean", "linpackd", "snasa7"}) {
+    auto M = loadSuiteModule(*findSuiteProgram(Name));
+    IPCPOptions Binding;
+    Binding.UseBindingGraphPropagator = true;
+    IPCPResult A = runIPCP(*M);
+    IPCPResult B = runIPCP(*M, Binding);
+    EXPECT_EQ(A.TotalConstantRefs, B.TotalConstantRefs) << Name;
+    EXPECT_EQ(A.TotalEntryConstants, B.TotalEntryConstants) << Name;
+    EXPECT_EQ(A.Facts.ConstantLoads, B.Facts.ConstantLoads) << Name;
+  }
+}
+
+class BindingGraphEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BindingGraphEquivalence, MatchesCallGraphSolverOnRandomPrograms) {
+  GeneratorConfig Config;
+  Config.Seed = GetParam();
+  Config.NumProcs = 7;
+  Config.AllowRecursion = (GetParam() % 3) == 0;
+  for (JumpFunctionKind Kind :
+       {JumpFunctionKind::Literal, JumpFunctionKind::PassThrough,
+        JumpFunctionKind::Polynomial}) {
+    IPCPOptions Opts;
+    Opts.ForwardKind = Kind;
+    DualRun Run(lowerOk(generateProgram(Config)), Opts);
+    EXPECT_TRUE(Run.callGraph().equals(Run.bindingGraph()))
+        << "seed " << GetParam() << " kind " << jumpFunctionKindName(Kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BindingGraphEquivalence,
+                         ::testing::Range<uint64_t>(300, 318));
+
+TEST(BindingGraph, WholeSuiteEquivalence) {
+  for (const SuiteProgram &Prog : benchmarkSuite()) {
+    DualRun Run(loadSuiteModule(Prog));
+    EXPECT_TRUE(Run.callGraph().equals(Run.bindingGraph())) << Prog.Name;
+  }
+}
+
+} // namespace

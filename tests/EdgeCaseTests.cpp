@@ -1,0 +1,190 @@
+//===- tests/EdgeCaseTests.cpp - assorted boundary behavior ---------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/SCCP.h"
+#include "analysis/SSAConstruction.h"
+#include "core/Pipeline.h"
+#include "frontend/Lexer.h"
+#include "interp/Interpreter.h"
+#include "workload/Study.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Frontend boundary behavior.
+//===----------------------------------------------------------------------===//
+
+TEST(LexerEdge, CarriageReturnsAreWhitespace) {
+  DiagnosticsEngine Diags;
+  Lexer Lex("a\r\nb", Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(ParserEdge, DoLoopRequiresBlock) {
+  std::string Errs =
+      parseErrors("proc main() { var i; do i = 1, 3 print i; }");
+  EXPECT_NE(Errs.find("'{'"), std::string::npos);
+}
+
+TEST(ParserEdge, DeeplyNestedExpressionsParse) {
+  std::string Expr = "1";
+  for (int I = 0; I != 200; ++I)
+    Expr = "(" + Expr + " + 1)";
+  parseOk("proc main() { print " + Expr + "; }");
+}
+
+TEST(ParserEdge, DeeplyNestedBlocksParse) {
+  std::string Body = "print 1;";
+  for (int I = 0; I != 100; ++I)
+    Body = "{ " + Body + " }";
+  parseOk("proc main() { " + Body + " }");
+}
+
+TEST(SemaEdge, GlobalArrayAndScalarNamespacesShared) {
+  EXPECT_NE(parseErrors("global a; global a[3];\nproc main() { }")
+                .find("redefinition"),
+            std::string::npos);
+}
+
+TEST(ParserEdge, EmptyCallArgumentListIsFine) {
+  Program Prog = parseOk("proc f() { }\nproc main() { call f(); }");
+  EXPECT_EQ(Prog.Procs.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter boundary behavior.
+//===----------------------------------------------------------------------===//
+
+TEST(InterpreterEdge, GlobalArraysZeroInitializedAndShared) {
+  auto M = lowerOk("global buf[4];\n"
+                   "proc fill(v) { buf[0] = v; buf[3] = v * 2; }\n"
+                   "proc main() { print buf[3]; call fill(21); "
+                   "print buf[0] + buf[3]; }");
+  ExecutionResult R = interpret(*M);
+  EXPECT_EQ(R.Output, (std::vector<ConstantValue>{0, 63}));
+}
+
+TEST(InterpreterEdge, NegativeDoStepWithoutLiteralUsesAscendingTest) {
+  // A non-literal negative step makes the header test `i <= hi`, which
+  // is immediately false for lo > hi: zero iterations (documented
+  // behavior of the lowering).
+  auto M = lowerOk("proc main() { var i, s; s = 0 - 2; do i = 5, 1, s { "
+                   "print i; } print 99; }");
+  ExecutionResult R = interpret(*M);
+  EXPECT_EQ(R.Output, (std::vector<ConstantValue>{99}));
+}
+
+TEST(InterpreterEdge, PrintInsideRecursionOrdersDepthFirst) {
+  auto M = lowerOk("proc f(n) { if (n <= 0) { return; } print n; "
+                   "call f(n - 1); print 0 - n; }\n"
+                   "proc main() { call f(2); }");
+  ExecutionResult R = interpret(*M);
+  EXPECT_EQ(R.Output, (std::vector<ConstantValue>{2, 1, -1, -2}));
+}
+
+TEST(InterpreterEdge, ShadowedGlobalUntouchedByLocalWrites) {
+  auto M = lowerOk("global g;\n"
+                   "proc peek() { print g; }\n"
+                   "proc main() { var g; g = 7; call peek(); print g; }");
+  ExecutionResult R = interpret(*M);
+  EXPECT_EQ(R.Output, (std::vector<ConstantValue>{0, 7}));
+}
+
+//===----------------------------------------------------------------------===//
+// SCCP executable-edge queries.
+//===----------------------------------------------------------------------===//
+
+TEST(SCCPEdge, EdgeQueriesMatchBlockReachability) {
+  auto M = lowerOk("proc main() { var x; x = 0; if (x) { print 1; } else "
+                   "{ print 2; } }");
+  auto Clone = M->clone();
+  CallGraph CG(*Clone);
+  ModRefInfo MRI = ModRefInfo::compute(*Clone, CG);
+  Procedure *Main = getProc(*Clone, "main");
+  constructSSA(*Main, MRI);
+  SCCPResult R = runSCCP(*Main);
+  unsigned ExecutableEdges = 0, Edges = 0;
+  for (const std::unique_ptr<BasicBlock> &BB : Main->blocks())
+    for (BasicBlock *Succ : BB->successors()) {
+      ++Edges;
+      if (R.isExecutableEdge(BB.get(), Succ)) {
+        ++ExecutableEdges;
+        EXPECT_TRUE(R.isExecutable(BB.get()));
+        EXPECT_TRUE(R.isExecutable(Succ));
+      }
+    }
+  EXPECT_LT(ExecutableEdges, Edges) << "the dead arm's edge is not taken";
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline/statistics consistency.
+//===----------------------------------------------------------------------===//
+
+TEST(StudyEdge, RunCellMatchesDirectAnalysis) {
+  const SuiteProgram *Prog = findSuiteProgram("trfd");
+  ASSERT_NE(Prog, nullptr);
+  auto M = loadSuiteModule(*Prog);
+  EXPECT_EQ(runCell(*Prog, IPCPOptions()), runIPCP(*M).TotalConstantRefs);
+}
+
+TEST(PipelineEdge, BindingGraphOptionMatchesOnEveryClass) {
+  auto M = lowerOk("global g;\n"
+                   "proc f(a, b) { g = a; print b + g; }\n"
+                   "proc main() { g = 1; call f(2, 3); call f(2, 4); }");
+  for (JumpFunctionKind Kind :
+       {JumpFunctionKind::Literal, JumpFunctionKind::IntraproceduralConstant,
+        JumpFunctionKind::PassThrough, JumpFunctionKind::Polynomial}) {
+    IPCPOptions A;
+    A.ForwardKind = Kind;
+    IPCPOptions B = A;
+    B.UseBindingGraphPropagator = true;
+    EXPECT_EQ(runIPCP(*M, A).TotalConstantRefs,
+              runIPCP(*M, B).TotalConstantRefs)
+        << jumpFunctionKindName(Kind);
+  }
+}
+
+TEST(PipelineEdge, MaxExprNodesIsRespected) {
+  // A long polynomial chain: with a tiny cap the jump function declines
+  // (bottom), with a large one it propagates.
+  std::string Chain = "x";
+  for (int I = 0; I != 40; ++I)
+    Chain = "(" + Chain + " * x + 1)";
+  auto M = lowerOk("proc use(v) { print v; }\n"
+                   "proc mid(x) { call use(" + Chain + "); }\n"
+                   "proc main() { call mid(1); }");
+  IPCPOptions Small;
+  Small.MaxExprNodes = 4;
+  IPCPOptions Large;
+  Large.MaxExprNodes = 4096;
+  unsigned SmallRefs = runIPCP(*M, Small).TotalConstantRefs;
+  unsigned LargeRefs = runIPCP(*M, Large).TotalConstantRefs;
+  EXPECT_GT(LargeRefs, SmallRefs);
+}
+
+TEST(PipelineEdge, IrrelevantPlusCountedConsistent) {
+  auto M = lowerOk("global g, h;\n"
+                   "proc f() { print g; }\n"
+                   "proc main() { g = 1; h = 2; call f(); }");
+  IPCPResult R = runIPCP(*M);
+  // f knows g (used) and... h is not an extended formal of f (f never
+  // touches it), so CONSTANTS(f) = {g} with zero irrelevant entries.
+  const ProcedureResult *F = R.findProc("f");
+  EXPECT_EQ(F->EntryConstants.size(), 1u);
+  EXPECT_EQ(F->IrrelevantConstants, 0u);
+}
+
+} // namespace

@@ -1,0 +1,239 @@
+//===- tests/JumpFunctionTests.cpp - symbolic exprs & jump functions ------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/JumpFunction.h"
+#include "ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace ipcp;
+
+namespace {
+
+/// Fresh variables for building expressions by hand.
+struct ExprFixture : ::testing::Test {
+  Module M;
+  Procedure *P = M.createProcedure("p");
+  Variable *A = P->addFormal("a");
+  Variable *B = P->addFormal("b");
+  Variable *G = M.addGlobal("g");
+  SymExprContext Ctx;
+};
+
+TEST_F(ExprFixture, ConstantsAreHashConsed) {
+  EXPECT_EQ(Ctx.getConst(5), Ctx.getConst(5));
+  EXPECT_NE(Ctx.getConst(5), Ctx.getConst(6));
+  EXPECT_EQ(Ctx.getConst(5)->getConst(), 5);
+}
+
+TEST_F(ExprFixture, FormalsAreHashConsed) {
+  EXPECT_EQ(Ctx.getFormal(A), Ctx.getFormal(A));
+  EXPECT_NE(Ctx.getFormal(A), Ctx.getFormal(B));
+}
+
+TEST_F(ExprFixture, StructurallyEqualTreesShareOneNode) {
+  const SymExpr *E1 = Ctx.getBinary(BinaryOp::Add, Ctx.getFormal(A),
+                                    Ctx.getConst(1));
+  const SymExpr *E2 = Ctx.getBinary(BinaryOp::Add, Ctx.getFormal(A),
+                                    Ctx.getConst(1));
+  EXPECT_EQ(E1, E2) << "this pointer equality is the value numbering";
+}
+
+TEST_F(ExprFixture, ConstantFolding) {
+  const SymExpr *E =
+      Ctx.getBinary(BinaryOp::Mul, Ctx.getConst(6), Ctx.getConst(7));
+  ASSERT_NE(E, nullptr);
+  EXPECT_TRUE(E->isConst());
+  EXPECT_EQ(E->getConst(), 42);
+}
+
+TEST_F(ExprFixture, FoldingThatWouldTrapDeclines) {
+  EXPECT_EQ(Ctx.getBinary(BinaryOp::Div, Ctx.getConst(1), Ctx.getConst(0)),
+            nullptr);
+  EXPECT_EQ(Ctx.getBinary(BinaryOp::Mul, Ctx.getConst(INT64_MAX),
+                          Ctx.getConst(2)),
+            nullptr);
+}
+
+TEST_F(ExprFixture, NullOperandsPropagate) {
+  EXPECT_EQ(Ctx.getBinary(BinaryOp::Add, nullptr, Ctx.getConst(1)), nullptr);
+  EXPECT_EQ(Ctx.getUnary(UnaryOp::Neg, nullptr), nullptr);
+}
+
+TEST_F(ExprFixture, AlgebraicIdentities) {
+  const SymExpr *VarA = Ctx.getFormal(A);
+  EXPECT_EQ(Ctx.getBinary(BinaryOp::Add, VarA, Ctx.getConst(0)), VarA);
+  EXPECT_EQ(Ctx.getBinary(BinaryOp::Add, Ctx.getConst(0), VarA), VarA);
+  EXPECT_EQ(Ctx.getBinary(BinaryOp::Sub, VarA, Ctx.getConst(0)), VarA);
+  EXPECT_EQ(Ctx.getBinary(BinaryOp::Mul, VarA, Ctx.getConst(1)), VarA);
+  const SymExpr *Zero = Ctx.getBinary(BinaryOp::Mul, VarA, Ctx.getConst(0));
+  ASSERT_NE(Zero, nullptr);
+  EXPECT_EQ(Zero->getConst(), 0);
+  const SymExpr *SelfSub = Ctx.getBinary(BinaryOp::Sub, VarA, VarA);
+  ASSERT_NE(SelfSub, nullptr);
+  EXPECT_EQ(SelfSub->getConst(), 0);
+  EXPECT_EQ(Ctx.getUnary(UnaryOp::Neg, Ctx.getUnary(UnaryOp::Neg, VarA)),
+            VarA);
+}
+
+TEST_F(ExprFixture, ReflexiveComparisonsFold) {
+  const SymExpr *VarA = Ctx.getFormal(A);
+  EXPECT_EQ(Ctx.getBinary(BinaryOp::CmpEq, VarA, VarA)->getConst(), 1);
+  EXPECT_EQ(Ctx.getBinary(BinaryOp::CmpLe, VarA, VarA)->getConst(), 1);
+  EXPECT_EQ(Ctx.getBinary(BinaryOp::CmpNe, VarA, VarA)->getConst(), 0);
+  EXPECT_EQ(Ctx.getBinary(BinaryOp::CmpLt, VarA, VarA)->getConst(), 0);
+}
+
+TEST_F(ExprFixture, CommutativeCanonicalization) {
+  const SymExpr *AB =
+      Ctx.getBinary(BinaryOp::Add, Ctx.getFormal(A), Ctx.getFormal(B));
+  const SymExpr *BA =
+      Ctx.getBinary(BinaryOp::Add, Ctx.getFormal(B), Ctx.getFormal(A));
+  EXPECT_EQ(AB, BA) << "a + b and b + a value-number identically";
+  // Subtraction is not commutative.
+  EXPECT_NE(Ctx.getBinary(BinaryOp::Sub, Ctx.getFormal(A), Ctx.getFormal(B)),
+            Ctx.getBinary(BinaryOp::Sub, Ctx.getFormal(B), Ctx.getFormal(A)));
+}
+
+TEST_F(ExprFixture, SizeCapDeclinesHugeTrees) {
+  SymExprContext Small(/*MaxNodes=*/7);
+  const SymExpr *E = Small.getFormal(A);
+  // Keep doubling until the cap must trigger: a - (a - (a - ...)) to
+  // avoid the identity folds.
+  const SymExpr *Grown = E;
+  for (int I = 0; I != 10 && Grown; ++I)
+    Grown = Small.getBinary(BinaryOp::Add, Grown,
+                            Small.getBinary(BinaryOp::Mul, Grown,
+                                            Small.getFormal(B)));
+  EXPECT_EQ(Grown, nullptr) << "beyond MaxNodes the builder declines";
+}
+
+TEST_F(ExprFixture, CompareIsTotalAndDeterministic) {
+  const SymExpr *Exprs[] = {
+      Ctx.getConst(1), Ctx.getConst(2), Ctx.getFormal(A), Ctx.getFormal(B),
+      Ctx.getBinary(BinaryOp::Add, Ctx.getFormal(A), Ctx.getConst(1)),
+      Ctx.getUnary(UnaryOp::Neg, Ctx.getFormal(B))};
+  for (const SymExpr *X : Exprs)
+    for (const SymExpr *Y : Exprs) {
+      int XY = SymExprContext::compare(X, Y);
+      int YX = SymExprContext::compare(Y, X);
+      EXPECT_EQ(XY == 0, X == Y);
+      EXPECT_EQ(XY < 0, YX > 0);
+    }
+}
+
+TEST_F(ExprFixture, Substitution) {
+  // (a * 2 + b) with a := 10, b := g  ==>  20 + g
+  const SymExpr *E = Ctx.getBinary(
+      BinaryOp::Add,
+      Ctx.getBinary(BinaryOp::Mul, Ctx.getFormal(A), Ctx.getConst(2)),
+      Ctx.getFormal(B));
+  const SymExpr *Result = Ctx.substitute(E, [&](Variable *Var) {
+    if (Var == A)
+      return Ctx.getConst(10);
+    return Ctx.getFormal(G);
+  });
+  ASSERT_NE(Result, nullptr);
+  EXPECT_EQ(Result, Ctx.getBinary(BinaryOp::Add, Ctx.getConst(20),
+                                  Ctx.getFormal(G)));
+}
+
+TEST_F(ExprFixture, SubstitutionBottomPropagates) {
+  const SymExpr *E =
+      Ctx.getBinary(BinaryOp::Add, Ctx.getFormal(A), Ctx.getConst(1));
+  EXPECT_EQ(Ctx.substitute(E, [](Variable *) -> const SymExpr * {
+              return nullptr;
+            }),
+            nullptr);
+}
+
+TEST_F(ExprFixture, Rendering) {
+  const SymExpr *E = Ctx.getBinary(
+      BinaryOp::Add,
+      Ctx.getBinary(BinaryOp::Mul, Ctx.getFormal(A), Ctx.getConst(2)),
+      Ctx.getConst(1));
+  EXPECT_EQ(E->str(), "((a * 2) + 1)");
+}
+
+//===----------------------------------------------------------------------===//
+// JumpFunction: support and evaluation (paper Section 2).
+//===----------------------------------------------------------------------===//
+
+TEST_F(ExprFixture, BottomJumpFunction) {
+  JumpFunction JF = JumpFunction::bottom();
+  EXPECT_TRUE(JF.isBottom());
+  EXPECT_TRUE(JF.support().empty());
+  EXPECT_TRUE(JF.evaluate({}).isBottom());
+  EXPECT_EQ(JF.str(), "_|_");
+}
+
+TEST_F(ExprFixture, ConstantJumpFunctionIgnoresEnvironment) {
+  JumpFunction JF = JumpFunction::constant(Ctx, 99);
+  EXPECT_TRUE(JF.isConstant());
+  EXPECT_TRUE(JF.support().empty());
+  LatticeValue V = JF.evaluate({});
+  ASSERT_TRUE(V.isConstant());
+  EXPECT_EQ(V.getConstant(), 99);
+}
+
+TEST_F(ExprFixture, SupportIsTheExactVariableSet) {
+  // support(a*2 + a + b) = {a, b}, deduplicated and ID-ordered.
+  const SymExpr *E = Ctx.getBinary(
+      BinaryOp::Add,
+      Ctx.getBinary(BinaryOp::Add,
+                    Ctx.getBinary(BinaryOp::Mul, Ctx.getFormal(A),
+                                  Ctx.getConst(2)),
+                    Ctx.getFormal(A)),
+      Ctx.getFormal(B));
+  JumpFunction JF(E);
+  ASSERT_EQ(JF.support().size(), 2u);
+  EXPECT_EQ(JF.support()[0], A);
+  EXPECT_EQ(JF.support()[1], B);
+}
+
+TEST_F(ExprFixture, PassThroughEvaluation) {
+  JumpFunction JF(Ctx.getFormal(A));
+  EXPECT_TRUE(JF.isPassThrough());
+  LatticeEnv Env;
+  Env[A] = LatticeValue::constant(5);
+  EXPECT_EQ(JF.evaluate(Env).getConstant(), 5);
+  Env[A] = LatticeValue::bottom();
+  EXPECT_TRUE(JF.evaluate(Env).isBottom());
+  EXPECT_TRUE(JF.evaluate({}).isTop()) << "unlowered callers stay top";
+}
+
+TEST_F(ExprFixture, PolynomialEvaluationRules) {
+  // f(a, b) = a * b + 1
+  JumpFunction JF(Ctx.getBinary(
+      BinaryOp::Add,
+      Ctx.getBinary(BinaryOp::Mul, Ctx.getFormal(A), Ctx.getFormal(B)),
+      Ctx.getConst(1)));
+  LatticeEnv Env;
+  Env[A] = LatticeValue::constant(6);
+  Env[B] = LatticeValue::constant(7);
+  EXPECT_EQ(JF.evaluate(Env).getConstant(), 43);
+
+  Env[B] = LatticeValue::bottom();
+  EXPECT_TRUE(JF.evaluate(Env).isBottom()) << "any bottom support is bottom";
+
+  Env[B] = LatticeValue::top();
+  EXPECT_TRUE(JF.evaluate(Env).isTop()) << "top support means wait";
+
+  // Bottom wins over top.
+  Env[A] = LatticeValue::bottom();
+  EXPECT_TRUE(JF.evaluate(Env).isBottom());
+}
+
+TEST_F(ExprFixture, EvaluationOverflowIsBottom) {
+  JumpFunction JF(
+      Ctx.getBinary(BinaryOp::Mul, Ctx.getFormal(A), Ctx.getFormal(B)));
+  LatticeEnv Env;
+  Env[A] = LatticeValue::constant(INT64_MAX);
+  Env[B] = LatticeValue::constant(2);
+  EXPECT_TRUE(JF.evaluate(Env).isBottom());
+}
+
+} // namespace

@@ -1,0 +1,320 @@
+//===- tests/SupportTests.cpp - support library tests ---------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/ConstantMath.h"
+#include "support/Diagnostics.h"
+#include "support/Statistics.h"
+#include "support/StringInterner.h"
+#include "support/Worklist.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+using namespace ipcp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+struct Shape {
+  enum class Kind { Circle, Square };
+  explicit Shape(Kind K) : TheKind(K) {}
+  Kind getKind() const { return TheKind; }
+
+private:
+  Kind TheKind;
+};
+
+struct Circle : Shape {
+  Circle() : Shape(Kind::Circle) {}
+  static bool classof(const Shape *S) { return S->getKind() == Kind::Circle; }
+};
+
+struct Square : Shape {
+  Square() : Shape(Kind::Square) {}
+  static bool classof(const Shape *S) { return S->getKind() == Kind::Square; }
+};
+
+TEST(Casting, IsaAndCast) {
+  Circle C;
+  Shape *S = &C;
+  EXPECT_TRUE(isa<Circle>(S));
+  EXPECT_FALSE(isa<Square>(S));
+  EXPECT_EQ(cast<Circle>(S), &C);
+}
+
+TEST(Casting, VariadicIsa) {
+  Square Sq;
+  Shape *S = &Sq;
+  bool Matches = isa<Circle, Square>(S);
+  EXPECT_TRUE(Matches);
+}
+
+TEST(Casting, DynCast) {
+  Square Sq;
+  Shape *S = &Sq;
+  EXPECT_EQ(dyn_cast<Circle>(S), nullptr);
+  EXPECT_EQ(dyn_cast<Square>(S), &Sq);
+}
+
+TEST(Casting, NullTolerantVariants) {
+  Shape *Null = nullptr;
+  EXPECT_FALSE(isa_and_nonnull<Circle>(Null));
+  EXPECT_EQ(dyn_cast_or_null<Circle>(Null), nullptr);
+  Circle C;
+  Shape *S = &C;
+  EXPECT_TRUE(isa_and_nonnull<Circle>(S));
+  EXPECT_EQ(dyn_cast_or_null<Circle>(S), &C);
+}
+
+TEST(Casting, ConstOverloads) {
+  const Circle C;
+  const Shape *S = &C;
+  EXPECT_EQ(cast<Circle>(S), &C);
+  EXPECT_EQ(dyn_cast<Square>(S), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// StringInterner
+//===----------------------------------------------------------------------===//
+
+TEST(StringInterner, SameContentSameHandle) {
+  StringInterner Interner;
+  const std::string *A = Interner.intern("hello");
+  const std::string *B = Interner.intern(std::string("hel") + "lo");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(*A, "hello");
+  EXPECT_EQ(Interner.size(), 1u);
+}
+
+TEST(StringInterner, DistinctContentDistinctHandle) {
+  StringInterner Interner;
+  EXPECT_NE(Interner.intern("a"), Interner.intern("b"));
+  EXPECT_EQ(Interner.size(), 2u);
+}
+
+TEST(StringInterner, HandlesStayValidAcrossGrowth) {
+  StringInterner Interner;
+  const std::string *First = Interner.intern("first");
+  for (int I = 0; I != 1000; ++I)
+    Interner.intern("filler" + std::to_string(I));
+  EXPECT_EQ(First, Interner.intern("first"));
+  EXPECT_EQ(*First, "first");
+}
+
+//===----------------------------------------------------------------------===//
+// ConstantMath
+//===----------------------------------------------------------------------===//
+
+constexpr ConstantValue IntMax = std::numeric_limits<ConstantValue>::max();
+constexpr ConstantValue IntMin = std::numeric_limits<ConstantValue>::min();
+
+TEST(ConstantMath, BasicFolds) {
+  EXPECT_EQ(foldBinary(BinaryOp::Add, 2, 3), 5);
+  EXPECT_EQ(foldBinary(BinaryOp::Sub, 2, 3), -1);
+  EXPECT_EQ(foldBinary(BinaryOp::Mul, -4, 3), -12);
+  EXPECT_EQ(foldBinary(BinaryOp::Div, 7, 2), 3);
+  EXPECT_EQ(foldBinary(BinaryOp::Div, -7, 2), -3) << "truncating division";
+  EXPECT_EQ(foldBinary(BinaryOp::Mod, 7, 3), 1);
+  EXPECT_EQ(foldBinary(BinaryOp::Mod, -7, 3), -1) << "C++ remainder sign";
+}
+
+TEST(ConstantMath, Comparisons) {
+  EXPECT_EQ(foldBinary(BinaryOp::CmpEq, 3, 3), 1);
+  EXPECT_EQ(foldBinary(BinaryOp::CmpNe, 3, 3), 0);
+  EXPECT_EQ(foldBinary(BinaryOp::CmpLt, 2, 3), 1);
+  EXPECT_EQ(foldBinary(BinaryOp::CmpLe, 3, 3), 1);
+  EXPECT_EQ(foldBinary(BinaryOp::CmpGt, 2, 3), 0);
+  EXPECT_EQ(foldBinary(BinaryOp::CmpGe, 2, 3), 0);
+}
+
+TEST(ConstantMath, AddOverflowDeclines) {
+  EXPECT_EQ(checkedAdd(IntMax, 1), std::nullopt);
+  EXPECT_EQ(checkedAdd(IntMin, -1), std::nullopt);
+  EXPECT_EQ(checkedAdd(IntMax, 0), IntMax);
+}
+
+TEST(ConstantMath, SubOverflowDeclines) {
+  EXPECT_EQ(checkedSub(IntMin, 1), std::nullopt);
+  EXPECT_EQ(checkedSub(0, IntMin), std::nullopt);
+}
+
+TEST(ConstantMath, MulOverflowDeclines) {
+  EXPECT_EQ(checkedMul(IntMax, 2), std::nullopt);
+  EXPECT_EQ(checkedMul(IntMin, -1), std::nullopt);
+  EXPECT_EQ(checkedMul(IntMax, 1), IntMax);
+}
+
+TEST(ConstantMath, DivisionEdgeCases) {
+  EXPECT_EQ(checkedDiv(5, 0), std::nullopt);
+  EXPECT_EQ(checkedDiv(IntMin, -1), std::nullopt);
+  EXPECT_EQ(checkedRem(5, 0), std::nullopt);
+  EXPECT_EQ(checkedRem(IntMin, -1), std::nullopt);
+  EXPECT_EQ(checkedDiv(IntMin, 1), IntMin);
+}
+
+TEST(ConstantMath, NegationEdgeCases) {
+  EXPECT_EQ(checkedNeg(IntMin), std::nullopt);
+  EXPECT_EQ(checkedNeg(IntMax), -IntMax);
+  EXPECT_EQ(foldUnary(UnaryOp::Neg, 5), -5);
+  EXPECT_EQ(foldUnary(UnaryOp::Not, 0), 1);
+  EXPECT_EQ(foldUnary(UnaryOp::Not, 7), 0);
+}
+
+TEST(ConstantMath, OpPredicates) {
+  EXPECT_TRUE(isCommutativeOp(BinaryOp::Add));
+  EXPECT_TRUE(isCommutativeOp(BinaryOp::Mul));
+  EXPECT_TRUE(isCommutativeOp(BinaryOp::CmpEq));
+  EXPECT_FALSE(isCommutativeOp(BinaryOp::Sub));
+  EXPECT_FALSE(isCommutativeOp(BinaryOp::CmpLt));
+  EXPECT_TRUE(isComparisonOp(BinaryOp::CmpGe));
+  EXPECT_FALSE(isComparisonOp(BinaryOp::Mod));
+}
+
+/// Folding must agree with native arithmetic wherever it succeeds.
+class FoldSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FoldSweep, MatchesNativeArithmetic) {
+  // Small deterministic operand grid derived from the parameter.
+  int64_t Seed = GetParam();
+  int64_t Values[] = {0, 1, -1, 2, Seed, -Seed, Seed * 37, 1000 - Seed};
+  for (int64_t L : Values)
+    for (int64_t R : Values) {
+      EXPECT_EQ(foldBinary(BinaryOp::Add, L, R), L + R);
+      EXPECT_EQ(foldBinary(BinaryOp::Sub, L, R), L - R);
+      EXPECT_EQ(foldBinary(BinaryOp::Mul, L, R), L * R);
+      if (R != 0) {
+        EXPECT_EQ(foldBinary(BinaryOp::Div, L, R), L / R);
+        EXPECT_EQ(foldBinary(BinaryOp::Mod, L, R), L % R);
+      }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallOperands, FoldSweep,
+                         ::testing::Values(3, 7, 11, 25, 99, 123, 1024));
+
+//===----------------------------------------------------------------------===//
+// Worklist
+//===----------------------------------------------------------------------===//
+
+TEST(Worklist, FifoOrder) {
+  Worklist<int> W;
+  EXPECT_TRUE(W.insert(1));
+  EXPECT_TRUE(W.insert(2));
+  EXPECT_TRUE(W.insert(3));
+  EXPECT_EQ(W.pop(), 1);
+  EXPECT_EQ(W.pop(), 2);
+  EXPECT_EQ(W.pop(), 3);
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(Worklist, DeduplicatesPendingItems) {
+  Worklist<int> W;
+  EXPECT_TRUE(W.insert(5));
+  EXPECT_FALSE(W.insert(5));
+  EXPECT_EQ(W.size(), 1u);
+  EXPECT_EQ(W.pop(), 5);
+  // After popping, re-insertion is allowed.
+  EXPECT_TRUE(W.insert(5));
+}
+
+TEST(Worklist, InterleavedInsertPop) {
+  Worklist<int> W;
+  W.insert(1);
+  W.insert(2);
+  EXPECT_EQ(W.pop(), 1);
+  W.insert(3);
+  W.insert(1);
+  EXPECT_EQ(W.pop(), 2);
+  EXPECT_EQ(W.pop(), 3);
+  EXPECT_EQ(W.pop(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticsEngine Diags;
+  Diags.warning(SourceLoc(1, 2), "a warning");
+  Diags.note(SourceLoc(), "a note");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error(SourceLoc(3, 4), "an error");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, Rendering) {
+  DiagnosticsEngine Diags;
+  Diags.error(SourceLoc(3, 4), "bad thing");
+  Diags.note(SourceLoc(), "context");
+  std::string Text = Diags.str();
+  EXPECT_NE(Text.find("3:4: error: bad thing"), std::string::npos);
+  EXPECT_NE(Text.find("note: context"), std::string::npos);
+  // An invalid location prints no position prefix.
+  EXPECT_EQ(Text.find("<unknown>: note"), std::string::npos);
+}
+
+TEST(Diagnostics, Clear) {
+  DiagnosticsEngine Diags;
+  Diags.error(SourceLoc(1, 1), "x");
+  Diags.clear();
+  EXPECT_FALSE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics().empty());
+}
+
+TEST(SourceLocTest, Validity) {
+  EXPECT_FALSE(SourceLoc().isValid());
+  EXPECT_TRUE(SourceLoc(1, 1).isValid());
+  EXPECT_EQ(SourceLoc(2, 7).str(), "2:7");
+  EXPECT_EQ(SourceLoc().str(), "<unknown>");
+  EXPECT_EQ(SourceLoc(1, 2), SourceLoc(1, 2));
+  EXPECT_NE(SourceLoc(1, 2), SourceLoc(1, 3));
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(Statistics, CountersAccumulate) {
+  StatisticSet Stats;
+  EXPECT_EQ(Stats.get("x"), 0u);
+  Stats.add("x");
+  Stats.add("x", 4);
+  EXPECT_EQ(Stats.get("x"), 5u);
+}
+
+TEST(Statistics, Merge) {
+  StatisticSet A, B;
+  A.add("shared", 1);
+  B.add("shared", 2);
+  B.add("own", 3);
+  A.merge(B);
+  EXPECT_EQ(A.get("shared"), 3u);
+  EXPECT_EQ(A.get("own"), 3u);
+}
+
+TEST(Statistics, RenderSortedByName) {
+  StatisticSet Stats;
+  Stats.add("zeta", 1);
+  Stats.add("alpha", 2);
+  std::string Text = Stats.str();
+  EXPECT_LT(Text.find("alpha = 2"), Text.find("zeta = 1"));
+}
+
+TEST(TimerTest, MeasuresForwardTime) {
+  Timer T;
+  EXPECT_GE(T.seconds(), 0.0);
+  T.restart();
+  EXPECT_GE(T.seconds(), 0.0);
+}
+
+} // namespace

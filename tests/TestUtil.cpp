@@ -1,0 +1,46 @@
+//===- tests/TestUtil.cpp -------------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace ipcp;
+
+Program ipcp::test::parseOk(const std::string &Source, bool RequireMain) {
+  DiagnosticsEngine Diags;
+  std::optional<Program> Prog = parseAndCheck(Source, Diags, RequireMain);
+  EXPECT_TRUE(Prog.has_value()) << "unexpected diagnostics:\n" << Diags.str();
+  if (!Prog)
+    return Program();
+  return std::move(*Prog);
+}
+
+std::string ipcp::test::parseErrors(const std::string &Source,
+                                    bool RequireMain) {
+  DiagnosticsEngine Diags;
+  std::optional<Program> Prog = parseAndCheck(Source, Diags, RequireMain);
+  EXPECT_FALSE(Prog.has_value()) << "expected diagnostics, got none";
+  return Diags.str();
+}
+
+std::unique_ptr<Module> ipcp::test::lowerOk(const std::string &Source,
+                                            bool RequireMain) {
+  Program Prog = parseOk(Source, RequireMain);
+  std::unique_ptr<Module> M = lowerProgram(Prog);
+  expectVerifies(*M, VerifyMode::PreSSA);
+  return M;
+}
+
+Procedure *ipcp::test::getProc(Module &M, const std::string &Name) {
+  Procedure *P = M.findProcedure(Name);
+  EXPECT_NE(P, nullptr) << "missing procedure " << Name;
+  return P;
+}
+
+void ipcp::test::expectVerifies(const Module &M, VerifyMode Mode) {
+  std::vector<std::string> Errors = verifyModule(M, Mode);
+  for (const std::string &E : Errors)
+    ADD_FAILURE() << E;
+}

@@ -1,0 +1,62 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_TESTS_TESTUTIL_H
+#define IPCP_TESTS_TESTUTIL_H
+
+#include "frontend/Parser.h"
+#include "ir/AstLower.h"
+#include "ir/Module.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace ipcp {
+namespace test {
+
+/// Parses and checks \p Source; fails the current test on any diagnostic.
+Program parseOk(const std::string &Source, bool RequireMain = true);
+
+/// Parses \p Source expecting at least one error; returns the rendered
+/// diagnostics for substring assertions.
+std::string parseErrors(const std::string &Source, bool RequireMain = true);
+
+/// Parses, checks, lowers, and pre-SSA-verifies \p Source.
+std::unique_ptr<Module> lowerOk(const std::string &Source,
+                                bool RequireMain = true);
+
+/// Finds a procedure or aborts the test.
+Procedure *getProc(Module &M, const std::string &Name);
+
+/// Finds the first instruction of kind T in \p P; null if absent.
+template <typename T> T *firstInst(Procedure &P) {
+  for (const std::unique_ptr<BasicBlock> &BB : P.blocks())
+    for (const std::unique_ptr<Instruction> &Inst : BB->instructions())
+      if (auto *Match = dyn_cast<T>(Inst.get()))
+        return Match;
+  return nullptr;
+}
+
+/// Counts instructions of kind T in \p P.
+template <typename T> unsigned countInsts(Procedure &P) {
+  unsigned Count = 0;
+  for (const std::unique_ptr<BasicBlock> &BB : P.blocks())
+    for (const std::unique_ptr<Instruction> &Inst : BB->instructions())
+      if (isa<T>(Inst.get()))
+        ++Count;
+  return Count;
+}
+
+/// Expects a clean verifier result; reports all violations otherwise.
+void expectVerifies(const Module &M, VerifyMode Mode);
+
+} // namespace test
+} // namespace ipcp
+
+#endif // IPCP_TESTS_TESTUTIL_H

@@ -1,0 +1,31 @@
+// Development check: validate every suite program end-to-end and print
+// the three tables.
+#include "ir/Verifier.h"
+#include "workload/Oracle.h"
+#include "workload/Study.h"
+#include <cstdio>
+using namespace ipcp;
+
+int main() {
+  int Failures = 0;
+  for (const SuiteProgram &Prog : benchmarkSuite()) {
+    auto M = loadSuiteModule(Prog);
+    auto Errs = verifyModule(*M, VerifyMode::PreSSA);
+    for (auto &E : Errs) {
+      std::printf("%s: verify: %s\n", Prog.Name.c_str(), E.c_str());
+      ++Failures;
+    }
+    IPCPResult R = runIPCP(*M);
+    OracleReport Rep = checkSoundness(*M, R);
+    if (!Rep.Sound || Rep.ExecStatus != ExecutionResult::Status::Ok) {
+      std::printf("%s: %s (exec status %d)\n", Prog.Name.c_str(),
+                  Rep.str().c_str(), (int)Rep.ExecStatus);
+      ++Failures;
+    }
+  }
+  std::printf("%s\n", formatTable1(computeTable1(benchmarkSuite())).c_str());
+  std::printf("%s\n", formatTable2(computeTable2(benchmarkSuite())).c_str());
+  std::printf("%s\n", formatTable3(computeTable3(benchmarkSuite())).c_str());
+  std::printf("failures: %d\n", Failures);
+  return Failures != 0;
+}
