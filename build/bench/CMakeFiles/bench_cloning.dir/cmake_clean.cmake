@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cloning.dir/bench_cloning.cpp.o"
+  "CMakeFiles/bench_cloning.dir/bench_cloning.cpp.o.d"
+  "bench_cloning"
+  "bench_cloning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cloning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_lattice.dir/bench_fig1_lattice.cpp.o"
+  "CMakeFiles/bench_fig1_lattice.dir/bench_fig1_lattice.cpp.o.d"
+  "bench_fig1_lattice"
+  "bench_fig1_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_jumpfuncs.dir/bench_table2_jumpfuncs.cpp.o"
+  "CMakeFiles/bench_table2_jumpfuncs.dir/bench_table2_jumpfuncs.cpp.o.d"
+  "bench_table2_jumpfuncs"
+  "bench_table2_jumpfuncs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_jumpfuncs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

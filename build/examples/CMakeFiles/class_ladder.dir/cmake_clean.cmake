@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/class_ladder.dir/class_ladder.cpp.o"
+  "CMakeFiles/class_ladder.dir/class_ladder.cpp.o.d"
+  "class_ladder"
+  "class_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/class_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloning_demo.dir/cloning_demo.cpp.o"
+  "CMakeFiles/cloning_demo.dir/cloning_demo.cpp.o.d"
+  "cloning_demo"
+  "cloning_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloning_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp_driver.dir/ipcp_driver.cpp.o"
+  "CMakeFiles/ipcp_driver.dir/ipcp_driver.cpp.o.d"
+  "ipcp_driver"
+  "ipcp_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_bounds.dir/loop_bounds.cpp.o"
+  "CMakeFiles/loop_bounds.dir/loop_bounds.cpp.o.d"
+  "loop_bounds"
+  "loop_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_loop_bounds "/root/repo/build/examples/loop_bounds")
+set_tests_properties(example_loop_bounds PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cloning_demo "/root/repo/build/examples/cloning_demo")
+set_tests_properties(example_cloning_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_class_ladder "/root/repo/build/examples/class_ladder")
+set_tests_properties(example_class_ladder PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_driver_demo "/root/repo/build/examples/ipcp_driver" "--check-alias" "--dump-jf" "--run")
+set_tests_properties(example_driver_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_driver_suite "/root/repo/build/examples/ipcp_driver" "--suite=ocean" "--complete")
+set_tests_properties(example_driver_suite PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_driver_file "/root/repo/build/examples/ipcp_driver" "/root/repo/examples/programs/heat.mf" "--run")
+set_tests_properties(example_driver_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_driver_integrate "/root/repo/build/examples/ipcp_driver" "/root/repo/examples/programs/divergent.mf" "--integrate" "--gated-ssa")
+set_tests_properties(example_driver_integrate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

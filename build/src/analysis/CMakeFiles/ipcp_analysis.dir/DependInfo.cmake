@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/AliasCheck.cpp" "src/analysis/CMakeFiles/ipcp_analysis.dir/AliasCheck.cpp.o" "gcc" "src/analysis/CMakeFiles/ipcp_analysis.dir/AliasCheck.cpp.o.d"
+  "/root/repo/src/analysis/CallGraph.cpp" "src/analysis/CMakeFiles/ipcp_analysis.dir/CallGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/ipcp_analysis.dir/CallGraph.cpp.o.d"
+  "/root/repo/src/analysis/DeadCode.cpp" "src/analysis/CMakeFiles/ipcp_analysis.dir/DeadCode.cpp.o" "gcc" "src/analysis/CMakeFiles/ipcp_analysis.dir/DeadCode.cpp.o.d"
+  "/root/repo/src/analysis/ModRef.cpp" "src/analysis/CMakeFiles/ipcp_analysis.dir/ModRef.cpp.o" "gcc" "src/analysis/CMakeFiles/ipcp_analysis.dir/ModRef.cpp.o.d"
+  "/root/repo/src/analysis/SCCP.cpp" "src/analysis/CMakeFiles/ipcp_analysis.dir/SCCP.cpp.o" "gcc" "src/analysis/CMakeFiles/ipcp_analysis.dir/SCCP.cpp.o.d"
+  "/root/repo/src/analysis/SSAConstruction.cpp" "src/analysis/CMakeFiles/ipcp_analysis.dir/SSAConstruction.cpp.o" "gcc" "src/analysis/CMakeFiles/ipcp_analysis.dir/SSAConstruction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ipcp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ipcp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ipcp_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

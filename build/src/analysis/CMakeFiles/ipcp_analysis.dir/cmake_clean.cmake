@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp_analysis.dir/AliasCheck.cpp.o"
+  "CMakeFiles/ipcp_analysis.dir/AliasCheck.cpp.o.d"
+  "CMakeFiles/ipcp_analysis.dir/CallGraph.cpp.o"
+  "CMakeFiles/ipcp_analysis.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/ipcp_analysis.dir/DeadCode.cpp.o"
+  "CMakeFiles/ipcp_analysis.dir/DeadCode.cpp.o.d"
+  "CMakeFiles/ipcp_analysis.dir/ModRef.cpp.o"
+  "CMakeFiles/ipcp_analysis.dir/ModRef.cpp.o.d"
+  "CMakeFiles/ipcp_analysis.dir/SCCP.cpp.o"
+  "CMakeFiles/ipcp_analysis.dir/SCCP.cpp.o.d"
+  "CMakeFiles/ipcp_analysis.dir/SSAConstruction.cpp.o"
+  "CMakeFiles/ipcp_analysis.dir/SSAConstruction.cpp.o.d"
+  "libipcp_analysis.a"
+  "libipcp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/BindingGraph.cpp" "src/core/CMakeFiles/ipcp_core.dir/BindingGraph.cpp.o" "gcc" "src/core/CMakeFiles/ipcp_core.dir/BindingGraph.cpp.o.d"
+  "/root/repo/src/core/Cloning.cpp" "src/core/CMakeFiles/ipcp_core.dir/Cloning.cpp.o" "gcc" "src/core/CMakeFiles/ipcp_core.dir/Cloning.cpp.o.d"
+  "/root/repo/src/core/ForwardJumpFunctions.cpp" "src/core/CMakeFiles/ipcp_core.dir/ForwardJumpFunctions.cpp.o" "gcc" "src/core/CMakeFiles/ipcp_core.dir/ForwardJumpFunctions.cpp.o.d"
+  "/root/repo/src/core/Inlining.cpp" "src/core/CMakeFiles/ipcp_core.dir/Inlining.cpp.o" "gcc" "src/core/CMakeFiles/ipcp_core.dir/Inlining.cpp.o.d"
+  "/root/repo/src/core/JumpFunction.cpp" "src/core/CMakeFiles/ipcp_core.dir/JumpFunction.cpp.o" "gcc" "src/core/CMakeFiles/ipcp_core.dir/JumpFunction.cpp.o.d"
+  "/root/repo/src/core/Pipeline.cpp" "src/core/CMakeFiles/ipcp_core.dir/Pipeline.cpp.o" "gcc" "src/core/CMakeFiles/ipcp_core.dir/Pipeline.cpp.o.d"
+  "/root/repo/src/core/Propagator.cpp" "src/core/CMakeFiles/ipcp_core.dir/Propagator.cpp.o" "gcc" "src/core/CMakeFiles/ipcp_core.dir/Propagator.cpp.o.d"
+  "/root/repo/src/core/ReturnJumpFunctions.cpp" "src/core/CMakeFiles/ipcp_core.dir/ReturnJumpFunctions.cpp.o" "gcc" "src/core/CMakeFiles/ipcp_core.dir/ReturnJumpFunctions.cpp.o.d"
+  "/root/repo/src/core/ValueNumbering.cpp" "src/core/CMakeFiles/ipcp_core.dir/ValueNumbering.cpp.o" "gcc" "src/core/CMakeFiles/ipcp_core.dir/ValueNumbering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ipcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ipcp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ipcp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ipcp_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

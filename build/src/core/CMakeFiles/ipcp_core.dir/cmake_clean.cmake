@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp_core.dir/BindingGraph.cpp.o"
+  "CMakeFiles/ipcp_core.dir/BindingGraph.cpp.o.d"
+  "CMakeFiles/ipcp_core.dir/Cloning.cpp.o"
+  "CMakeFiles/ipcp_core.dir/Cloning.cpp.o.d"
+  "CMakeFiles/ipcp_core.dir/ForwardJumpFunctions.cpp.o"
+  "CMakeFiles/ipcp_core.dir/ForwardJumpFunctions.cpp.o.d"
+  "CMakeFiles/ipcp_core.dir/Inlining.cpp.o"
+  "CMakeFiles/ipcp_core.dir/Inlining.cpp.o.d"
+  "CMakeFiles/ipcp_core.dir/JumpFunction.cpp.o"
+  "CMakeFiles/ipcp_core.dir/JumpFunction.cpp.o.d"
+  "CMakeFiles/ipcp_core.dir/Pipeline.cpp.o"
+  "CMakeFiles/ipcp_core.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/ipcp_core.dir/Propagator.cpp.o"
+  "CMakeFiles/ipcp_core.dir/Propagator.cpp.o.d"
+  "CMakeFiles/ipcp_core.dir/ReturnJumpFunctions.cpp.o"
+  "CMakeFiles/ipcp_core.dir/ReturnJumpFunctions.cpp.o.d"
+  "CMakeFiles/ipcp_core.dir/ValueNumbering.cpp.o"
+  "CMakeFiles/ipcp_core.dir/ValueNumbering.cpp.o.d"
+  "libipcp_core.a"
+  "libipcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

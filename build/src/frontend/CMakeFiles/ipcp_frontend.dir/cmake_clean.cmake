@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp_frontend.dir/Ast.cpp.o"
+  "CMakeFiles/ipcp_frontend.dir/Ast.cpp.o.d"
+  "CMakeFiles/ipcp_frontend.dir/AstPrinter.cpp.o"
+  "CMakeFiles/ipcp_frontend.dir/AstPrinter.cpp.o.d"
+  "CMakeFiles/ipcp_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/ipcp_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/ipcp_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/ipcp_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/ipcp_frontend.dir/Sema.cpp.o"
+  "CMakeFiles/ipcp_frontend.dir/Sema.cpp.o.d"
+  "libipcp_frontend.a"
+  "libipcp_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

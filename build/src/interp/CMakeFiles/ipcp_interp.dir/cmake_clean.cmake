@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/ipcp_interp.dir/Interpreter.cpp.o.d"
+  "libipcp_interp.a"
+  "libipcp_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/AstLower.cpp" "src/ir/CMakeFiles/ipcp_ir.dir/AstLower.cpp.o" "gcc" "src/ir/CMakeFiles/ipcp_ir.dir/AstLower.cpp.o.d"
+  "/root/repo/src/ir/BasicBlock.cpp" "src/ir/CMakeFiles/ipcp_ir.dir/BasicBlock.cpp.o" "gcc" "src/ir/CMakeFiles/ipcp_ir.dir/BasicBlock.cpp.o.d"
+  "/root/repo/src/ir/CloneUtil.cpp" "src/ir/CMakeFiles/ipcp_ir.dir/CloneUtil.cpp.o" "gcc" "src/ir/CMakeFiles/ipcp_ir.dir/CloneUtil.cpp.o.d"
+  "/root/repo/src/ir/Dominators.cpp" "src/ir/CMakeFiles/ipcp_ir.dir/Dominators.cpp.o" "gcc" "src/ir/CMakeFiles/ipcp_ir.dir/Dominators.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/ir/CMakeFiles/ipcp_ir.dir/IRPrinter.cpp.o" "gcc" "src/ir/CMakeFiles/ipcp_ir.dir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/Instructions.cpp" "src/ir/CMakeFiles/ipcp_ir.dir/Instructions.cpp.o" "gcc" "src/ir/CMakeFiles/ipcp_ir.dir/Instructions.cpp.o.d"
+  "/root/repo/src/ir/Module.cpp" "src/ir/CMakeFiles/ipcp_ir.dir/Module.cpp.o" "gcc" "src/ir/CMakeFiles/ipcp_ir.dir/Module.cpp.o.d"
+  "/root/repo/src/ir/Procedure.cpp" "src/ir/CMakeFiles/ipcp_ir.dir/Procedure.cpp.o" "gcc" "src/ir/CMakeFiles/ipcp_ir.dir/Procedure.cpp.o.d"
+  "/root/repo/src/ir/Traversal.cpp" "src/ir/CMakeFiles/ipcp_ir.dir/Traversal.cpp.o" "gcc" "src/ir/CMakeFiles/ipcp_ir.dir/Traversal.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/ir/CMakeFiles/ipcp_ir.dir/Verifier.cpp.o" "gcc" "src/ir/CMakeFiles/ipcp_ir.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/ipcp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ipcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

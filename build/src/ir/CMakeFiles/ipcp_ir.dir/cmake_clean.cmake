@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp_ir.dir/AstLower.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/AstLower.cpp.o.d"
+  "CMakeFiles/ipcp_ir.dir/BasicBlock.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/BasicBlock.cpp.o.d"
+  "CMakeFiles/ipcp_ir.dir/CloneUtil.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/CloneUtil.cpp.o.d"
+  "CMakeFiles/ipcp_ir.dir/Dominators.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/Dominators.cpp.o.d"
+  "CMakeFiles/ipcp_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/ipcp_ir.dir/Instructions.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/Instructions.cpp.o.d"
+  "CMakeFiles/ipcp_ir.dir/Module.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/Module.cpp.o.d"
+  "CMakeFiles/ipcp_ir.dir/Procedure.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/Procedure.cpp.o.d"
+  "CMakeFiles/ipcp_ir.dir/Traversal.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/Traversal.cpp.o.d"
+  "CMakeFiles/ipcp_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/ipcp_ir.dir/Verifier.cpp.o.d"
+  "libipcp_ir.a"
+  "libipcp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

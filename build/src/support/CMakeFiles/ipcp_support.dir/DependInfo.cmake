@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/ConstantMath.cpp" "src/support/CMakeFiles/ipcp_support.dir/ConstantMath.cpp.o" "gcc" "src/support/CMakeFiles/ipcp_support.dir/ConstantMath.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/support/CMakeFiles/ipcp_support.dir/Diagnostics.cpp.o" "gcc" "src/support/CMakeFiles/ipcp_support.dir/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/support/CMakeFiles/ipcp_support.dir/Statistics.cpp.o" "gcc" "src/support/CMakeFiles/ipcp_support.dir/Statistics.cpp.o.d"
+  "/root/repo/src/support/StringInterner.cpp" "src/support/CMakeFiles/ipcp_support.dir/StringInterner.cpp.o" "gcc" "src/support/CMakeFiles/ipcp_support.dir/StringInterner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

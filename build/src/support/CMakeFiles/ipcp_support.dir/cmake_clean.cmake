@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp_support.dir/ConstantMath.cpp.o"
+  "CMakeFiles/ipcp_support.dir/ConstantMath.cpp.o.d"
+  "CMakeFiles/ipcp_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/ipcp_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/ipcp_support.dir/Statistics.cpp.o"
+  "CMakeFiles/ipcp_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/ipcp_support.dir/StringInterner.cpp.o"
+  "CMakeFiles/ipcp_support.dir/StringInterner.cpp.o.d"
+  "libipcp_support.a"
+  "libipcp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/Generator.cpp" "src/workload/CMakeFiles/ipcp_workload.dir/Generator.cpp.o" "gcc" "src/workload/CMakeFiles/ipcp_workload.dir/Generator.cpp.o.d"
+  "/root/repo/src/workload/Oracle.cpp" "src/workload/CMakeFiles/ipcp_workload.dir/Oracle.cpp.o" "gcc" "src/workload/CMakeFiles/ipcp_workload.dir/Oracle.cpp.o.d"
+  "/root/repo/src/workload/Programs.cpp" "src/workload/CMakeFiles/ipcp_workload.dir/Programs.cpp.o" "gcc" "src/workload/CMakeFiles/ipcp_workload.dir/Programs.cpp.o.d"
+  "/root/repo/src/workload/ProgramsAtoM.cpp" "src/workload/CMakeFiles/ipcp_workload.dir/ProgramsAtoM.cpp.o" "gcc" "src/workload/CMakeFiles/ipcp_workload.dir/ProgramsAtoM.cpp.o.d"
+  "/root/repo/src/workload/ProgramsNtoZ.cpp" "src/workload/CMakeFiles/ipcp_workload.dir/ProgramsNtoZ.cpp.o" "gcc" "src/workload/CMakeFiles/ipcp_workload.dir/ProgramsNtoZ.cpp.o.d"
+  "/root/repo/src/workload/Study.cpp" "src/workload/CMakeFiles/ipcp_workload.dir/Study.cpp.o" "gcc" "src/workload/CMakeFiles/ipcp_workload.dir/Study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ipcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ipcp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ipcp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ipcp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ipcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ipcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

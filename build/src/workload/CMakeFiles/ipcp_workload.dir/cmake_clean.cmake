@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipcp_workload.dir/Generator.cpp.o"
+  "CMakeFiles/ipcp_workload.dir/Generator.cpp.o.d"
+  "CMakeFiles/ipcp_workload.dir/Oracle.cpp.o"
+  "CMakeFiles/ipcp_workload.dir/Oracle.cpp.o.d"
+  "CMakeFiles/ipcp_workload.dir/Programs.cpp.o"
+  "CMakeFiles/ipcp_workload.dir/Programs.cpp.o.d"
+  "CMakeFiles/ipcp_workload.dir/ProgramsAtoM.cpp.o"
+  "CMakeFiles/ipcp_workload.dir/ProgramsAtoM.cpp.o.d"
+  "CMakeFiles/ipcp_workload.dir/ProgramsNtoZ.cpp.o"
+  "CMakeFiles/ipcp_workload.dir/ProgramsNtoZ.cpp.o.d"
+  "CMakeFiles/ipcp_workload.dir/Study.cpp.o"
+  "CMakeFiles/ipcp_workload.dir/Study.cpp.o.d"
+  "libipcp_workload.a"
+  "libipcp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipcp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

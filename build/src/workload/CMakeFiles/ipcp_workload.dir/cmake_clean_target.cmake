@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libipcp_workload.a"
+)

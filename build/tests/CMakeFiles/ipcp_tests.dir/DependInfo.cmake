@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AliasCheckTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/AliasCheckTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/AliasCheckTests.cpp.o.d"
+  "/root/repo/tests/BindingGraphTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/BindingGraphTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/BindingGraphTests.cpp.o.d"
+  "/root/repo/tests/CallGraphTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/CallGraphTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/CallGraphTests.cpp.o.d"
+  "/root/repo/tests/CloningTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/CloningTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/CloningTests.cpp.o.d"
+  "/root/repo/tests/DominatorTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/DominatorTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/DominatorTests.cpp.o.d"
+  "/root/repo/tests/EdgeCaseTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/EdgeCaseTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/EdgeCaseTests.cpp.o.d"
+  "/root/repo/tests/ForwardJumpFunctionTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/ForwardJumpFunctionTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/ForwardJumpFunctionTests.cpp.o.d"
+  "/root/repo/tests/GatedSSATests.cpp" "tests/CMakeFiles/ipcp_tests.dir/GatedSSATests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/GatedSSATests.cpp.o.d"
+  "/root/repo/tests/GeneratorTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/GeneratorTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/GeneratorTests.cpp.o.d"
+  "/root/repo/tests/IRTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/IRTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/IRTests.cpp.o.d"
+  "/root/repo/tests/InliningTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/InliningTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/InliningTests.cpp.o.d"
+  "/root/repo/tests/InterpreterTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/InterpreterTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/InterpreterTests.cpp.o.d"
+  "/root/repo/tests/JumpFunctionTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/JumpFunctionTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/JumpFunctionTests.cpp.o.d"
+  "/root/repo/tests/LatticeTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/LatticeTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/LatticeTests.cpp.o.d"
+  "/root/repo/tests/LexerTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/LexerTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/LexerTests.cpp.o.d"
+  "/root/repo/tests/LoweringTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/LoweringTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/LoweringTests.cpp.o.d"
+  "/root/repo/tests/ModRefTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/ModRefTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/ModRefTests.cpp.o.d"
+  "/root/repo/tests/ParserTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/ParserTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/ParserTests.cpp.o.d"
+  "/root/repo/tests/PipelineTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/PipelineTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/PipelineTests.cpp.o.d"
+  "/root/repo/tests/PropagatorTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/PropagatorTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/PropagatorTests.cpp.o.d"
+  "/root/repo/tests/PropertyTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/PropertyTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/PropertyTests.cpp.o.d"
+  "/root/repo/tests/ReturnJumpFunctionTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/ReturnJumpFunctionTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/ReturnJumpFunctionTests.cpp.o.d"
+  "/root/repo/tests/RoundTripTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/RoundTripTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/RoundTripTests.cpp.o.d"
+  "/root/repo/tests/SCCPTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/SCCPTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/SCCPTests.cpp.o.d"
+  "/root/repo/tests/SSATests.cpp" "tests/CMakeFiles/ipcp_tests.dir/SSATests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/SSATests.cpp.o.d"
+  "/root/repo/tests/SemaTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/SemaTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/SemaTests.cpp.o.d"
+  "/root/repo/tests/SuiteTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/SuiteTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/SuiteTests.cpp.o.d"
+  "/root/repo/tests/SupportTests.cpp" "tests/CMakeFiles/ipcp_tests.dir/SupportTests.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/SupportTests.cpp.o.d"
+  "/root/repo/tests/TestUtil.cpp" "tests/CMakeFiles/ipcp_tests.dir/TestUtil.cpp.o" "gcc" "tests/CMakeFiles/ipcp_tests.dir/TestUtil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ipcp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ipcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/ipcp_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ipcp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ipcp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ipcp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ipcp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suitecheck.dir/suitecheck.cpp.o"
+  "CMakeFiles/suitecheck.dir/suitecheck.cpp.o.d"
+  "suitecheck"
+  "suitecheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suitecheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
