@@ -1,0 +1,51 @@
+//===- bench/BenchReport.h - JSON emission for bench harnesses --*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lets every bench harness publish its headline numbers as JSON without
+/// touching its console output. When the IPCP_BENCH_JSON_DIR environment
+/// variable is set, benchReport("table2", Doc) writes Doc (wrapped in an
+/// "ipcp-bench-report-v1" envelope) to $IPCP_BENCH_JSON_DIR/BENCH_table2.json;
+/// when it is unset, the call is a no-op. This is how BENCH_*.json
+/// trajectories are produced mechanically — see docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_BENCH_BENCHREPORT_H
+#define IPCP_BENCH_BENCHREPORT_H
+
+#include "support/Json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace ipcp {
+
+/// Writes BENCH_<name>.json into $IPCP_BENCH_JSON_DIR, if set. Returns
+/// false (after printing to stderr) only when the write itself failed.
+inline bool benchReport(const std::string &Name, JsonValue Body) {
+  const char *Dir = std::getenv("IPCP_BENCH_JSON_DIR");
+  if (!Dir || !*Dir)
+    return true;
+  JsonValue Doc = JsonValue::object();
+  Doc.set("schema", "ipcp-bench-report-v1");
+  Doc.set("bench", Name);
+  Doc.set("data", std::move(Body));
+  std::string Path = std::string(Dir) + "/BENCH_" + Name + ".json";
+  std::string Error;
+  if (!writeJsonFile(Path, Doc, &Error)) {
+    std::fprintf(stderr, "benchReport: %s\n", Error.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "bench report written to %s\n", Path.c_str());
+  return true;
+}
+
+} // namespace ipcp
+
+#endif // IPCP_BENCH_BENCHREPORT_H

@@ -21,6 +21,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "core/Pipeline.h"
 #include "frontend/Parser.h"
 #include "ir/AstLower.h"
@@ -91,6 +92,11 @@ void printPhaseBreakdown() {
               static_cast<unsigned long long>(R.Stats.get("jf_passthrough")),
               static_cast<unsigned long long>(R.Stats.get("jf_polynomial")),
               static_cast<unsigned long long>(R.Stats.get("jf_bottom")));
+
+  JsonValue Doc = JsonValue::object();
+  Doc.set("instructions", M->instructionCount());
+  Doc.set("counters", R.Stats.toJson());
+  benchReport("costs", std::move(Doc));
 }
 
 } // namespace

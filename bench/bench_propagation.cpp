@@ -18,6 +18,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "core/BindingGraph.h"
 #include "core/Pipeline.h"
 #include "core/ValueNumbering.h"
@@ -125,7 +126,7 @@ BENCHMARK(BM_SolverFormulation)
     ->ArgsProduct({{16, 48}, {0, 1}})
     ->ArgNames({"procs", "binding"});
 
-void printSolverComparison() {
+JsonValue printSolverComparison() {
   std::printf("Solver formulations on one 48-procedure generated program "
               "(identical fixpoints):\n");
   GeneratorConfig Config;
@@ -163,12 +164,27 @@ void printSolverComparison() {
               "directly in one order\n   and T->c->_|_ in the other; "
               "which formulation evaluates less depends on\n   call-graph "
               "density — sparse support favors the binding graph.)\n\n");
+
+  auto StatsJson = [](const PropagatorStats &S) {
+    JsonValue Obj = JsonValue::object();
+    Obj.set("visits", S.ProcVisits);
+    Obj.set("evaluations", S.JumpFunctionEvaluations);
+    Obj.set("lowerings", S.Lowerings);
+    return Obj;
+  };
+  JsonValue Out = JsonValue::object();
+  Out.set("call_graph_worklist", StatsJson(CGStats));
+  Out.set("binding_multigraph", StatsJson(BGStats));
+  Out.set("fixpoints_agree", A.equals(B));
+  Out.set("constants", A.totalConstants());
+  return Out;
 }
 
-void printLoweringLinearity() {
+JsonValue printLoweringLinearity() {
   std::printf("Lowerings vs chain depth (each VAL entry lowers at most "
               "twice; Figure-1 depth bound):\n");
   std::printf("  depth  parameters  lowerings  evaluations  visits\n");
+  JsonValue Out = JsonValue::array();
   for (unsigned Depth : {4u, 16u, 64u, 256u}) {
     auto M = compile(chainProgram(Depth));
     IPCPResult R = runIPCP(*M);
@@ -177,15 +193,25 @@ void printLoweringLinearity() {
                 static_cast<unsigned long long>(
                     R.Stats.get("prop_evaluations")),
                 static_cast<unsigned long long>(R.Stats.get("prop_visits")));
+    JsonValue Row = JsonValue::object();
+    Row.set("depth", Depth);
+    Row.set("parameters", 2 * Depth);
+    Row.set("lowerings", R.Stats.get("prop_lowerings"));
+    Row.set("evaluations", R.Stats.get("prop_evaluations"));
+    Row.set("visits", R.Stats.get("prop_visits"));
+    Out.push(std::move(Row));
   }
   std::printf("\n");
+  return Out;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  printLoweringLinearity();
-  printSolverComparison();
+  JsonValue Doc = JsonValue::object();
+  Doc.set("lowering_linearity", printLoweringLinearity());
+  Doc.set("solver_comparison", printSolverComparison());
+  benchReport("propagation", std::move(Doc));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

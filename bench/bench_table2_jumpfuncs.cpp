@@ -19,6 +19,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "workload/Study.h"
 
 #include <benchmark/benchmark.h>
@@ -102,6 +103,17 @@ int main(int argc, char **argv) {
               "pass>=intra>=literal: %s\n\n",
               Poly == Pass ? "yes" : "NO",
               (Pass >= Intra && Intra >= Literal) ? "yes" : "NO");
+
+  JsonValue Totals = JsonValue::object();
+  Totals.set("polynomial", Poly);
+  Totals.set("pass_through", Pass);
+  Totals.set("intraprocedural", Intra);
+  Totals.set("literal", Literal);
+  Totals.set("polynomial_no_return_jf", PolyNoRet);
+  JsonValue Doc = JsonValue::object();
+  Doc.set("table2", table2ToJson(Rows));
+  Doc.set("totals", std::move(Totals));
+  benchReport("table2", std::move(Doc));
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

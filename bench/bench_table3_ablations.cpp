@@ -16,6 +16,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchReport.h"
 #include "workload/Study.h"
 
 #include <benchmark/benchmark.h>
@@ -90,6 +91,18 @@ int main(int argc, char **argv) {
   std::printf("programs hurt by losing MOD: %u/12; programs helped by "
               "complete propagation: %u/12 (paper: ocean and spec77)\n\n",
               ModHurts, CompleteHelps);
+
+  JsonValue Totals = JsonValue::object();
+  Totals.set("polynomial_without_mod", NoMod);
+  Totals.set("polynomial_with_mod", WithMod);
+  Totals.set("complete_propagation", Complete);
+  Totals.set("intraprocedural_only", Intra);
+  Totals.set("programs_hurt_by_losing_mod", ModHurts);
+  Totals.set("programs_helped_by_complete", CompleteHelps);
+  JsonValue Doc = JsonValue::object();
+  Doc.set("table3", table3ToJson(Rows));
+  Doc.set("totals", std::move(Totals));
+  benchReport("table3", std::move(Doc));
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

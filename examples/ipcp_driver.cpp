@@ -18,6 +18,9 @@
 //     --clone                                     procedure cloning first
 //     --dump-ir                                   print the IR
 //     --run                                       execute and show output
+//     --stats                                     counter summary table
+//     --trace[=FILE]                              per-pass span trace
+//     --report-json=FILE                          full JSON report
 //
 // With no FILE, analyzes a built-in demo program.
 //
@@ -28,16 +31,19 @@
 #include "core/Cloning.h"
 #include "core/Inlining.h"
 #include "core/Pipeline.h"
+#include "core/Report.h"
 #include "core/ValueNumbering.h"
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
 #include "ir/AstLower.h"
 #include "ir/IRPrinter.h"
+#include "support/Trace.h"
 #include "workload/Programs.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -64,6 +70,9 @@ void printUsage() {
       "  --no-return-jf   --no-mod   --intra-only   --complete   --clone\n"
       "  --binding-graph  --gated-ssa  --check-alias  --integrate\n"
       "  --dump-ir        --dump-jf   --run      --help\n"
+      "  --stats          print the counter summary table\n"
+      "  --trace[=FILE]   record per-pass spans (text; stderr or FILE)\n"
+      "  --report-json=FILE  write the full analysis report as JSON\n"
       "suite names: adm doduc fpppp linpackd matrix300 mdg ocean qcd\n"
       "             simple snasa7 spec77 trfd\n");
 }
@@ -76,6 +85,8 @@ int main(int argc, char **argv) {
   IPCPOptions Opts;
   bool Complete = false, Clone = false, DumpIR = false, Run = false;
   bool CheckAlias = false, DumpJF = false, Integrate = false;
+  bool ShowStats = false, TraceOn = false;
+  std::string TraceFile, ReportFile;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -109,6 +120,27 @@ int main(int argc, char **argv) {
       }
       Source = Prog->Source;
       SourceName = Prog->Name;
+      continue;
+    }
+    if (Arg == "--report-json=") {
+      std::fprintf(stderr, "error: --report-json needs a file name\n");
+      return 1;
+    }
+    if (Arg.rfind("--report-json=", 0) == 0) {
+      ReportFile = Arg.substr(14);
+      continue;
+    }
+    if (Arg == "--trace") {
+      TraceOn = true;
+      continue;
+    }
+    if (Arg.rfind("--trace=", 0) == 0) {
+      TraceOn = true;
+      TraceFile = Arg.substr(8);
+      continue;
+    }
+    if (Arg == "--stats") {
+      ShowStats = true;
       continue;
     }
     if (Arg == "--no-return-jf") {
@@ -166,6 +198,10 @@ int main(int argc, char **argv) {
               SourceName.c_str(), M->procedures().size(),
               M->instructionCount());
 
+  Trace TraceData;
+  if (TraceOn)
+    Trace::setActive(&TraceData);
+
   if (CheckAlias) {
     std::vector<Diagnostic> Hazards = checkAliasHazards(*M);
     if (Hazards.empty())
@@ -174,11 +210,12 @@ int main(int argc, char **argv) {
       std::printf("alias check: %s\n", D.str().c_str());
   }
 
+  std::optional<CloningResult> CloneResult;
   if (Clone) {
-    CloningResult CR = cloneForConstants(*M, {Opts});
+    CloneResult = cloneForConstants(*M, {Opts});
     std::printf("cloning: %u copies created, %u -> %u instructions\n",
-                CR.ClonesCreated, CR.InstructionsBefore,
-                CR.InstructionsAfter);
+                CloneResult->ClonesCreated, CloneResult->InstructionsBefore,
+                CloneResult->InstructionsAfter);
   }
 
   if (Integrate) {
@@ -191,8 +228,11 @@ int main(int argc, char **argv) {
                 IR.InstructionsBefore, IR.InstructionsAfter);
   }
 
+  std::optional<CompletePropagationResult> CompleteResult;
+  std::optional<IPCPResult> SingleResult;
   if (Complete) {
-    CompletePropagationResult CR = runCompletePropagation(*M, Opts);
+    CompleteResult = runCompletePropagation(*M, Opts);
+    const CompletePropagationResult &CR = *CompleteResult;
     std::printf("complete propagation: %u round(s), %u dead blocks "
                 "removed\n",
                 CR.Rounds, CR.BlocksRemoved);
@@ -205,8 +245,12 @@ int main(int argc, char **argv) {
                     static_cast<long long>(PR.EntryConstants[I].second));
       std::printf("}\n");
     }
+    if (ShowStats)
+      std::printf("statistics (all rounds):\n%s",
+                  formatStatsTable(CR.Stats).c_str());
   } else {
-    IPCPResult R = runIPCP(*M, Opts);
+    SingleResult = runIPCP(*M, Opts);
+    const IPCPResult &R = *SingleResult;
     std::printf("configuration: %s jump functions, return JFs %s, MOD %s%s\n",
                 jumpFunctionKindName(Opts.ForwardKind),
                 Opts.UseReturnJumpFunctions ? "on" : "off",
@@ -222,8 +266,14 @@ int main(int argc, char **argv) {
                     static_cast<long long>(PR.EntryConstants[I].second));
       std::printf("}  [%u refs]\n", PR.ConstantRefs);
     }
-    std::printf("statistics:\n%s", R.Stats.str().c_str());
+    if (ShowStats)
+      std::printf("statistics:\n%s", formatStatsTable(R.Stats).c_str());
   }
+
+  // Stop recording before the ancillary dumps so the trace covers
+  // exactly the analysis (and any cloning/integration before it).
+  if (TraceOn)
+    Trace::setActive(nullptr);
 
   if (DumpJF) {
     // Rebuild the jump functions on a scratch clone and print them — the
@@ -280,6 +330,40 @@ int main(int argc, char **argv) {
 
   if (DumpIR)
     std::printf("\n%s", printModule(*M).c_str());
+
+  if (TraceOn) {
+    std::string Text = TraceData.str();
+    if (TraceFile.empty()) {
+      std::fprintf(stderr, "%s", Text.c_str());
+    } else {
+      std::FILE *F = std::fopen(TraceFile.c_str(), "w");
+      if (!F) {
+        std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                     TraceFile.c_str());
+        return 1;
+      }
+      std::fwrite(Text.data(), 1, Text.size(), F);
+      std::fclose(F);
+    }
+  }
+
+  if (!ReportFile.empty()) {
+    AnalysisReport Report;
+    Report.SourceName = SourceName;
+    Report.M = M.get();
+    Report.Opts = &Opts;
+    Report.Single = SingleResult ? &*SingleResult : nullptr;
+    Report.Complete = CompleteResult ? &*CompleteResult : nullptr;
+    Report.Cloning = CloneResult ? &*CloneResult : nullptr;
+    Report.TraceData = TraceOn ? &TraceData : nullptr;
+    std::string Error;
+    if (!writeJsonFile(ReportFile, buildAnalysisReport(Report), &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    if (ReportFile != "-")
+      std::printf("report written to %s\n", ReportFile.c_str());
+  }
 
   if (Run) {
     ExecutionResult Exec = interpret(*M);

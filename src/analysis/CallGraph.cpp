@@ -6,6 +6,8 @@
 
 #include "analysis/CallGraph.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
@@ -13,6 +15,7 @@
 using namespace ipcp;
 
 CallGraph::CallGraph(const Module &M) {
+  ScopedTraceSpan BuildSpan("callgraph");
   for (const std::unique_ptr<Procedure> &P : M.procedures()) {
     Order.push_back(P.get());
     std::vector<CallInst *> Calls = P->callSites();

@@ -7,6 +7,7 @@
 #include "analysis/DeadCode.h"
 
 #include "support/Casting.h"
+#include "support/Trace.h"
 
 #include <deque>
 #include <unordered_map>
@@ -137,6 +138,7 @@ static void foldBranch(Procedure &P, CondBranchInst *CBr, bool TakeTrue) {
 }
 
 TransformStats ipcp::applyFacts(Module &M, const TransformFacts &Facts) {
+  ScopedTraceSpan ApplySpan("apply-facts");
   TransformStats Stats;
 
   for (const std::unique_ptr<Procedure> &P : M.procedures()) {

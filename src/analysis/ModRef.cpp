@@ -7,6 +7,7 @@
 #include "analysis/ModRef.h"
 
 #include "support/Casting.h"
+#include "support/Trace.h"
 #include "support/Worklist.h"
 
 using namespace ipcp;
@@ -59,6 +60,7 @@ ModRefInfo ModRefInfo::worstCase(const Module &M) {
 
 ModRefInfo ModRefInfo::compute(const Module &M, const CallGraph &CG) {
   ModRefInfo Info;
+  ScopedTraceSpan ComputeSpan("modref");
 
   // Direct (local) effects first.
   for (const std::unique_ptr<Procedure> &P : M.procedures()) {

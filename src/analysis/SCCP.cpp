@@ -7,6 +7,7 @@
 #include "analysis/SCCP.h"
 
 #include "support/Casting.h"
+#include "support/Trace.h"
 
 #include <cassert>
 #include <deque>
@@ -235,6 +236,7 @@ void SCCPSolverImpl::solve() {
 }
 
 SCCPResult ipcp::runSCCP(const Procedure &P, const SCCPOptions &Options) {
+  ScopedTraceSpan SolveSpan("sccp", P.getName());
   SCCPResult Result;
   Result.EntrySeeds = Options.EntrySeeds;
   SCCPSolverImpl Solver(P, Options, Result, Result.Values, Result.ExecBlocks,

@@ -6,6 +6,8 @@
 
 #include "core/BindingGraph.h"
 
+#include "support/Trace.h"
+
 #include <deque>
 
 using namespace ipcp;
@@ -159,6 +161,7 @@ ConstantsMap ipcp::propagateConstantsBindingGraph(
     const CallGraph &CG, const ModRefInfo &MRI,
     const ForwardJumpFunctions &FJFs, const IPCPOptions &Opts,
     PropagatorStats *Stats) {
+  ScopedTraceSpan PropSpan("propagate", "binding-multigraph");
   BindingGraphSolver Solver(CG, MRI, FJFs, Opts, Stats);
   return Solver.solve();
 }

@@ -7,6 +7,7 @@
 #include "core/Cloning.h"
 
 #include "core/ValueNumbering.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <map>
@@ -123,6 +124,7 @@ std::vector<CloneDecision> planRound(const Module &M,
 } // namespace
 
 CloningResult ipcp::cloneForConstants(Module &M, const CloningOptions &Opts) {
+  ScopedTraceSpan CloneSpan("cloning");
   CloningResult Result;
   Result.InstructionsBefore = M.instructionCount();
   {
@@ -141,6 +143,7 @@ CloningResult ipcp::cloneForConstants(Module &M, const CloningOptions &Opts) {
 
   unsigned CloneCounter = 0;
   for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
+    ScopedTraceSpan RoundSpan("cloning-round", std::to_string(Round + 1));
     if (M.instructionCount() >
         Result.InstructionsBefore * Opts.MaxGrowthFactor)
       break;

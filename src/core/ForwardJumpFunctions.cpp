@@ -6,6 +6,8 @@
 
 #include "core/ForwardJumpFunctions.h"
 
+#include "support/Trace.h"
+
 #include "core/ValueNumbering.h"
 #include "support/Casting.h"
 
@@ -47,8 +49,10 @@ ForwardJumpFunctions ForwardJumpFunctions::build(
     const ReturnJumpFunctions *RJFs, SymExprContext &Ctx,
     JumpFunctionKind Kind, bool UseGatedSSA) {
   ForwardJumpFunctions FJFs;
+  ScopedTraceSpan BuildSpan("forward-jf");
 
   for (Procedure *P : CG.procedures()) {
+    traceEvent("forward-jf.proc", P->getName());
     auto SSAIt = SSA.find(P);
     assert(SSAIt != SSA.end() && "missing SSA for procedure");
     const SSAResult &ProcSSA = SSAIt->second;

@@ -10,6 +10,7 @@
 #include "core/BindingGraph.h"
 #include "core/ValueNumbering.h"
 #include "support/Casting.h"
+#include "support/Trace.h"
 
 #include <unordered_set>
 
@@ -76,19 +77,40 @@ makeCallOutHook(const ReturnJumpFunctions *RJFs, const SSAResult *SSA) {
 IPCPResult ipcp::runIPCP(const Module &M, const IPCPOptions &Opts) {
   IPCPResult Result;
   Timer Total;
+  ScopedTraceSpan RunSpan("ipcp");
 
   // Stage 0: scratch clone + structural analyses.
   std::unique_ptr<Module> Scratch = M.clone();
+  Timer CGTimer;
   CallGraph CG(*Scratch);
+  Result.Stats.add("time_callgraph_us", uint64_t(CGTimer.seconds() * 1e6));
+  Result.Stats.add("cg_procedures", CG.procedures().size());
+  uint64_t CallSites = 0, RecursiveProcs = 0;
+  for (Procedure *P : CG.procedures()) {
+    CallSites += CG.callSitesIn(P).size();
+    if (CG.isRecursive(P))
+      ++RecursiveProcs;
+  }
+  Result.Stats.add("cg_call_sites", CallSites);
+  Result.Stats.add("cg_sccs", CG.sccsBottomUp().size());
+  Result.Stats.add("cg_recursive_procs", RecursiveProcs);
+
+  Timer ModRefTimer;
   ModRefInfo MRI = Opts.UseModInformation ? ModRefInfo::compute(*Scratch, CG)
                                           : ModRefInfo::worstCase(*Scratch);
+  Result.Stats.add("time_modref_us", uint64_t(ModRefTimer.seconds() * 1e6));
 
   // Intraprocedural analysis: SSA per procedure. The paper observes this
   // dominates total analysis cost; bench_costs.cpp confirms.
   Timer IntraTimer;
   SSAMap SSA;
-  for (const std::unique_ptr<Procedure> &P : Scratch->procedures())
-    SSA.emplace(P.get(), constructSSA(*P, MRI));
+  {
+    ScopedTraceSpan SSASpan("ssa-construction");
+    for (const std::unique_ptr<Procedure> &P : Scratch->procedures()) {
+      traceEvent("ssa.proc", P->getName());
+      SSA.emplace(P.get(), constructSSA(*P, MRI));
+    }
+  }
   Result.Stats.add("time_intraprocedural_us",
                    uint64_t(IntraTimer.seconds() * 1e6));
 
@@ -130,12 +152,15 @@ IPCPResult ipcp::runIPCP(const Module &M, const IPCPOptions &Opts) {
     Result.Stats.add("prop_visits", PS.ProcVisits);
     Result.Stats.add("prop_evaluations", PS.JumpFunctionEvaluations);
     Result.Stats.add("prop_lowerings", PS.Lowerings);
+    Result.Stats.add("prop_val_entries", CM.totalEntries());
+    Result.Stats.add("prop_val_constants", CM.totalConstants());
   }
 
   // Stage 4: record the results — seed each procedure's SCCP with its
   // CONSTANTS set, count constant variable references, and emit
   // substitution facts for the original module.
   Timer RecordTimer;
+  ScopedTraceSpan RecordSpan("record-results");
   for (const std::unique_ptr<Procedure> &P : Scratch->procedures()) {
     const SSAResult &ProcSSA = SSA.at(P.get());
 
@@ -143,7 +168,15 @@ IPCPResult ipcp::runIPCP(const Module &M, const IPCPOptions &Opts) {
     for (const auto &[Var, Value] : CM.constantsOf(P.get()))
       SCCPOpts.EntrySeeds[Var] = LatticeValue::constant(Value);
     SCCPOpts.CallOutEval = makeCallOutHook(RJFs.get(), &ProcSSA);
+    traceEvent("record.proc", P->getName());
     SCCPResult SCCP = runSCCP(*P, SCCPOpts);
+    Result.Stats.add("sccp_runs");
+    Result.Stats.add("sccp_constant_values", SCCP.constantValueCount());
+    uint64_t ExecBlocks = 0;
+    for (const std::unique_ptr<BasicBlock> &BB : P->blocks())
+      if (SCCP.isExecutable(BB.get()))
+        ++ExecBlocks;
+    Result.Stats.add("sccp_executable_blocks", ExecBlocks);
 
     ProcedureResult PR;
     PR.Name = P->getName();
@@ -201,10 +234,12 @@ CompletePropagationResult
 ipcp::runCompletePropagation(const Module &M, const IPCPOptions &Opts,
                              unsigned MaxRounds) {
   CompletePropagationResult Result;
+  ScopedTraceSpan CompleteSpan("complete-propagation");
   std::unique_ptr<Module> Working = M.clone();
   std::unordered_set<uint64_t> CountedLoads;
 
   for (unsigned Round = 0; Round < MaxRounds; ++Round) {
+    ScopedTraceSpan RoundSpan("round", std::to_string(Round + 1));
     IPCPResult RoundResult = runIPCP(*Working, Opts);
     ++Result.Rounds;
     for (const auto &[LoadId, Value] : RoundResult.Facts.ConstantLoads)
@@ -213,6 +248,11 @@ ipcp::runCompletePropagation(const Module &M, const IPCPOptions &Opts,
 
     TransformStats TS = applyFacts(*Working, RoundResult.Facts);
     Result.BlocksRemoved += TS.BlocksRemoved;
+    Result.Stats.merge(RoundResult.Stats);
+    Result.Stats.add("cp_loads_replaced", TS.LoadsReplaced);
+    Result.Stats.add("cp_branches_folded", TS.BranchesFolded);
+    Result.Stats.add("cp_blocks_removed", TS.BlocksRemoved);
+    Result.Stats.add("cp_insts_removed", TS.InstsRemoved);
     Result.FinalRound = std::move(RoundResult);
 
     // Paper: "In each case, only one pass of dead code elimination was
@@ -220,5 +260,6 @@ ipcp::runCompletePropagation(const Module &M, const IPCPOptions &Opts,
     if (!TS.foundDeadCode())
       break;
   }
+  Result.Stats.add("cp_rounds", Result.Rounds);
   return Result;
 }

@@ -102,6 +102,10 @@ struct CompletePropagationResult {
   /// Dead blocks removed over all rounds.
   unsigned BlocksRemoved = 0;
 
+  /// Counters merged over every round, plus the cp_* totals (rounds,
+  /// loads replaced, branches folded, blocks/instructions removed).
+  StatisticSet Stats;
+
   /// The last round's full result.
   IPCPResult FinalRound;
 };

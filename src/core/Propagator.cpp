@@ -6,6 +6,7 @@
 
 #include "core/Propagator.h"
 
+#include "support/Trace.h"
 #include "support/Worklist.h"
 
 using namespace ipcp;
@@ -57,6 +58,15 @@ unsigned ConstantsMap::totalConstants() const {
   for (const auto &[P, Env] : VAL)
     for (const auto &[Var, LV] : Env)
       if (LV.isConstant())
+        ++Count;
+  return Count;
+}
+
+unsigned ConstantsMap::totalEntries() const {
+  unsigned Count = 0;
+  for (const auto &[P, Env] : VAL)
+    for (const auto &[Var, LV] : Env)
+      if (!LV.isTop())
         ++Count;
   return Count;
 }
@@ -146,6 +156,7 @@ ConstantsMap ipcp::propagateConstants(const CallGraph &CG,
                                       const ForwardJumpFunctions &FJFs,
                                       const IPCPOptions &Opts,
                                       PropagatorStats *Stats) {
+  ScopedTraceSpan PropSpan("propagate", "callgraph-worklist");
   Propagator Solver(CG, MRI, FJFs, Opts, Stats);
   return Solver.solve();
 }

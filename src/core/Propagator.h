@@ -55,6 +55,9 @@ public:
   /// Sum of |CONSTANTS(p)| over all procedures.
   unsigned totalConstants() const;
 
+  /// Non-top VAL entries at fixpoint (the prop_val_entries counter).
+  unsigned totalEntries() const;
+
   /// Installs one fixpoint value; used by alternative solvers (the
   /// binding-multigraph propagator) to package their results.
   void setValue(const Procedure *P, Variable *Var, LatticeValue V) {

@@ -1,0 +1,138 @@
+//===- core/Report.cpp ----------------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Report.h"
+
+#include "support/Trace.h"
+
+using namespace ipcp;
+
+JsonValue ipcp::optionsToJson(const IPCPOptions &Opts) {
+  JsonValue Obj = JsonValue::object();
+  Obj.set("forward_jf", jumpFunctionKindName(Opts.ForwardKind));
+  Obj.set("return_jf", Opts.UseReturnJumpFunctions);
+  Obj.set("mod_information", Opts.UseModInformation);
+  Obj.set("intraprocedural_only", Opts.IntraproceduralOnly);
+  Obj.set("gated_ssa", Opts.UseGatedSSA);
+  Obj.set("binding_graph", Opts.UseBindingGraphPropagator);
+  Obj.set("max_expr_nodes", Opts.MaxExprNodes);
+  Obj.set("entry_procedure", Opts.EntryProcedure);
+  return Obj;
+}
+
+namespace {
+
+/// The per-stage timings as one object, pulled from the time_*_us
+/// counters so the JSON mirrors exactly what was measured.
+JsonValue timingsToJson(const StatisticSet &Stats) {
+  static const char *const Keys[][2] = {
+      {"callgraph", "time_callgraph_us"},
+      {"modref", "time_modref_us"},
+      {"intraprocedural", "time_intraprocedural_us"},
+      {"return_jf", "time_return_jf_us"},
+      {"forward_jf", "time_forward_jf_us"},
+      {"propagation", "time_propagation_us"},
+      {"record", "time_record_us"},
+      {"total", "time_total_us"},
+  };
+  JsonValue Obj = JsonValue::object();
+  for (const auto &Key : Keys)
+    Obj.set(Key[0], Stats.get(Key[1]));
+  return Obj;
+}
+
+JsonValue histogramToJson(const StatisticSet &Stats) {
+  JsonValue Obj = JsonValue::object();
+  uint64_t Bottom = Stats.get("jf_bottom");
+  uint64_t Constant = Stats.get("jf_constant");
+  uint64_t PassThrough = Stats.get("jf_passthrough");
+  uint64_t Polynomial = Stats.get("jf_polynomial");
+  Obj.set("bottom", Bottom);
+  Obj.set("constant", Constant);
+  Obj.set("pass_through", PassThrough);
+  Obj.set("polynomial", Polynomial);
+  Obj.set("total", Bottom + Constant + PassThrough + Polynomial);
+  return Obj;
+}
+
+JsonValue procedureToJson(const ProcedureResult &PR) {
+  JsonValue Obj = JsonValue::object();
+  Obj.set("name", PR.Name);
+  JsonValue Constants = JsonValue::array();
+  for (const auto &[Name, Value] : PR.EntryConstants) {
+    JsonValue C = JsonValue::object();
+    C.set("variable", Name);
+    C.set("value", int64_t(Value));
+    Constants.push(std::move(C));
+  }
+  Obj.set("constants", std::move(Constants));
+  Obj.set("constant_refs", PR.ConstantRefs);
+  Obj.set("irrelevant_constants", PR.IrrelevantConstants);
+  return Obj;
+}
+
+} // namespace
+
+JsonValue ipcp::resultToJson(const IPCPResult &Result) {
+  JsonValue Obj = JsonValue::object();
+  Obj.set("total_entry_constants", Result.TotalEntryConstants);
+  Obj.set("total_constant_refs", Result.TotalConstantRefs);
+  JsonValue Procs = JsonValue::array();
+  for (const ProcedureResult &PR : Result.Procs)
+    Procs.push(procedureToJson(PR));
+  Obj.set("procedures", std::move(Procs));
+  Obj.set("jump_functions", histogramToJson(Result.Stats));
+  Obj.set("timings_us", timingsToJson(Result.Stats));
+  Obj.set("counters", Result.Stats.toJson());
+  return Obj;
+}
+
+JsonValue ipcp::completeToJson(const CompletePropagationResult &Result) {
+  JsonValue Obj = JsonValue::object();
+  Obj.set("rounds", Result.Rounds);
+  Obj.set("total_constant_refs", Result.TotalConstantRefs);
+  Obj.set("blocks_removed", Result.BlocksRemoved);
+  Obj.set("counters", Result.Stats.toJson());
+  Obj.set("final_round", resultToJson(Result.FinalRound));
+  return Obj;
+}
+
+JsonValue ipcp::cloningToJson(const CloningResult &Result) {
+  JsonValue Obj = JsonValue::object();
+  Obj.set("clones_created", Result.ClonesCreated);
+  Obj.set("rounds_run", Result.RoundsRun);
+  Obj.set("refs_before", Result.RefsBefore);
+  Obj.set("refs_after", Result.RefsAfter);
+  Obj.set("constants_before", Result.ConstantsBefore);
+  Obj.set("constants_after", Result.ConstantsAfter);
+  Obj.set("instructions_before", Result.InstructionsBefore);
+  Obj.set("instructions_after", Result.InstructionsAfter);
+  return Obj;
+}
+
+JsonValue ipcp::buildAnalysisReport(const AnalysisReport &Report) {
+  JsonValue Obj = JsonValue::object();
+  Obj.set("schema", "ipcp-report-v1");
+  if (!Report.SourceName.empty())
+    Obj.set("source", Report.SourceName);
+  if (Report.M) {
+    JsonValue Mod = JsonValue::object();
+    Mod.set("procedures", uint64_t(Report.M->procedures().size()));
+    Mod.set("instructions", Report.M->instructionCount());
+    Obj.set("module", std::move(Mod));
+  }
+  if (Report.Opts)
+    Obj.set("options", optionsToJson(*Report.Opts));
+  if (Report.Single)
+    Obj.set("result", resultToJson(*Report.Single));
+  if (Report.Complete)
+    Obj.set("complete_propagation", completeToJson(*Report.Complete));
+  if (Report.Cloning)
+    Obj.set("cloning", cloningToJson(*Report.Cloning));
+  if (Report.TraceData)
+    Obj.set("trace", Report.TraceData->toJson());
+  return Obj;
+}

@@ -1,0 +1,61 @@
+//===- core/Report.h - Machine-readable analysis reports --------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes analysis outcomes to the JSON report consumed by the
+/// driver's --report-json flag, the suite checker, and the bench
+/// harnesses: per-stage timings, the jump-function class histogram, the
+/// full CONSTANTS(p) sets, every work counter, and (optionally) the
+/// hierarchical trace. The report schema ("ipcp-report-v1") is
+/// documented field by field in docs/OBSERVABILITY.md; tests round-trip
+/// it through the support/Json parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_CORE_REPORT_H
+#define IPCP_CORE_REPORT_H
+
+#include "core/Cloning.h"
+#include "core/Pipeline.h"
+#include "support/Json.h"
+
+namespace ipcp {
+
+class Trace;
+
+/// The analysis configuration as a JSON object.
+JsonValue optionsToJson(const IPCPOptions &Opts);
+
+/// One IPCPResult as a JSON object: totals, per-procedure CONSTANTS(p)
+/// and substitution counts, the jump-function histogram, per-stage
+/// timings, and the raw counters.
+JsonValue resultToJson(const IPCPResult &Result);
+
+/// A complete-propagation run: rounds, dead-code totals, aggregated
+/// counters, and the final round's full result.
+JsonValue completeToJson(const CompletePropagationResult &Result);
+
+/// A cloning experiment's before/after effectiveness.
+JsonValue cloningToJson(const CloningResult &Result);
+
+/// Everything the driver knows about one run. Null members are omitted
+/// from the report.
+struct AnalysisReport {
+  std::string SourceName;
+  const Module *M = nullptr;
+  const IPCPOptions *Opts = nullptr;
+  const IPCPResult *Single = nullptr;
+  const CompletePropagationResult *Complete = nullptr;
+  const CloningResult *Cloning = nullptr;
+  const Trace *TraceData = nullptr;
+};
+
+/// Builds the top-level "ipcp-report-v1" document.
+JsonValue buildAnalysisReport(const AnalysisReport &Report);
+
+} // namespace ipcp
+
+#endif // IPCP_CORE_REPORT_H

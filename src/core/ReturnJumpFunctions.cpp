@@ -6,6 +6,8 @@
 
 #include "core/ReturnJumpFunctions.h"
 
+#include "support/Trace.h"
+
 #include "core/ValueNumbering.h"
 
 using namespace ipcp;
@@ -41,6 +43,7 @@ ReturnJumpFunctions ReturnJumpFunctions::build(const CallGraph &CG,
                                                SymExprContext &Ctx,
                                                bool UseGatedSSA) {
   ReturnJumpFunctions RJFs;
+  ScopedTraceSpan BuildSpan("return-jf");
 
   // Pre-populate bottom entries for every modifiable variable, so that
   // recursive components see "modified, unknown" rather than "not
@@ -58,6 +61,7 @@ ReturnJumpFunctions ReturnJumpFunctions::build(const CallGraph &CG,
   // within a recursive component, where the pre-populated bottoms apply.
   for (const std::vector<Procedure *> &SCC : CG.sccsBottomUp()) {
     for (Procedure *P : SCC) {
+      traceEvent("return-jf.proc", P->getName());
       auto SSAIt = SSA.find(P);
       assert(SSAIt != SSA.end() && "missing SSA for procedure");
       const SSAResult &ProcSSA = SSAIt->second;

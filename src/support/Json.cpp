@@ -1,0 +1,500 @@
+//===- support/Json.cpp ---------------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace ipcp;
+
+//===----------------------------------------------------------------------===//
+// Equality
+//===----------------------------------------------------------------------===//
+
+bool JsonValue::operator==(const JsonValue &Other) const {
+  if (isNumber() && Other.isNumber()) {
+    if (isInt() && Other.isInt())
+      return IntVal == Other.IntVal;
+    return asDouble() == Other.asDouble();
+  }
+  if (TheKind != Other.TheKind)
+    return false;
+  switch (TheKind) {
+  case Kind::Null:
+    return true;
+  case Kind::Bool:
+    return BoolVal == Other.BoolVal;
+  case Kind::String:
+    return StringVal == Other.StringVal;
+  case Kind::Array:
+    if (Elements.size() != Other.Elements.size())
+      return false;
+    for (size_t I = 0; I != Elements.size(); ++I)
+      if (Elements[I] != Other.Elements[I])
+        return false;
+    return true;
+  case Kind::Object: {
+    if (Members.size() != Other.Members.size())
+      return false;
+    for (const auto &[Key, Val] : Members) {
+      const JsonValue *Theirs = Other.find(Key);
+      if (!Theirs || *Theirs != Val)
+        return false;
+    }
+    return true;
+  }
+  case Kind::Int:
+  case Kind::Double:
+    break; // handled above
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+std::string ipcp::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += char(C);
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonValue::dumpTo(std::string &Out, unsigned Indent,
+                       unsigned Depth) const {
+  auto Newline = [&](unsigned D) {
+    if (Indent == 0)
+      return;
+    Out += '\n';
+    Out.append(size_t(Indent) * D, ' ');
+  };
+
+  switch (TheKind) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += BoolVal ? "true" : "false";
+    break;
+  case Kind::Int:
+    Out += std::to_string(IntVal);
+    break;
+  case Kind::Double: {
+    if (std::isfinite(DoubleVal)) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", DoubleVal);
+      Out += Buf;
+    } else {
+      Out += "null"; // JSON has no Inf/NaN
+    }
+    break;
+  }
+  case Kind::String:
+    Out += '"';
+    Out += jsonEscape(StringVal);
+    Out += '"';
+    break;
+  case Kind::Array:
+    if (Elements.empty()) {
+      Out += "[]";
+      break;
+    }
+    Out += '[';
+    for (size_t I = 0; I != Elements.size(); ++I) {
+      if (I)
+        Out += ',';
+      Newline(Depth + 1);
+      Elements[I].dumpTo(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += ']';
+    break;
+  case Kind::Object:
+    if (Members.empty()) {
+      Out += "{}";
+      break;
+    }
+    Out += '{';
+    for (size_t I = 0; I != Members.size(); ++I) {
+      if (I)
+        Out += ',';
+      Newline(Depth + 1);
+      Out += '"';
+      Out += jsonEscape(Members[I].first);
+      Out += Indent ? "\": " : "\":";
+      Members[I].second.dumpTo(Out, Indent, Depth + 1);
+    }
+    Newline(Depth);
+    Out += '}';
+    break;
+  }
+}
+
+std::string JsonValue::dump(unsigned Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  return Out;
+}
+
+bool ipcp::writeJsonFile(const std::string &Path, const JsonValue &V,
+                         std::string *Error) {
+  std::string Text = V.dump(2);
+  Text += '\n';
+  if (Path == "-") {
+    std::fwrite(Text.data(), 1, Text.size(), stdout);
+    return true;
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool Ok = Written == Text.size() && std::fclose(F) == 0;
+  if (!Ok && Error)
+    *Error = "short write to '" + Path + "'";
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursive-descent parser over the whole document.
+class JsonParser {
+public:
+  JsonParser(const std::string &Text, std::string *Error)
+      : Text(Text), Error(Error) {}
+
+  std::optional<JsonValue> run() {
+    skipSpace();
+    std::optional<JsonValue> V = parseValue(0);
+    if (!V)
+      return std::nullopt;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return V;
+  }
+
+private:
+  std::optional<JsonValue> fail(const std::string &Message) {
+    if (Error && Error->empty())
+      *Error = "offset " + std::to_string(Pos) + ": " + Message;
+    return std::nullopt;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (Text.compare(Pos, Len, Word) == 0) {
+      Pos += Len;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> parseValue(unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject(Depth);
+    if (C == '[')
+      return parseArray(Depth);
+    if (C == '"') {
+      std::optional<std::string> S = parseString();
+      if (!S)
+        return std::nullopt;
+      return JsonValue(std::move(*S));
+    }
+    if (consumeWord("null"))
+      return JsonValue();
+    if (consumeWord("true"))
+      return JsonValue(true);
+    if (consumeWord("false"))
+      return JsonValue(false);
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return parseNumber();
+    return fail(std::string("unexpected character '") + C + "'");
+  }
+
+  std::optional<JsonValue> parseObject(unsigned Depth) {
+    consume('{');
+    JsonValue Obj = JsonValue::object();
+    skipSpace();
+    if (consume('}'))
+      return Obj;
+    while (true) {
+      skipSpace();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key string");
+      std::optional<std::string> Key = parseString();
+      if (!Key)
+        return std::nullopt;
+      skipSpace();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      skipSpace();
+      std::optional<JsonValue> Val = parseValue(Depth + 1);
+      if (!Val)
+        return std::nullopt;
+      Obj.set(*Key, std::move(*Val));
+      skipSpace();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return Obj;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::optional<JsonValue> parseArray(unsigned Depth) {
+    consume('[');
+    JsonValue Arr = JsonValue::array();
+    skipSpace();
+    if (consume(']'))
+      return Arr;
+    while (true) {
+      skipSpace();
+      std::optional<JsonValue> Val = parseValue(Depth + 1);
+      if (!Val)
+        return std::nullopt;
+      Arr.push(std::move(*Val));
+      skipSpace();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return Arr;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::optional<std::string> parseString() {
+    consume('"');
+    std::string Out;
+    while (true) {
+      if (Pos >= Text.size()) {
+        fail("unterminated string");
+        return std::nullopt;
+      }
+      char C = Text[Pos++];
+      if (C == '"')
+        return Out;
+      if (static_cast<unsigned char>(C) < 0x20) {
+        fail("raw control character in string");
+        return std::nullopt;
+      }
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size()) {
+        fail("unterminated escape");
+        return std::nullopt;
+      }
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        std::optional<unsigned> Code = parseHex4();
+        if (!Code)
+          return std::nullopt;
+        unsigned CP = *Code;
+        // Surrogate pair: combine when a low surrogate follows.
+        if (CP >= 0xD800 && CP <= 0xDBFF && Pos + 1 < Text.size() &&
+            Text[Pos] == '\\' && Text[Pos + 1] == 'u') {
+          size_t Save = Pos;
+          Pos += 2;
+          std::optional<unsigned> Low = parseHex4();
+          if (Low && *Low >= 0xDC00 && *Low <= 0xDFFF)
+            CP = 0x10000 + ((CP - 0xD800) << 10) + (*Low - 0xDC00);
+          else
+            Pos = Save; // lone surrogate; encode as-is
+        }
+        appendUtf8(Out, CP);
+        break;
+      }
+      default:
+        fail("invalid escape sequence");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<unsigned> parseHex4() {
+    if (Pos + 4 > Text.size()) {
+      fail("truncated \\u escape");
+      return std::nullopt;
+    }
+    unsigned Value = 0;
+    for (int I = 0; I != 4; ++I) {
+      char C = Text[Pos++];
+      Value <<= 4;
+      if (C >= '0' && C <= '9')
+        Value |= unsigned(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Value |= unsigned(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Value |= unsigned(C - 'A' + 10);
+      else {
+        fail("invalid \\u escape digit");
+        return std::nullopt;
+      }
+    }
+    return Value;
+  }
+
+  static void appendUtf8(std::string &Out, unsigned CP) {
+    if (CP < 0x80) {
+      Out += char(CP);
+    } else if (CP < 0x800) {
+      Out += char(0xC0 | (CP >> 6));
+      Out += char(0x80 | (CP & 0x3F));
+    } else if (CP < 0x10000) {
+      Out += char(0xE0 | (CP >> 12));
+      Out += char(0x80 | ((CP >> 6) & 0x3F));
+      Out += char(0x80 | (CP & 0x3F));
+    } else {
+      Out += char(0xF0 | (CP >> 18));
+      Out += char(0x80 | ((CP >> 12) & 0x3F));
+      Out += char(0x80 | ((CP >> 6) & 0x3F));
+      Out += char(0x80 | (CP & 0x3F));
+    }
+  }
+
+  std::optional<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    if (consume('-')) {
+    }
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      ++Pos;
+    bool IsDouble = false;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      IsDouble = true;
+      ++Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      IsDouble = true;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    std::string Token = Text.substr(Start, Pos - Start);
+    if (Token.empty() || Token == "-")
+      return fail("malformed number");
+    errno = 0;
+    if (!IsDouble) {
+      char *End = nullptr;
+      long long IV = std::strtoll(Token.c_str(), &End, 10);
+      if (errno != ERANGE && End && *End == '\0')
+        return JsonValue(int64_t(IV));
+      // Out of int64 range: fall through to double.
+    }
+    char *End = nullptr;
+    double DV = std::strtod(Token.c_str(), &End);
+    if (!End || *End != '\0')
+      return fail("malformed number");
+    return JsonValue(DV);
+  }
+
+  static constexpr unsigned MaxDepth = 200;
+  const std::string &Text;
+  std::string *Error;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> JsonValue::parse(const std::string &Text,
+                                          std::string *Error) {
+  if (Error)
+    Error->clear();
+  JsonParser P(Text, Error);
+  return P.run();
+}

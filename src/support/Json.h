@@ -1,0 +1,149 @@
+//===- support/Json.h - Minimal JSON tree, writer, parser -------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small hand-rolled JSON facility (no external dependency) backing the
+/// observability layer: analysis reports, trace dumps, and bench output
+/// are all serialized through JsonValue. Objects preserve insertion
+/// order so reports are stable and diffable; the parser accepts exactly
+/// what the writer emits (plus arbitrary standard JSON), which gives the
+/// test suite a round-trip check and lets tools re-read their own
+/// reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_JSON_H
+#define IPCP_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ipcp {
+
+/// One JSON document node. Numbers are stored as either int64 or double
+/// (counters and timings are integral; benchmark rates are not).
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() : TheKind(Kind::Null) {}
+  JsonValue(bool B) : TheKind(Kind::Bool), BoolVal(B) {}
+  JsonValue(int64_t I) : TheKind(Kind::Int), IntVal(I) {}
+  JsonValue(uint64_t U) : TheKind(Kind::Int), IntVal(int64_t(U)) {}
+  JsonValue(int I) : TheKind(Kind::Int), IntVal(I) {}
+  JsonValue(unsigned U) : TheKind(Kind::Int), IntVal(int64_t(U)) {}
+  JsonValue(double D) : TheKind(Kind::Double), DoubleVal(D) {}
+  JsonValue(std::string S) : TheKind(Kind::String), StringVal(std::move(S)) {}
+  JsonValue(const char *S) : TheKind(Kind::String), StringVal(S) {}
+
+  static JsonValue array() {
+    JsonValue V;
+    V.TheKind = Kind::Array;
+    return V;
+  }
+  static JsonValue object() {
+    JsonValue V;
+    V.TheKind = Kind::Object;
+    return V;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isNull() const { return TheKind == Kind::Null; }
+  bool isBool() const { return TheKind == Kind::Bool; }
+  bool isInt() const { return TheKind == Kind::Int; }
+  bool isDouble() const { return TheKind == Kind::Double; }
+  bool isNumber() const { return isInt() || isDouble(); }
+  bool isString() const { return TheKind == Kind::String; }
+  bool isArray() const { return TheKind == Kind::Array; }
+  bool isObject() const { return TheKind == Kind::Object; }
+
+  bool asBool() const { return BoolVal; }
+  int64_t asInt() const {
+    return TheKind == Kind::Double ? int64_t(DoubleVal) : IntVal;
+  }
+  double asDouble() const {
+    return TheKind == Kind::Int ? double(IntVal) : DoubleVal;
+  }
+  const std::string &asString() const { return StringVal; }
+
+  /// Array/object element count.
+  size_t size() const {
+    return TheKind == Kind::Object ? Members.size() : Elements.size();
+  }
+
+  /// Array indexing.
+  const JsonValue &at(size_t I) const { return Elements[I]; }
+
+  /// Appends \p V to this array.
+  JsonValue &push(JsonValue V) {
+    Elements.push_back(std::move(V));
+    return Elements.back();
+  }
+
+  /// Sets object key \p Key (replacing an existing entry in place).
+  JsonValue &set(const std::string &Key, JsonValue V) {
+    for (auto &[K, Existing] : Members)
+      if (K == Key) {
+        Existing = std::move(V);
+        return Existing;
+      }
+    Members.emplace_back(Key, std::move(V));
+    return Members.back().second;
+  }
+
+  /// Object lookup; null when absent (or not an object).
+  const JsonValue *find(const std::string &Key) const {
+    for (const auto &[K, V] : Members)
+      if (K == Key)
+        return &V;
+    return nullptr;
+  }
+
+  /// Object members in insertion order.
+  const std::vector<std::pair<std::string, JsonValue>> &members() const {
+    return Members;
+  }
+
+  /// Structural equality (object key order is ignored).
+  bool operator==(const JsonValue &Other) const;
+  bool operator!=(const JsonValue &Other) const { return !(*this == Other); }
+
+  /// Serializes. \p Indent 0 emits one compact line; a positive value
+  /// pretty-prints with that many spaces per nesting level.
+  std::string dump(unsigned Indent = 0) const;
+
+  /// Parses a complete JSON document. On failure returns nullopt and, if
+  /// \p Error is non-null, stores a byte-offset diagnostic.
+  static std::optional<JsonValue> parse(const std::string &Text,
+                                        std::string *Error = nullptr);
+
+private:
+  void dumpTo(std::string &Out, unsigned Indent, unsigned Depth) const;
+
+  Kind TheKind;
+  bool BoolVal = false;
+  int64_t IntVal = 0;
+  double DoubleVal = 0.0;
+  std::string StringVal;
+  std::vector<JsonValue> Elements;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+/// Escapes \p S for inclusion inside a JSON string literal (quotes not
+/// included). Control characters become \uXXXX; UTF-8 passes through.
+std::string jsonEscape(const std::string &S);
+
+/// Writes \p V pretty-printed to \p Path ("-" means stdout). Returns
+/// false and fills \p Error on I/O failure.
+bool writeJsonFile(const std::string &Path, const JsonValue &V,
+                   std::string *Error = nullptr);
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_JSON_H

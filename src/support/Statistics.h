@@ -18,8 +18,12 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace ipcp {
+
+class JsonValue;
 
 /// A bag of named monotonically increasing counters.
 class StatisticSet {
@@ -46,9 +50,28 @@ public:
   /// Renders "name = value" lines sorted by name.
   std::string str() const;
 
+  /// Serializes as a flat JSON object, name-sorted.
+  JsonValue toJson() const;
+
 private:
   std::map<std::string, uint64_t> Counters;
 };
+
+/// The registry in support/Counters.def: the one-line description of a
+/// registered counter, or null for an unknown name. Every counter the
+/// analyzer emits must be registered (StatisticsTests enforces this) and
+/// documented in docs/OBSERVABILITY.md (the CI docs lint enforces that).
+const char *describeCounter(const std::string &Name);
+
+/// Whether \p Name appears in support/Counters.def.
+bool isRegisteredCounter(const std::string &Name);
+
+/// All registered (name, description) pairs in registry order.
+std::vector<std::pair<const char *, const char *>> registeredCounters();
+
+/// Renders an aligned human-readable table of \p Stats with the registry
+/// descriptions — the driver's --stats output.
+std::string formatStatsTable(const StatisticSet &Stats);
 
 /// Measures wall-clock time between construction (or restart) and stop.
 class Timer {

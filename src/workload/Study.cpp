@@ -6,6 +6,8 @@
 
 #include "workload/Study.h"
 
+#include "support/Json.h"
+
 #include <algorithm>
 #include <cstdio>
 
@@ -167,6 +169,52 @@ std::string ipcp::formatTable2(const std::vector<Table2Row> &Rows) {
            num(R.PolynomialNoRet, 13) + num(R.PassThroughNoRet, 11) + "\n";
   }
   return Out;
+}
+
+JsonValue ipcp::table1ToJson(const std::vector<Table1Row> &Rows) {
+  JsonValue Arr = JsonValue::array();
+  for (const Table1Row &R : Rows) {
+    JsonValue Obj = JsonValue::object();
+    Obj.set("name", R.Name);
+    Obj.set("lines", R.Lines);
+    Obj.set("procedures", R.Procs);
+    Obj.set("mean_lines_per_proc", R.MeanLinesPerProc);
+    Obj.set("median_lines_per_proc", R.MedianLinesPerProc);
+    Obj.set("call_sites", R.CallSites);
+    Obj.set("globals", R.Globals);
+    Arr.push(std::move(Obj));
+  }
+  return Arr;
+}
+
+JsonValue ipcp::table2ToJson(const std::vector<Table2Row> &Rows) {
+  JsonValue Arr = JsonValue::array();
+  for (const Table2Row &R : Rows) {
+    JsonValue Obj = JsonValue::object();
+    Obj.set("name", R.Name);
+    Obj.set("polynomial", R.Polynomial);
+    Obj.set("pass_through", R.PassThrough);
+    Obj.set("intraprocedural", R.Intraprocedural);
+    Obj.set("literal", R.Literal);
+    Obj.set("polynomial_no_return_jf", R.PolynomialNoRet);
+    Obj.set("pass_through_no_return_jf", R.PassThroughNoRet);
+    Arr.push(std::move(Obj));
+  }
+  return Arr;
+}
+
+JsonValue ipcp::table3ToJson(const std::vector<Table3Row> &Rows) {
+  JsonValue Arr = JsonValue::array();
+  for (const Table3Row &R : Rows) {
+    JsonValue Obj = JsonValue::object();
+    Obj.set("name", R.Name);
+    Obj.set("polynomial_without_mod", R.PolynomialWithoutMod);
+    Obj.set("polynomial_with_mod", R.PolynomialWithMod);
+    Obj.set("complete_propagation", R.CompletePropagation);
+    Obj.set("intraprocedural_only", R.IntraproceduralOnly);
+    Arr.push(std::move(Obj));
+  }
+  return Arr;
 }
 
 std::string ipcp::formatTable3(const std::vector<Table3Row> &Rows) {

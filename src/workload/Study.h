@@ -74,6 +74,14 @@ std::string formatTable1(const std::vector<Table1Row> &Rows);
 std::string formatTable2(const std::vector<Table2Row> &Rows);
 std::string formatTable3(const std::vector<Table3Row> &Rows);
 
+class JsonValue;
+
+/// JSON arrays with one object per row, field names matching the struct
+/// members; consumed by suitecheck --report-json and the bench harnesses.
+JsonValue table1ToJson(const std::vector<Table1Row> &Rows);
+JsonValue table2ToJson(const std::vector<Table2Row> &Rows);
+JsonValue table3ToJson(const std::vector<Table3Row> &Rows);
+
 /// Runs one configuration over one program and returns the substituted-
 /// constant count (one table cell).
 unsigned runCell(const SuiteProgram &Prog, const IPCPOptions &Opts);

@@ -1,14 +1,53 @@
 // Development check: validate every suite program end-to-end and print
-// the three tables.
+// the three tables. Shares the driver's observability surface:
+//
+//   suitecheck [--stats] [--trace[=FILE]] [--report-json=FILE]
+//
+// The JSON report carries one "ipcp-report-v1" result per program plus
+// the three paper tables, so suite-wide trajectories can be produced
+// mechanically.
+#include "core/Report.h"
 #include "ir/Verifier.h"
+#include "support/Trace.h"
 #include "workload/Oracle.h"
 #include "workload/Study.h"
 #include <cstdio>
+#include <string>
 using namespace ipcp;
 
-int main() {
+int main(int argc, char **argv) {
+  bool ShowStats = false, TraceOn = false;
+  std::string TraceFile, ReportFile;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--stats") {
+      ShowStats = true;
+    } else if (Arg == "--trace") {
+      TraceOn = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TraceOn = true;
+      TraceFile = Arg.substr(8);
+    } else if (Arg.rfind("--report-json=", 0) == 0 &&
+               Arg.size() > 14) {
+      ReportFile = Arg.substr(14);
+    } else {
+      std::fprintf(stderr,
+                   "usage: suitecheck [--stats] [--trace[=FILE]] "
+                   "[--report-json=FILE]\n");
+      return 1;
+    }
+  }
+
+  Trace TraceData;
+  if (TraceOn)
+    Trace::setActive(&TraceData);
+
+  IPCPOptions Opts;
+  StatisticSet Merged;
+  JsonValue Programs = JsonValue::array();
   int Failures = 0;
   for (const SuiteProgram &Prog : benchmarkSuite()) {
+    ScopedTraceSpan ProgSpan("program", Prog.Name);
     auto M = loadSuiteModule(Prog);
     auto Errs = verifyModule(*M, VerifyMode::PreSSA);
     for (auto &E : Errs) {
@@ -17,15 +56,70 @@ int main() {
     }
     IPCPResult R = runIPCP(*M);
     OracleReport Rep = checkSoundness(*M, R);
-    if (!Rep.Sound || Rep.ExecStatus != ExecutionResult::Status::Ok) {
+    bool Ok = Rep.Sound && Rep.ExecStatus == ExecutionResult::Status::Ok;
+    if (!Ok) {
       std::printf("%s: %s (exec status %d)\n", Prog.Name.c_str(),
                   Rep.str().c_str(), (int)Rep.ExecStatus);
       ++Failures;
     }
+    Merged.merge(R.Stats);
+    if (!ReportFile.empty()) {
+      AnalysisReport Report;
+      Report.SourceName = Prog.Name;
+      Report.M = M.get();
+      Report.Opts = &Opts;
+      Report.Single = &R;
+      JsonValue Entry = buildAnalysisReport(Report);
+      Entry.set("sound", Ok);
+      Programs.push(std::move(Entry));
+    }
   }
-  std::printf("%s\n", formatTable1(computeTable1(benchmarkSuite())).c_str());
-  std::printf("%s\n", formatTable2(computeTable2(benchmarkSuite())).c_str());
-  std::printf("%s\n", formatTable3(computeTable3(benchmarkSuite())).c_str());
+
+  auto T1 = computeTable1(benchmarkSuite());
+  auto T2 = computeTable2(benchmarkSuite());
+  auto T3 = computeTable3(benchmarkSuite());
+  std::printf("%s\n", formatTable1(T1).c_str());
+  std::printf("%s\n", formatTable2(T2).c_str());
+  std::printf("%s\n", formatTable3(T3).c_str());
   std::printf("failures: %d\n", Failures);
+
+  if (ShowStats)
+    std::printf("statistics (all programs):\n%s",
+                formatStatsTable(Merged).c_str());
+
+  if (TraceOn) {
+    Trace::setActive(nullptr);
+    std::string Text = TraceData.str();
+    if (TraceFile.empty()) {
+      std::fprintf(stderr, "%s", Text.c_str());
+    } else {
+      std::FILE *F = std::fopen(TraceFile.c_str(), "w");
+      if (!F) {
+        std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                     TraceFile.c_str());
+        return 1;
+      }
+      std::fwrite(Text.data(), 1, Text.size(), F);
+      std::fclose(F);
+    }
+  }
+
+  if (!ReportFile.empty()) {
+    JsonValue Doc = JsonValue::object();
+    Doc.set("schema", "ipcp-suite-report-v1");
+    Doc.set("failures", Failures);
+    Doc.set("programs", std::move(Programs));
+    Doc.set("table1", table1ToJson(T1));
+    Doc.set("table2", table2ToJson(T2));
+    Doc.set("table3", table3ToJson(T3));
+    Doc.set("counters", Merged.toJson());
+    if (TraceOn)
+      Doc.set("trace", TraceData.toJson());
+    std::string Error;
+    if (!writeJsonFile(ReportFile, Doc, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+  }
   return Failures != 0;
 }
