@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/SuiteRunner.h"
 #include "frontend/Parser.h"
 #include "ir/AstLower.h"
 #include "workload/Study.h"
@@ -35,7 +36,9 @@ static void BM_FrontendPerProgram(benchmark::State &State) {
 BENCHMARK(BM_FrontendPerProgram)->DenseRange(0, 11)->ArgName("program");
 
 int main(int argc, char **argv) {
-  std::printf("%s\n", formatTable1(computeTable1(benchmarkSuite())).c_str());
+  SuiteRunner Runner;
+  std::printf("%s\n",
+              formatTable1(computeTable1(benchmarkSuite(), &Runner)).c_str());
   std::printf("(Stand-ins for the paper's SPEC'89/PERFECT members; see "
               "DESIGN.md for the substitution rationale.)\n\n");
   benchmark::Initialize(&argc, argv);

@@ -20,6 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchReport.h"
+#include "core/SuiteRunner.h"
 #include "workload/Study.h"
 
 #include <benchmark/benchmark.h>
@@ -85,7 +86,8 @@ BENCHMARK(BM_AnalyzeSuiteNoReturnJFs);
 } // namespace
 
 int main(int argc, char **argv) {
-  std::vector<Table2Row> Rows = computeTable2(benchmarkSuite());
+  SuiteRunner Runner;
+  std::vector<Table2Row> Rows = computeTable2(benchmarkSuite(), &Runner);
   std::printf("%s\n", formatTable2(Rows).c_str());
 
   unsigned Poly = 0, Pass = 0, Intra = 0, Literal = 0, PolyNoRet = 0;

@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchReport.h"
+#include "core/SuiteRunner.h"
 #include "workload/Study.h"
 
 #include <benchmark/benchmark.h>
@@ -70,7 +71,8 @@ BENCHMARK(BM_SuiteWithConfig)->DenseRange(0, 3)->ArgName("config");
 } // namespace
 
 int main(int argc, char **argv) {
-  std::vector<Table3Row> Rows = computeTable3(benchmarkSuite());
+  SuiteRunner Runner;
+  std::vector<Table3Row> Rows = computeTable3(benchmarkSuite(), &Runner);
   std::printf("%s\n", formatTable3(Rows).c_str());
 
   unsigned NoMod = 0, WithMod = 0, Complete = 0, Intra = 0;

@@ -17,6 +17,7 @@ using namespace ipcp;
 CallGraph::CallGraph(const Module &M) {
   ScopedTraceSpan BuildSpan("callgraph");
   for (const std::unique_ptr<Procedure> &P : M.procedures()) {
+    ProcIndex[P.get()] = unsigned(Order.size());
     Order.push_back(P.get());
     std::vector<CallInst *> Calls = P->callSites();
     std::vector<Procedure *> &CalleeList = Callees[P.get()];
@@ -112,6 +113,8 @@ void CallGraph::computeSCCs() {
         if (Component.size() > 1)
           for (Procedure *Q : Component)
             Recursive.insert(Q);
+        for (Procedure *Q : Component)
+          SCCIndex[Q] = unsigned(SCCs.size());
         SCCs.push_back(std::move(Component));
       }
       Procedure *Done = F.P;

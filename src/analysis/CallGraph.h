@@ -18,6 +18,7 @@
 
 #include "ir/Module.h"
 
+#include <cassert>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -48,6 +49,24 @@ public:
   /// direct self-call).
   bool isRecursive(Procedure *P) const { return Recursive.count(P) != 0; }
 
+  /// Dense module-order index of \p P in [0, procedures().size()). The
+  /// SCC-scheduled propagator uses it to key per-procedure vectors.
+  unsigned procIndex(Procedure *P) const {
+    auto It = ProcIndex.find(P);
+    assert(It != ProcIndex.end() && "procedure not in call graph");
+    return It->second;
+  }
+
+  /// Index of \p P's component within sccsBottomUp(). Cross-component
+  /// edges always point from a larger to a smaller index (callees finish
+  /// first under Tarjan), which is what makes one top-down sweep over the
+  /// condensation converge.
+  unsigned sccIndex(Procedure *P) const {
+    auto It = SCCIndex.find(P);
+    assert(It != SCCIndex.end() && "procedure not in call graph");
+    return It->second;
+  }
+
   /// Procedures reachable from \p Entry (inclusive); empty when Entry is
   /// null.
   std::unordered_set<Procedure *> reachableFrom(Procedure *Entry) const;
@@ -58,6 +77,8 @@ private:
   void computeSCCs();
 
   std::vector<Procedure *> Order; // module order
+  std::unordered_map<Procedure *, unsigned> ProcIndex;
+  std::unordered_map<Procedure *, unsigned> SCCIndex;
   std::unordered_map<Procedure *, std::vector<CallInst *>> Sites;
   std::unordered_map<Procedure *, std::vector<Procedure *>> Callees;
   std::unordered_map<Procedure *, std::vector<Procedure *>> Callers;

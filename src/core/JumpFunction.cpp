@@ -259,54 +259,11 @@ JumpFunction::JumpFunction(const SymExpr *E) : Expr(E) {
   Support.assign(Vars.begin(), Vars.end());
 }
 
-/// Evaluates \p E to a constant given constant support values.
-static std::optional<ConstantValue> evalExpr(const SymExpr *E,
-                                             const LatticeEnv &Env) {
-  switch (E->getKind()) {
-  case SymExpr::Kind::Const:
-    return E->getConst();
-  case SymExpr::Kind::Formal: {
-    auto It = Env.find(E->getFormal());
-    assert(It != Env.end() && It->second.isConstant() &&
-           "evalExpr requires constant support");
-    return It->second.getConstant();
-  }
-  case SymExpr::Kind::Binary: {
-    auto L = evalExpr(E->getLHS(), Env);
-    if (!L)
-      return std::nullopt;
-    auto R = evalExpr(E->getRHS(), Env);
-    if (!R)
-      return std::nullopt;
-    return foldBinary(E->getBinaryOp(), *L, *R);
-  }
-  case SymExpr::Kind::Unary: {
-    auto V = evalExpr(E->getLHS(), Env);
-    if (!V)
-      return std::nullopt;
-    return foldUnary(E->getUnaryOp(), *V);
-  }
-  }
-  return std::nullopt;
-}
-
 LatticeValue JumpFunction::evaluate(const LatticeEnv &Env) const {
-  if (isBottom())
-    return LatticeValue::bottom();
-  bool AnyTop = false;
-  for (Variable *Var : Support) {
+  return evaluateVia([&Env](Variable *Var) {
     auto It = Env.find(Var);
-    LatticeValue V = It == Env.end() ? LatticeValue::top() : It->second;
-    if (V.isBottom())
-      return LatticeValue::bottom();
-    if (V.isTop())
-      AnyTop = true;
-  }
-  if (AnyTop)
-    return LatticeValue::top();
-  if (auto Result = evalExpr(Expr, Env))
-    return LatticeValue::constant(*Result);
-  return LatticeValue::bottom();
+    return It == Env.end() ? LatticeValue::top() : It->second;
+  });
 }
 
 std::string JumpFunction::str() const {

@@ -35,6 +35,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -180,10 +181,65 @@ public:
   /// bottom).
   LatticeValue evaluate(const LatticeEnv &Env) const;
 
+  /// Same rules as evaluate(), but support values are read through
+  /// \p Lookup (Variable* -> LatticeValue). The dense-VAL propagator uses
+  /// this to evaluate straight out of its per-procedure value vectors
+  /// without materializing a hash-map environment per visit.
+  template <typename LookupFn>
+  LatticeValue evaluateVia(const LookupFn &Lookup) const {
+    if (isBottom())
+      return LatticeValue::bottom();
+    bool AnyTop = false;
+    for (Variable *Var : Support) {
+      LatticeValue V = Lookup(Var);
+      if (V.isBottom())
+        return LatticeValue::bottom();
+      if (V.isTop())
+        AnyTop = true;
+    }
+    if (AnyTop)
+      return LatticeValue::top();
+    if (auto Result = evalExprVia(Expr, Lookup))
+      return LatticeValue::constant(*Result);
+    return LatticeValue::bottom();
+  }
+
   /// "_|_", "42", or the expression text.
   std::string str() const;
 
 private:
+  /// Folds \p E given constant support values (Lookup must yield a
+  /// constant for every formal in the tree).
+  template <typename LookupFn>
+  static std::optional<ConstantValue> evalExprVia(const SymExpr *E,
+                                                  const LookupFn &Lookup) {
+    switch (E->getKind()) {
+    case SymExpr::Kind::Const:
+      return E->getConst();
+    case SymExpr::Kind::Formal: {
+      LatticeValue V = Lookup(E->getFormal());
+      assert(V.isConstant() && "evalExprVia requires constant support");
+      return V.getConstant();
+    }
+    case SymExpr::Kind::Binary: {
+      auto L = evalExprVia(E->getLHS(), Lookup);
+      if (!L)
+        return std::nullopt;
+      auto R = evalExprVia(E->getRHS(), Lookup);
+      if (!R)
+        return std::nullopt;
+      return foldBinary(E->getBinaryOp(), *L, *R);
+    }
+    case SymExpr::Kind::Unary: {
+      auto V = evalExprVia(E->getLHS(), Lookup);
+      if (!V)
+        return std::nullopt;
+      return foldUnary(E->getUnaryOp(), *V);
+    }
+    }
+    return std::nullopt;
+  }
+
   const SymExpr *Expr = nullptr;
   std::vector<Variable *> Support;
 };

@@ -41,6 +41,19 @@ enum class JumpFunctionKind {
 /// Printable name ("literal", "intra", "pass-through", "polynomial").
 const char *jumpFunctionKindName(JumpFunctionKind Kind);
 
+/// How the call-graph propagator orders its work. Both schedules reach
+/// the same fixpoint (the lattice meet is order-independent); they differ
+/// only in how many procedure visits it takes.
+enum class PropagationSchedule {
+  /// Condense the call graph into SCCs (Tarjan) and sweep the condensation
+  /// in reverse post-order, iterating only within each component. Acyclic
+  /// regions converge in one visit per procedure.
+  SCC,
+  /// The naive all-procedures FIFO worklist; kept as the measurable
+  /// baseline for the scheduling benchmark.
+  FIFO,
+};
+
 /// One analysis configuration.
 struct IPCPOptions {
   JumpFunctionKind ForwardKind = JumpFunctionKind::Polynomial;
@@ -66,6 +79,10 @@ struct IPCPOptions {
   /// never considering the dead assignment. The paper observes this
   /// achieves the complete-propagation results in a single pass.
   bool UseGatedSSA = false;
+
+  /// Work order for the call-graph propagator (ignored by the binding
+  /// multigraph propagator, which has its own edge-level worklist).
+  PropagationSchedule Schedule = PropagationSchedule::SCC;
 
   /// Use the binding-multigraph worklist (the paper's cited alternative
   /// formulation [7]) instead of the per-procedure call-graph worklist.

@@ -152,6 +152,7 @@ IPCPResult ipcp::runIPCP(const Module &M, const IPCPOptions &Opts) {
     Result.Stats.add("prop_visits", PS.ProcVisits);
     Result.Stats.add("prop_evaluations", PS.JumpFunctionEvaluations);
     Result.Stats.add("prop_lowerings", PS.Lowerings);
+    Result.Stats.add("prop_revisits", PS.Revisits);
     Result.Stats.add("prop_val_entries", CM.totalEntries());
     Result.Stats.add("prop_val_constants", CM.totalConstants());
   }

@@ -71,12 +71,12 @@ unsigned ConstantsMap::totalEntries() const {
   return Count;
 }
 
-namespace {
-
-/// The worklist solver; friend of ConstantsMap.
-} // namespace
-
 namespace ipcp {
+
+/// The worklist solver. VAL lives in dense per-procedure vectors indexed
+/// by the extended-formal numbering (formals positionally, then the
+/// procedure's extended globals in ID order); the hash-map ConstantsMap
+/// is only materialized once at fixpoint.
 class Propagator {
 public:
   Propagator(const CallGraph &CG, const ModRefInfo &MRI,
@@ -85,62 +85,162 @@ public:
       : CG(CG), MRI(MRI), FJFs(FJFs), Opts(Opts), Stats(Stats) {}
 
   ConstantsMap solve() {
-    ConstantsMap CM;
-
-    // Virtual entry edge: the entry procedure's globals hold their
-    // initial (zero) values on program start.
-    if (Procedure *Entry = findEntry())
-      for (Variable *G : MRI.extendedGlobals(Entry))
-        CM.VAL[Entry][G] = LatticeValue::constant(0);
-
-    Worklist<Procedure *> Work;
-    for (Procedure *P : CG.procedures())
-      Work.insert(P);
-
-    while (!Work.empty()) {
-      Procedure *P = Work.pop();
-      if (Stats)
-        ++Stats->ProcVisits;
-      const LatticeEnv &Env = CM.env(P);
-
-      for (CallInst *Site : CG.callSitesIn(P)) {
-        const CallSiteJumpFunctions &JFs = FJFs.at(Site);
-        Procedure *Q = Site->getCallee();
-
-        for (unsigned I = 0, E = JFs.Formals.size(); I != E; ++I)
-          if (lower(CM, Q, Q->formals()[I], JFs.Formals[I].evaluate(Env)))
-            Work.insert(Q);
-        for (const auto &[G, JF] : JFs.Globals)
-          if (lower(CM, Q, G, JF.evaluate(Env)))
-            Work.insert(Q);
-      }
-    }
-
-    return CM;
+    numberSlots();
+    seedEntry();
+    if (Opts.Schedule == PropagationSchedule::FIFO)
+      solveFIFO();
+    else
+      solveSCC();
+    return package();
   }
 
 private:
-  Procedure *findEntry() {
-    for (Procedure *P : CG.procedures())
-      if (P->getName() == Opts.EntryProcedure)
-        return P;
-    return nullptr;
+  /// Slot layout of one procedure's extended formals.
+  struct ProcSlots {
+    unsigned FormalCount = 0;
+    std::unordered_map<Variable *, unsigned> GlobalSlot;
+  };
+
+  void numberSlots() {
+    size_t N = CG.procedures().size();
+    Slots.resize(N);
+    VAL.resize(N);
+    SCCOf.resize(N);
+    Visited.assign(N, false);
+    for (Procedure *P : CG.procedures()) {
+      unsigned PI = CG.procIndex(P);
+      SCCOf[PI] = CG.sccIndex(P);
+      ProcSlots &S = Slots[PI];
+      S.FormalCount = unsigned(P->formals().size());
+      unsigned Next = S.FormalCount;
+      for (Variable *G : MRI.extendedGlobals(P))
+        S.GlobalSlot.emplace(G, Next++);
+      VAL[PI].assign(Next, LatticeValue::top());
+    }
   }
 
-  /// Meets \p NewVal into VAL(Q, Var); true when it lowered.
-  bool lower(ConstantsMap &CM, Procedure *Q, Variable *Var,
-             LatticeValue NewVal) {
+  /// Virtual entry edge: the entry procedure's globals hold their initial
+  /// (zero) values on program start.
+  void seedEntry() {
+    for (Procedure *P : CG.procedures())
+      if (P->getName() == Opts.EntryProcedure) {
+        unsigned PI = CG.procIndex(P);
+        for (const auto &[G, Slot] : Slots[PI].GlobalSlot)
+          VAL[PI][Slot] = LatticeValue::constant(0);
+        return;
+      }
+  }
+
+  /// VAL(P, Var) read through the dense numbering; variables outside P's
+  /// extended formals are top, matching the hash-map env semantics.
+  LatticeValue valueAt(unsigned PI, Variable *Var) const {
+    if (Var->isFormal())
+      return VAL[PI][Var->getFormalIndex()];
+    const ProcSlots &S = Slots[PI];
+    auto It = S.GlobalSlot.find(Var);
+    return It == S.GlobalSlot.end() ? LatticeValue::top()
+                                    : VAL[PI][It->second];
+  }
+
+  /// Meets \p NewVal into VAL(Q, Slot); true when it lowered.
+  bool lower(unsigned QI, unsigned Slot, LatticeValue NewVal) {
     if (Stats)
       ++Stats->JumpFunctionEvaluations;
-    LatticeValue Old = CM.valueOf(Q, Var);
+    LatticeValue Old = VAL[QI][Slot];
     LatticeValue Met = meet(Old, NewVal);
     if (Met == Old)
       return false;
     assert(Met.strictlyBelow(Old) && "meet must move down the lattice");
-    CM.VAL[Q][Var] = Met;
+    VAL[QI][Slot] = Met;
     if (Stats)
       ++Stats->Lowerings;
     return true;
+  }
+
+  /// Evaluates every jump function out of procedure \p PI and meets the
+  /// results into its callees, reporting each lowered callee index.
+  template <typename OnLowered>
+  void visit(unsigned PI, const OnLowered &Lowered) {
+    if (Stats) {
+      ++Stats->ProcVisits;
+      if (Visited[PI])
+        ++Stats->Revisits;
+    }
+    Visited[PI] = true;
+    Procedure *P = CG.procedures()[PI];
+    auto Lookup = [this, PI](Variable *Var) { return valueAt(PI, Var); };
+
+    for (CallInst *Site : CG.callSitesIn(P)) {
+      const CallSiteJumpFunctions &JFs = FJFs.at(Site);
+      Procedure *Q = Site->getCallee();
+      unsigned QI = CG.procIndex(Q);
+
+      for (unsigned I = 0, E = unsigned(JFs.Formals.size()); I != E; ++I)
+        if (lower(QI, I, JFs.Formals[I].evaluateVia(Lookup)))
+          Lowered(QI);
+      const ProcSlots &QS = Slots[QI];
+      for (const auto &[G, JF] : JFs.Globals) {
+        auto It = QS.GlobalSlot.find(G);
+        assert(It != QS.GlobalSlot.end() &&
+               "call-site global jump function outside callee numbering");
+        if (lower(QI, It->second, JF.evaluateVia(Lookup)))
+          Lowered(QI);
+      }
+    }
+  }
+
+  /// The naive baseline: every procedure starts pending, lowering a
+  /// callee re-queues it, FIFO order.
+  void solveFIFO() {
+    size_t N = CG.procedures().size();
+    IndexWorklist Work;
+    Work.reserve(N);
+    for (unsigned PI = 0; PI != N; ++PI)
+      Work.insert(PI);
+    while (!Work.empty())
+      visit(Work.pop(), [&Work](unsigned QI) { Work.insert(QI); });
+  }
+
+  /// Reverse post-order sweep of the SCC condensation. Tarjan emits
+  /// components callee-first, so iterating sccsBottomUp() backwards walks
+  /// callers before callees and every cross-component edge lowers into a
+  /// component the sweep has not reached yet — one sweep suffices. Only
+  /// cyclic components need an inner fixpoint loop.
+  void solveSCC() {
+    const std::vector<std::vector<Procedure *>> &SCCs = CG.sccsBottomUp();
+    IndexWorklist Inner;
+    Inner.reserve(CG.procedures().size());
+    for (size_t C = SCCs.size(); C-- != 0;) {
+      const std::vector<Procedure *> &Members = SCCs[C];
+      if (Members.size() == 1 && !CG.isRecursive(Members[0])) {
+        // No edge can return here: a single visit converges.
+        visit(CG.procIndex(Members[0]), [](unsigned) {});
+        continue;
+      }
+      Inner.clear();
+      for (Procedure *P : Members)
+        Inner.insert(CG.procIndex(P));
+      while (!Inner.empty())
+        visit(Inner.pop(), [this, C, &Inner](unsigned QI) {
+          if (SCCOf[QI] == C)
+            Inner.insert(QI);
+        });
+    }
+  }
+
+  /// Converts the dense fixpoint into the external ConstantsMap (top
+  /// entries stay implicit).
+  ConstantsMap package() const {
+    ConstantsMap CM;
+    for (Procedure *P : CG.procedures()) {
+      unsigned PI = CG.procIndex(P);
+      const ProcSlots &S = Slots[PI];
+      for (unsigned I = 0; I != S.FormalCount; ++I)
+        CM.setValue(P, P->formals()[I], VAL[PI][I]);
+      for (const auto &[G, Slot] : S.GlobalSlot)
+        CM.setValue(P, G, VAL[PI][Slot]);
+    }
+    return CM;
   }
 
   const CallGraph &CG;
@@ -148,7 +248,13 @@ private:
   const ForwardJumpFunctions &FJFs;
   const IPCPOptions &Opts;
   PropagatorStats *Stats;
+
+  std::vector<ProcSlots> Slots;
+  std::vector<std::vector<LatticeValue>> VAL;
+  std::vector<size_t> SCCOf;
+  std::vector<bool> Visited;
 };
+
 } // namespace ipcp
 
 ConstantsMap ipcp::propagateConstants(const CallGraph &CG,
@@ -156,7 +262,10 @@ ConstantsMap ipcp::propagateConstants(const CallGraph &CG,
                                       const ForwardJumpFunctions &FJFs,
                                       const IPCPOptions &Opts,
                                       PropagatorStats *Stats) {
-  ScopedTraceSpan PropSpan("propagate", "callgraph-worklist");
+  ScopedTraceSpan PropSpan("propagate",
+                           Opts.Schedule == PropagationSchedule::FIFO
+                               ? "callgraph-fifo"
+                               : "callgraph-scc");
   Propagator Solver(CG, MRI, FJFs, Opts, Stats);
   return Solver.solve();
 }

@@ -1,0 +1,57 @@
+//===- core/SuiteRunner.cpp -----------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SuiteRunner.h"
+
+#include "support/ThreadPool.h"
+#include "support/Trace.h"
+
+#include <memory>
+#include <vector>
+
+using namespace ipcp;
+
+SuiteRunner::SuiteRunner(unsigned Jobs)
+    : Jobs(Jobs == 0 ? ThreadPool::defaultConcurrency() : Jobs) {}
+
+void SuiteRunner::run(size_t Count, const std::function<void(size_t)> &Fn) {
+  if (Count == 0)
+    return;
+
+  if (Jobs <= 1 || Count == 1) {
+    for (size_t I = 0; I != Count; ++I)
+      Fn(I);
+    return;
+  }
+
+  Trace *Parent = Trace::active();
+  std::vector<std::unique_ptr<Trace>> TaskTraces;
+  if (Parent) {
+    TaskTraces.resize(Count);
+    for (size_t I = 0; I != Count; ++I)
+      TaskTraces[I] = std::make_unique<Trace>();
+  }
+
+  ThreadPool Pool(unsigned(std::min<size_t>(Jobs, Count)));
+  for (size_t I = 0; I != Count; ++I) {
+    Pool.submit([I, &Fn, &TaskTraces] {
+      if (!TaskTraces.empty()) {
+        Trace *Prev = Trace::setActive(TaskTraces[I].get());
+        Fn(I);
+        Trace::setActive(Prev);
+      } else {
+        Fn(I);
+      }
+    });
+  }
+  Pool.wait();
+
+  // Fold per-task traces back in task order so the rendered span tree is
+  // independent of worker scheduling.
+  if (Parent)
+    for (const std::unique_ptr<Trace> &T : TaskTraces)
+      Parent->absorb(*T);
+}

@@ -1,0 +1,53 @@
+//===- core/SuiteRunner.h - Parallel independent-program runner -*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs N independent suite tasks (one per benchmark program, or one per
+/// study-table row) across a thread pool while keeping every observable
+/// output deterministic. Tasks are identified by index; the caller indexes
+/// a pre-sized result vector from inside the task body, so results land in
+/// program order no matter which worker finishes first.
+///
+/// Tracing stays coherent under parallelism: when the calling thread has
+/// an active Trace, each task runs with a private per-task Trace installed
+/// as its thread's active trace, and after the pool drains the per-task
+/// traces are absorb()ed into the caller's trace in task-index order. A
+/// `--jobs=8 --trace` run therefore renders the same span tree as a
+/// sequential one, only with different timings.
+///
+/// With Jobs <= 1 (or a single task) everything runs inline on the calling
+/// thread — no pool, no trace redirection — which is also the fallback
+/// that keeps single-threaded behavior bit-for-bit unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_CORE_SUITERUNNER_H
+#define IPCP_CORE_SUITERUNNER_H
+
+#include <functional>
+
+namespace ipcp {
+
+/// Deterministic fan-out of index-addressed tasks over a thread pool.
+class SuiteRunner {
+public:
+  /// \p Jobs worker threads; 0 means ThreadPool::defaultConcurrency().
+  explicit SuiteRunner(unsigned Jobs = 0);
+
+  /// Runs Fn(0) .. Fn(Count - 1), possibly concurrently, and returns once
+  /// all calls have finished. Fn must not touch shared mutable state other
+  /// than its own slot of a caller-owned result vector.
+  void run(size_t Count, const std::function<void(size_t)> &Fn);
+
+  unsigned jobs() const { return Jobs; }
+
+private:
+  unsigned Jobs;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_CORE_SUITERUNNER_H

@@ -10,7 +10,7 @@
 
 using namespace ipcp;
 
-Trace *Trace::Active = nullptr;
+thread_local Trace *Trace::Active = nullptr;
 
 size_t Trace::beginSpan(std::string Name, std::string Detail) {
   Span S;
@@ -33,6 +33,42 @@ void Trace::endSpan() {
   S.DurationUs = nowUs() - S.StartUs;
   S.Open = false;
   OpenStack.pop_back();
+}
+
+void Trace::absorb(const Trace &Child) {
+  // The child trace was constructed after this one (its tasks were
+  // spawned from a context where this trace was active), so the offset
+  // is non-negative up to clock noise; clamp to keep times monotone.
+  uint64_t OffsetUs = 0;
+  if (Child.Start > Start)
+    OffsetUs = uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                            Child.Start - Start)
+                            .count());
+
+  size_t Base = Spans.size();
+  size_t AttachTo = OpenStack.empty() ? NoParent : OpenStack.back();
+  unsigned BaseDepth = AttachTo == NoParent ? 0 : Spans[AttachTo].Depth + 1;
+
+  for (const Span &ChildSpan : Child.Spans) {
+    Span S = ChildSpan;
+    S.StartUs += OffsetUs;
+    if (S.Parent == NoParent)
+      S.Parent = AttachTo;
+    else
+      S.Parent += Base;
+    S.Depth += BaseDepth;
+    Spans.push_back(std::move(S));
+  }
+  for (const Event &ChildEvent : Child.Events) {
+    Event E = ChildEvent;
+    E.TimeUs += OffsetUs;
+    if (E.Span == NoParent)
+      E.Span = AttachTo;
+    else
+      E.Span += Base;
+    Events.push_back(std::move(E));
+  }
+  Counters.merge(Child.Counters);
 }
 
 void Trace::event(std::string Name, std::string Detail) {

@@ -8,11 +8,14 @@
 /// The tracing half of the observability layer: hierarchical timed spans
 /// (one per pipeline stage, per SCCP solve, per cloning round, ...),
 /// point events carrying a per-procedure detail string, and aggregated
-/// counters. Tracing is opt-in and process-global: instrumentation sites
+/// counters. Tracing is opt-in and thread-local: instrumentation sites
 /// go through the zero-cost-when-inactive helpers (ScopedTraceSpan,
 /// traceEvent, traceCounter) instead of threading a Trace through every
-/// analysis signature — the analyzer is single-threaded, matching the
-/// paper's batch setting.
+/// analysis signature. Each thread has its own active trace; the parallel
+/// suite runner gives every worker task a private Trace and merges them
+/// into the parent trace in deterministic task order with absorb(), so a
+/// traced `suitecheck --jobs=8` run renders the same span tree as a
+/// sequential one (only the timings differ).
 ///
 /// A finished trace renders as an indented text tree (`--trace`) or as
 /// JSON (embedded in the `--report-json` report). The span and event
@@ -61,11 +64,12 @@ public:
 
   Trace() : Start(Clock::now()) {}
 
-  /// The process-global active trace; null when tracing is off.
+  /// The calling thread's active trace; null when tracing is off.
   static Trace *active() { return Active; }
 
-  /// Installs \p T as the active trace (null deactivates). Returns the
-  /// previously active trace so scopes can nest.
+  /// Installs \p T as the calling thread's active trace (null
+  /// deactivates). Returns the previously active trace so scopes can
+  /// nest.
   static Trace *setActive(Trace *T) {
     Trace *Prev = Active;
     Active = T;
@@ -86,6 +90,14 @@ public:
   void count(const std::string &Name, uint64_t Delta = 1) {
     Counters.add(Name, Delta);
   }
+
+  /// Appends \p Child's spans and events under this trace's currently
+  /// open span (or as roots when none is open), offsetting their times by
+  /// the interval between the two traces' construction, and merges the
+  /// child's counters. The child is left untouched. This is how the
+  /// parallel suite runner folds per-worker traces back into the parent
+  /// trace in deterministic task order.
+  void absorb(const Trace &Child);
 
   const std::vector<Span> &spans() const { return Spans; }
   const std::vector<Event> &events() const { return Events; }
@@ -111,7 +123,7 @@ private:
 
   JsonValue spanToJson(size_t Index) const;
 
-  static Trace *Active;
+  static thread_local Trace *Active;
 
   Clock::time_point Start;
   std::vector<Span> Spans;

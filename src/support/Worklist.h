@@ -1,13 +1,16 @@
-//===- support/Worklist.h - Deduplicating worklist --------------*- C++ -*-===//
+//===- support/Worklist.h - Deduplicating worklists -------------*- C++ -*-===//
 //
 // Part of the ipcp project.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A FIFO worklist that keeps at most one pending occurrence of each item.
-/// Used by the SCCP solver, the MOD/REF fixpoint, and the interprocedural
-/// constant propagator (the paper's "simple worklist iterative scheme").
+/// FIFO worklists that keep at most one pending occurrence of each item.
+/// Worklist<T> hashes arbitrary keys and is used by the SCCP solver and
+/// the MOD/REF fixpoint; IndexWorklist serves densely numbered keys (the
+/// SCC-scheduled interprocedural propagator numbers procedures 0..N-1)
+/// with a generation-stamped membership vector, so membership tests do no
+/// hashing and clear() is O(1).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,8 +18,10 @@
 #define IPCP_SUPPORT_WORKLIST_H
 
 #include <cassert>
+#include <cstdint>
 #include <deque>
 #include <unordered_set>
+#include <vector>
 
 namespace ipcp {
 
@@ -35,10 +40,22 @@ public:
   /// Dequeues the oldest item. Precondition: !empty().
   T pop() {
     assert(!empty() && "pop from empty worklist");
-    T Item = Queue.front();
+    T Item = std::move(Queue.front());
     Queue.pop_front();
-    Pending.erase(Item);
+    auto It = Pending.find(Item);
+    assert(It != Pending.end() && "queued item missing from pending set");
+    Pending.erase(It);
     return Item;
+  }
+
+  /// Pre-sizes the membership hash for \p Count items, avoiding rehashes
+  /// while a solver seeds its initial work.
+  void reserve(size_t Count) { Pending.reserve(Count); }
+
+  /// Drops all pending items.
+  void clear() {
+    Queue.clear();
+    Pending.clear();
   }
 
   bool empty() const { return Queue.empty(); }
@@ -47,6 +64,57 @@ public:
 private:
   std::deque<T> Queue;
   std::unordered_set<T> Pending;
+};
+
+/// FIFO queue of unique dense indices in [0, reserve()d count).
+/// Membership is a generation stamp per key: a key is pending iff its
+/// stamp equals the current generation, so insert/pop never hash and
+/// clear() just bumps the generation.
+class IndexWorklist {
+public:
+  /// Grows the key universe to at least \p Count keys.
+  void reserve(size_t Count) {
+    if (Stamp.size() < Count)
+      Stamp.resize(Count, 0);
+  }
+
+  /// Empties the queue in O(1); all keys become re-insertable.
+  void clear() {
+    ++Generation;
+    Queue.clear();
+    Head = 0;
+  }
+
+  /// Enqueues \p Key; returns false if it was already pending.
+  bool insert(unsigned Key) {
+    assert(Key < Stamp.size() && "key outside reserved universe");
+    if (Stamp[Key] == Generation)
+      return false;
+    Stamp[Key] = Generation;
+    Queue.push_back(Key);
+    return true;
+  }
+
+  /// Dequeues the oldest key. Precondition: !empty().
+  unsigned pop() {
+    assert(!empty() && "pop from empty worklist");
+    unsigned Key = Queue[Head++];
+    Stamp[Key] = Generation - 1; // no longer pending; re-insertable
+    if (Head == Queue.size()) {
+      Queue.clear();
+      Head = 0;
+    }
+    return Key;
+  }
+
+  bool empty() const { return Head == Queue.size(); }
+  size_t size() const { return Queue.size() - Head; }
+
+private:
+  std::vector<uint64_t> Stamp;
+  std::vector<unsigned> Queue;
+  size_t Head = 0;
+  uint64_t Generation = 1;
 };
 
 } // namespace ipcp

@@ -6,6 +6,7 @@
 
 #include "workload/Study.h"
 
+#include "core/SuiteRunner.h"
 #include "support/Json.h"
 
 #include <algorithm>
@@ -18,110 +19,132 @@ unsigned ipcp::runCell(const SuiteProgram &Prog, const IPCPOptions &Opts) {
   return runIPCP(*M, Opts).TotalConstantRefs;
 }
 
-std::vector<Table1Row>
-ipcp::computeTable1(const std::vector<SuiteProgram> &Suite) {
-  std::vector<Table1Row> Rows;
-  for (const SuiteProgram &Prog : Suite) {
-    Table1Row Row;
-    Row.Name = Prog.Name;
-    Row.Lines = countCodeLines(Prog.Source);
+namespace {
 
-    // Per-procedure line counts, from the source text ("proc " starts a
-    // procedure chunk).
-    std::vector<unsigned> PerProc;
-    size_t Pos = 0;
-    unsigned Current = 0;
-    bool InProc = false;
-    while (Pos < Prog.Source.size()) {
-      size_t End = Prog.Source.find('\n', Pos);
-      if (End == std::string::npos)
-        End = Prog.Source.size();
-      std::string_view Line(Prog.Source.data() + Pos, End - Pos);
-      size_t First = Line.find_first_not_of(" \t\r");
-      bool Code = First != std::string_view::npos &&
-                  Line.substr(First, 2) != "//";
-      if (Code && Line.substr(First, 5) == "proc ") {
-        if (InProc)
-          PerProc.push_back(Current);
-        InProc = true;
-        Current = 0;
-      }
-      if (Code && InProc)
-        ++Current;
-      Pos = End + 1;
-    }
-    if (InProc)
-      PerProc.push_back(Current);
-
-    Row.Procs = PerProc.size();
-    if (!PerProc.empty()) {
-      unsigned Total = 0;
-      for (unsigned N : PerProc)
-        Total += N;
-      Row.MeanLinesPerProc = Total / PerProc.size();
-      std::vector<unsigned> Sorted = PerProc;
-      std::sort(Sorted.begin(), Sorted.end());
-      Row.MedianLinesPerProc = Sorted[Sorted.size() / 2];
-    }
-
-    std::unique_ptr<Module> M = loadSuiteModule(Prog);
-    Row.Globals = M->globals().size();
-    for (const std::unique_ptr<Procedure> &P : M->procedures())
-      Row.CallSites += P->callSites().size();
-    Rows.push_back(Row);
+/// Fills Rows[I] = RowFn(Suite[I]) for every program, through \p Runner
+/// when one is supplied.
+template <typename Row, typename RowFn>
+std::vector<Row> computeRows(const std::vector<SuiteProgram> &Suite,
+                             SuiteRunner *Runner, const RowFn &Fn) {
+  std::vector<Row> Rows(Suite.size());
+  auto Fill = [&](size_t I) { Rows[I] = Fn(Suite[I]); };
+  if (Runner) {
+    Runner->run(Suite.size(), Fill);
+  } else {
+    for (size_t I = 0; I != Suite.size(); ++I)
+      Fill(I);
   }
   return Rows;
+}
+
+Table1Row computeTable1Row(const SuiteProgram &Prog) {
+  Table1Row Row;
+  Row.Name = Prog.Name;
+  Row.Lines = countCodeLines(Prog.Source);
+
+  // Per-procedure line counts, from the source text ("proc " starts a
+  // procedure chunk).
+  std::vector<unsigned> PerProc;
+  size_t Pos = 0;
+  unsigned Current = 0;
+  bool InProc = false;
+  while (Pos < Prog.Source.size()) {
+    size_t End = Prog.Source.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Prog.Source.size();
+    std::string_view Line(Prog.Source.data() + Pos, End - Pos);
+    size_t First = Line.find_first_not_of(" \t\r");
+    bool Code = First != std::string_view::npos &&
+                Line.substr(First, 2) != "//";
+    if (Code && Line.substr(First, 5) == "proc ") {
+      if (InProc)
+        PerProc.push_back(Current);
+      InProc = true;
+      Current = 0;
+    }
+    if (Code && InProc)
+      ++Current;
+    Pos = End + 1;
+  }
+  if (InProc)
+    PerProc.push_back(Current);
+
+  Row.Procs = PerProc.size();
+  if (!PerProc.empty()) {
+    unsigned Total = 0;
+    for (unsigned N : PerProc)
+      Total += N;
+    Row.MeanLinesPerProc = Total / PerProc.size();
+    std::vector<unsigned> Sorted = PerProc;
+    std::sort(Sorted.begin(), Sorted.end());
+    Row.MedianLinesPerProc = Sorted[Sorted.size() / 2];
+  }
+
+  std::unique_ptr<Module> M = loadSuiteModule(Prog);
+  Row.Globals = M->globals().size();
+  for (const std::unique_ptr<Procedure> &P : M->procedures())
+    Row.CallSites += P->callSites().size();
+  return Row;
+}
+
+Table2Row computeTable2Row(const SuiteProgram &Prog) {
+  Table2Row Row;
+  Row.Name = Prog.Name;
+
+  auto Cell = [&](JumpFunctionKind Kind, bool UseRet) {
+    IPCPOptions Opts;
+    Opts.ForwardKind = Kind;
+    Opts.UseReturnJumpFunctions = UseRet;
+    return runCell(Prog, Opts);
+  };
+
+  Row.Polynomial = Cell(JumpFunctionKind::Polynomial, true);
+  Row.PassThrough = Cell(JumpFunctionKind::PassThrough, true);
+  Row.Intraprocedural = Cell(JumpFunctionKind::IntraproceduralConstant, true);
+  Row.Literal = Cell(JumpFunctionKind::Literal, true);
+  Row.PolynomialNoRet = Cell(JumpFunctionKind::Polynomial, false);
+  Row.PassThroughNoRet = Cell(JumpFunctionKind::PassThrough, false);
+  return Row;
+}
+
+Table3Row computeTable3Row(const SuiteProgram &Prog) {
+  Table3Row Row;
+  Row.Name = Prog.Name;
+
+  IPCPOptions NoMod;
+  NoMod.UseModInformation = false;
+  Row.PolynomialWithoutMod = runCell(Prog, NoMod);
+
+  Row.PolynomialWithMod = runCell(Prog, IPCPOptions());
+
+  std::unique_ptr<Module> M = loadSuiteModule(Prog);
+  Row.CompletePropagation =
+      runCompletePropagation(*M, IPCPOptions()).TotalConstantRefs;
+
+  IPCPOptions Intra;
+  Intra.IntraproceduralOnly = true;
+  Row.IntraproceduralOnly = runCell(Prog, Intra);
+  return Row;
+}
+
+} // namespace
+
+std::vector<Table1Row>
+ipcp::computeTable1(const std::vector<SuiteProgram> &Suite,
+                    SuiteRunner *Runner) {
+  return computeRows<Table1Row>(Suite, Runner, computeTable1Row);
 }
 
 std::vector<Table2Row>
-ipcp::computeTable2(const std::vector<SuiteProgram> &Suite) {
-  std::vector<Table2Row> Rows;
-  for (const SuiteProgram &Prog : Suite) {
-    Table2Row Row;
-    Row.Name = Prog.Name;
-
-    auto Cell = [&](JumpFunctionKind Kind, bool UseRet) {
-      IPCPOptions Opts;
-      Opts.ForwardKind = Kind;
-      Opts.UseReturnJumpFunctions = UseRet;
-      return runCell(Prog, Opts);
-    };
-
-    Row.Polynomial = Cell(JumpFunctionKind::Polynomial, true);
-    Row.PassThrough = Cell(JumpFunctionKind::PassThrough, true);
-    Row.Intraprocedural =
-        Cell(JumpFunctionKind::IntraproceduralConstant, true);
-    Row.Literal = Cell(JumpFunctionKind::Literal, true);
-    Row.PolynomialNoRet = Cell(JumpFunctionKind::Polynomial, false);
-    Row.PassThroughNoRet = Cell(JumpFunctionKind::PassThrough, false);
-    Rows.push_back(Row);
-  }
-  return Rows;
+ipcp::computeTable2(const std::vector<SuiteProgram> &Suite,
+                    SuiteRunner *Runner) {
+  return computeRows<Table2Row>(Suite, Runner, computeTable2Row);
 }
 
 std::vector<Table3Row>
-ipcp::computeTable3(const std::vector<SuiteProgram> &Suite) {
-  std::vector<Table3Row> Rows;
-  for (const SuiteProgram &Prog : Suite) {
-    Table3Row Row;
-    Row.Name = Prog.Name;
-
-    IPCPOptions NoMod;
-    NoMod.UseModInformation = false;
-    Row.PolynomialWithoutMod = runCell(Prog, NoMod);
-
-    Row.PolynomialWithMod = runCell(Prog, IPCPOptions());
-
-    std::unique_ptr<Module> M = loadSuiteModule(Prog);
-    Row.CompletePropagation =
-        runCompletePropagation(*M, IPCPOptions()).TotalConstantRefs;
-
-    IPCPOptions Intra;
-    Intra.IntraproceduralOnly = true;
-    Row.IntraproceduralOnly = runCell(Prog, Intra);
-    Rows.push_back(Row);
-  }
-  return Rows;
+ipcp::computeTable3(const std::vector<SuiteProgram> &Suite,
+                    SuiteRunner *Runner) {
+  return computeRows<Table3Row>(Suite, Runner, computeTable3Row);
 }
 
 namespace {

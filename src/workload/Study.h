@@ -33,6 +33,8 @@
 
 namespace ipcp {
 
+class SuiteRunner;
+
 /// Table 1: characteristics of the program test suite.
 struct Table1Row {
   std::string Name;
@@ -66,9 +68,16 @@ struct Table3Row {
   unsigned IntraproceduralOnly = 0;
 };
 
-std::vector<Table1Row> computeTable1(const std::vector<SuiteProgram> &Suite);
-std::vector<Table2Row> computeTable2(const std::vector<SuiteProgram> &Suite);
-std::vector<Table3Row> computeTable3(const std::vector<SuiteProgram> &Suite);
+/// Each table computes its rows independently per program; pass a
+/// SuiteRunner to spread the rows across its worker threads (rows land in
+/// suite order either way — see SuiteRunner.h for the determinism story).
+/// A null runner computes sequentially on the calling thread.
+std::vector<Table1Row> computeTable1(const std::vector<SuiteProgram> &Suite,
+                                     SuiteRunner *Runner = nullptr);
+std::vector<Table2Row> computeTable2(const std::vector<SuiteProgram> &Suite,
+                                     SuiteRunner *Runner = nullptr);
+std::vector<Table3Row> computeTable3(const std::vector<SuiteProgram> &Suite,
+                                     SuiteRunner *Runner = nullptr);
 
 std::string formatTable1(const std::vector<Table1Row> &Rows);
 std::string formatTable2(const std::vector<Table2Row> &Rows);

@@ -1,0 +1,86 @@
+//===- workload/SuiteReport.cpp -------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/SuiteReport.h"
+
+#include "core/Report.h"
+#include "core/SuiteRunner.h"
+#include "ir/Verifier.h"
+#include "support/Trace.h"
+#include "workload/Oracle.h"
+
+using namespace ipcp;
+
+SuiteStudyResult ipcp::runSuiteStudy(SuiteRunner &Runner, bool BuildReports) {
+  const std::vector<SuiteProgram> &Suite = benchmarkSuite();
+  size_t N = Suite.size();
+
+  // Per-program slots; each task writes only its own index, and the
+  // aggregation below walks them in suite order.
+  std::vector<std::string> Messages(N);
+  std::vector<StatisticSet> Stats(N);
+  std::vector<JsonValue> Entries(N);
+  std::vector<int> Failures(N, 0);
+  IPCPOptions Opts;
+
+  Runner.run(N, [&](size_t I) {
+    const SuiteProgram &Prog = Suite[I];
+    ScopedTraceSpan ProgSpan("program", Prog.Name);
+    auto M = loadSuiteModule(Prog);
+    for (const std::string &E : verifyModule(*M, VerifyMode::PreSSA)) {
+      Messages[I] += Prog.Name + ": verify: " + E + "\n";
+      ++Failures[I];
+    }
+    IPCPResult Res = runIPCP(*M);
+    OracleReport Rep = checkSoundness(*M, Res);
+    bool Ok = Rep.Sound && Rep.ExecStatus == ExecutionResult::Status::Ok;
+    if (!Ok) {
+      Messages[I] += Prog.Name + ": " + Rep.str() + " (exec status " +
+                     std::to_string(int(Rep.ExecStatus)) + ")\n";
+      ++Failures[I];
+    }
+    Stats[I] = Res.Stats;
+    if (BuildReports) {
+      AnalysisReport Report;
+      Report.SourceName = Prog.Name;
+      Report.M = M.get();
+      Report.Opts = &Opts;
+      Report.Single = &Res;
+      JsonValue Entry = buildAnalysisReport(Report);
+      Entry.set("sound", Ok);
+      Entries[I] = std::move(Entry);
+    }
+  });
+
+  SuiteStudyResult R;
+  R.Messages = std::move(Messages);
+  for (size_t I = 0; I != N; ++I) {
+    R.Failures += Failures[I];
+    R.Counters.merge(Stats[I]);
+    if (BuildReports)
+      R.Programs.push(std::move(Entries[I]));
+  }
+
+  R.T1 = computeTable1(Suite, &Runner);
+  R.T2 = computeTable2(Suite, &Runner);
+  R.T3 = computeTable3(Suite, &Runner);
+  return R;
+}
+
+JsonValue ipcp::buildSuiteReport(const SuiteStudyResult &R,
+                                 const Trace *TraceData) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("schema", "ipcp-suite-report-v1");
+  Doc.set("failures", R.Failures);
+  Doc.set("programs", R.Programs);
+  Doc.set("table1", table1ToJson(R.T1));
+  Doc.set("table2", table2ToJson(R.T2));
+  Doc.set("table3", table3ToJson(R.T3));
+  Doc.set("counters", R.Counters.toJson());
+  if (TraceData)
+    Doc.set("trace", TraceData->toJson());
+  return Doc;
+}

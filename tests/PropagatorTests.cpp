@@ -7,6 +7,7 @@
 #include "TestUtil.h"
 
 #include "core/Pipeline.h"
+#include "core/Propagator.h"
 
 #include <gtest/gtest.h>
 
@@ -185,6 +186,89 @@ TEST(Propagator, WorkCountersAreBoundedByLatticeDepth) {
   EXPECT_GT(R.Stats.get("prop_evaluations"), 0u);
   EXPECT_LE(R.Stats.get("prop_lowerings"),
             2u * 3u /* formals */ + 2u /* slack */);
+}
+
+TEST(Propagator, SccAndFifoSchedulesAgree) {
+  // Both schedules must reach the same fixpoint on recursive, mutually
+  // recursive, and global-heavy shapes.
+  for (const char *Source :
+       {"proc f(n, k) { if (n > 0) { call f(n - 1, k); } print k; }\n"
+        "proc main() { call f(3, 42); }",
+        "proc even(n) { if (n > 0) { call odd(n - 1); } print n; }\n"
+        "proc odd(n) { if (n > 0) { call even(n - 1); } print n; }\n"
+        "proc main() { call even(8); }",
+        "global g, h;\n"
+        "proc use() { print g + h; }\n"
+        "proc main() { g = 5; call use(); }"}) {
+    auto M = lowerOk(Source);
+    IPCPOptions Fifo;
+    Fifo.Schedule = PropagationSchedule::FIFO;
+    IPCPResult Scc = runIPCP(*M);
+    IPCPResult Naive = runIPCP(*M, Fifo);
+    ASSERT_EQ(Scc.Procs.size(), Naive.Procs.size());
+    for (unsigned I = 0; I != Scc.Procs.size(); ++I) {
+      EXPECT_EQ(Scc.Procs[I].EntryConstants, Naive.Procs[I].EntryConstants);
+      EXPECT_EQ(Scc.Procs[I].ConstantRefs, Naive.Procs[I].ConstantRefs);
+    }
+  }
+}
+
+TEST(Propagator, SccScheduleNeverRevisitsAcyclicGraphs) {
+  // Module order lists callees first, the worst case for the FIFO
+  // schedule; the SCC sweep still visits each procedure exactly once.
+  auto M = lowerOk("proc c(z) { print z; }\n"
+                   "proc b(y) { call c(y); }\n"
+                   "proc a(x) { call b(x); }\n"
+                   "proc main() { call a(9); }");
+  IPCPResult Scc = runIPCP(*M);
+  EXPECT_EQ(Scc.Stats.get("prop_revisits"), 0u);
+  EXPECT_EQ(Scc.Stats.get("prop_visits"), 4u);
+
+  IPCPOptions Fifo;
+  Fifo.Schedule = PropagationSchedule::FIFO;
+  IPCPResult Naive = runIPCP(*M, Fifo);
+  EXPECT_GT(Naive.Stats.get("prop_revisits"), 0u);
+  EXPECT_LT(Scc.Stats.get("prop_visits"), Naive.Stats.get("prop_visits"));
+  EXPECT_LT(Scc.Stats.get("prop_evaluations"),
+            Naive.Stats.get("prop_evaluations"));
+}
+
+TEST(Propagator, RecursiveComponentsStillIterate) {
+  // A cyclic component must keep iterating until its members converge:
+  // the conflicting recursive argument has to reach bottom, not stop at
+  // the first visit's value.
+  IPCPOptions Fifo;
+  Fifo.Schedule = PropagationSchedule::FIFO;
+  for (IPCPOptions Opts : {IPCPOptions(), Fifo}) {
+    IPCPResult R = analyze(
+        "proc f(n, k) { if (n > 0) { call f(n - 1, k); } print n + k; }\n"
+        "proc main() { call f(3, 42); }",
+        Opts);
+    auto C = constantsOf(R, "f");
+    EXPECT_FALSE(C.count("n")) << "n meets 3, 2, 1, ... -> bottom";
+    EXPECT_EQ(C["k"], 42);
+  }
+}
+
+TEST(ConstantsMap, SetValueSkipsTopStores) {
+  auto M = lowerOk("proc f(a) { print a; }\n"
+                   "proc main() { call f(1); }");
+  Procedure *F = getProc(*M, "f");
+  Variable *A = F->formals()[0];
+
+  ConstantsMap CM;
+  CM.setValue(F, A, LatticeValue::top());
+  EXPECT_EQ(CM.totalEntries(), 0u) << "storing top must not create entries";
+  EXPECT_TRUE(CM.valueOf(F, A).isTop());
+
+  CM.setValue(F, A, LatticeValue::constant(5));
+  EXPECT_EQ(CM.totalEntries(), 1u);
+  EXPECT_EQ(CM.totalConstants(), 1u);
+
+  // A map that never saw the top store is structurally equal.
+  ConstantsMap Direct;
+  Direct.setValue(F, A, LatticeValue::constant(5));
+  EXPECT_TRUE(CM.equals(Direct));
 }
 
 TEST(Propagator, DeterministicAcrossRuns) {

@@ -12,6 +12,7 @@
 
 #include "TestUtil.h"
 
+#include "core/SuiteRunner.h"
 #include "workload/Oracle.h"
 #include "workload/Study.h"
 
@@ -201,7 +202,8 @@ TEST(SuiteRelations, IntraproceduralAlwaysBehindInterprocedural) {
 //===----------------------------------------------------------------------===//
 
 TEST(SuiteTables, Table1HasTwelveRowsWithSaneNumbers) {
-  std::vector<Table1Row> Rows = computeTable1(benchmarkSuite());
+  SuiteRunner Runner(4);
+  std::vector<Table1Row> Rows = computeTable1(benchmarkSuite(), &Runner);
   ASSERT_EQ(Rows.size(), 12u);
   for (const Table1Row &Row : Rows) {
     EXPECT_GT(Row.Lines, 20u) << Row.Name;
@@ -231,6 +233,23 @@ TEST(SuiteTables, FormattingContainsAllPrograms) {
   for (const std::string &Text : {T1, T2, T3}) {
     EXPECT_NE(Text.find("adm"), std::string::npos);
     EXPECT_NE(Text.find("trfd"), std::string::npos);
+  }
+}
+
+TEST(SuiteTables, ParallelTablesMatchSequential) {
+  // The table computations route per-program work through a SuiteRunner;
+  // the worker count must never change a row.
+  SuiteRunner Parallel(4);
+  std::vector<Table2Row> Seq = computeTable2(benchmarkSuite());
+  std::vector<Table2Row> Par = computeTable2(benchmarkSuite(), &Parallel);
+  ASSERT_EQ(Seq.size(), Par.size());
+  for (size_t I = 0; I < Seq.size(); ++I) {
+    EXPECT_EQ(Seq[I].Name, Par[I].Name);
+    EXPECT_EQ(Seq[I].Literal, Par[I].Literal);
+    EXPECT_EQ(Seq[I].Intraprocedural, Par[I].Intraprocedural);
+    EXPECT_EQ(Seq[I].PassThrough, Par[I].PassThrough);
+    EXPECT_EQ(Seq[I].Polynomial, Par[I].Polynomial);
+    EXPECT_EQ(Seq[I].PolynomialNoRet, Par[I].PolynomialNoRet);
   }
 }
 

@@ -9,10 +9,12 @@
 #include "support/Diagnostics.h"
 #include "support/Statistics.h"
 #include "support/StringInterner.h"
+#include "support/ThreadPool.h"
 #include "support/Worklist.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <limits>
 
 using namespace ipcp;
@@ -235,6 +237,115 @@ TEST(Worklist, InterleavedInsertPop) {
   EXPECT_EQ(W.pop(), 2);
   EXPECT_EQ(W.pop(), 3);
   EXPECT_EQ(W.pop(), 1);
+}
+
+TEST(Worklist, ClearDropsPendingItems) {
+  Worklist<int> W;
+  W.reserve(8);
+  W.insert(1);
+  W.insert(2);
+  W.clear();
+  EXPECT_TRUE(W.empty());
+  EXPECT_EQ(W.size(), 0u);
+  // Cleared items are re-insertable.
+  EXPECT_TRUE(W.insert(1));
+  EXPECT_EQ(W.pop(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// IndexWorklist
+//===----------------------------------------------------------------------===//
+
+TEST(IndexWorklist, FifoOrderAndDeduplication) {
+  IndexWorklist W;
+  W.reserve(10);
+  EXPECT_TRUE(W.insert(3));
+  EXPECT_TRUE(W.insert(7));
+  EXPECT_FALSE(W.insert(3)) << "pending keys deduplicate";
+  EXPECT_EQ(W.size(), 2u);
+  EXPECT_EQ(W.pop(), 3u);
+  EXPECT_TRUE(W.insert(3)) << "popped keys are re-insertable";
+  EXPECT_EQ(W.pop(), 7u);
+  EXPECT_EQ(W.pop(), 3u);
+  EXPECT_TRUE(W.empty());
+}
+
+TEST(IndexWorklist, ClearBumpsGeneration) {
+  IndexWorklist W;
+  W.reserve(4);
+  W.insert(0);
+  W.insert(1);
+  W.clear();
+  EXPECT_TRUE(W.empty());
+  // Every key insertable again after the O(1) clear, including ones that
+  // were pending when it happened.
+  EXPECT_TRUE(W.insert(1));
+  EXPECT_TRUE(W.insert(0));
+  EXPECT_FALSE(W.insert(1));
+  EXPECT_EQ(W.pop(), 1u);
+  EXPECT_EQ(W.pop(), 0u);
+}
+
+TEST(IndexWorklist, ReserveGrowsTheUniverse) {
+  IndexWorklist W;
+  W.reserve(2);
+  W.insert(1);
+  W.reserve(100);
+  EXPECT_TRUE(W.insert(99));
+  EXPECT_EQ(W.pop(), 1u);
+  EXPECT_EQ(W.pop(), 99u);
+}
+
+TEST(IndexWorklist, ManyGenerationsStayCorrect) {
+  IndexWorklist W;
+  W.reserve(3);
+  for (int Round = 0; Round != 50; ++Round) {
+    EXPECT_TRUE(W.insert(Round % 3));
+    EXPECT_FALSE(W.insert(Round % 3));
+    W.clear();
+    EXPECT_TRUE(W.empty());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.threadCount(), 4u);
+  std::atomic<int> Counter{0};
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Counter] { ++Counter; });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossPhases) {
+  ThreadPool Pool(2);
+  std::atomic<int> Counter{0};
+  for (int Phase = 0; Phase != 3; ++Phase) {
+    for (int I = 0; I != 10; ++I)
+      Pool.submit([&Counter] { ++Counter; });
+    Pool.wait();
+    EXPECT_EQ(Counter.load(), 10 * (Phase + 1));
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> Counter{0};
+  {
+    ThreadPool Pool(1);
+    for (int I = 0; I != 20; ++I)
+      Pool.submit([&Counter] { ++Counter; });
+  }
+  EXPECT_EQ(Counter.load(), 20);
+}
+
+TEST(ThreadPool, ZeroThreadCountClampsToOne) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.threadCount(), 1u);
+  EXPECT_GE(ThreadPool::defaultConcurrency(), 1u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,23 +1,37 @@
 // Development check: validate every suite program end-to-end and print
 // the three tables. Shares the driver's observability surface:
 //
-//   suitecheck [--stats] [--trace[=FILE]] [--report-json=FILE]
+//   suitecheck [--jobs=N] [--stats] [--trace[=FILE]] [--report-json=FILE]
+//
+// Programs (and table rows) are analyzed concurrently across N worker
+// threads (default: hardware concurrency; --jobs=1 forces sequential).
+// Every output — diagnostics, tables, counters, the JSON report — is
+// collected in suite order, so the report is byte-identical at any job
+// count apart from timing counters.
 //
 // The JSON report carries one "ipcp-report-v1" result per program plus
 // the three paper tables, so suite-wide trajectories can be produced
 // mechanically.
-#include "core/Report.h"
-#include "ir/Verifier.h"
+#include "core/SuiteRunner.h"
+#include "support/ThreadPool.h"
 #include "support/Trace.h"
-#include "workload/Oracle.h"
-#include "workload/Study.h"
+#include "workload/SuiteReport.h"
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 using namespace ipcp;
+
+static void usage() {
+  std::fprintf(stderr, "usage: suitecheck [--jobs=N] [--stats] "
+                       "[--trace[=FILE]] [--report-json=FILE]\n"
+                       "  --jobs=N   analyze programs on N threads "
+                       "(default: hardware concurrency)\n");
+}
 
 int main(int argc, char **argv) {
   bool ShowStats = false, TraceOn = false;
   std::string TraceFile, ReportFile;
+  unsigned Jobs = ThreadPool::defaultConcurrency();
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--stats") {
@@ -30,10 +44,16 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("--report-json=", 0) == 0 &&
                Arg.size() > 14) {
       ReportFile = Arg.substr(14);
+    } else if (Arg.rfind("--jobs=", 0) == 0 && Arg.size() > 7) {
+      char *End = nullptr;
+      unsigned long Value = std::strtoul(Arg.c_str() + 7, &End, 10);
+      if (*End != '\0' || Value == 0) {
+        std::fprintf(stderr, "error: --jobs expects a positive integer\n");
+        return 1;
+      }
+      Jobs = unsigned(Value);
     } else {
-      std::fprintf(stderr,
-                   "usage: suitecheck [--stats] [--trace[=FILE]] "
-                   "[--report-json=FILE]\n");
+      usage();
       return 1;
     }
   }
@@ -42,50 +62,20 @@ int main(int argc, char **argv) {
   if (TraceOn)
     Trace::setActive(&TraceData);
 
-  IPCPOptions Opts;
-  StatisticSet Merged;
-  JsonValue Programs = JsonValue::array();
-  int Failures = 0;
-  for (const SuiteProgram &Prog : benchmarkSuite()) {
-    ScopedTraceSpan ProgSpan("program", Prog.Name);
-    auto M = loadSuiteModule(Prog);
-    auto Errs = verifyModule(*M, VerifyMode::PreSSA);
-    for (auto &E : Errs) {
-      std::printf("%s: verify: %s\n", Prog.Name.c_str(), E.c_str());
-      ++Failures;
-    }
-    IPCPResult R = runIPCP(*M);
-    OracleReport Rep = checkSoundness(*M, R);
-    bool Ok = Rep.Sound && Rep.ExecStatus == ExecutionResult::Status::Ok;
-    if (!Ok) {
-      std::printf("%s: %s (exec status %d)\n", Prog.Name.c_str(),
-                  Rep.str().c_str(), (int)Rep.ExecStatus);
-      ++Failures;
-    }
-    Merged.merge(R.Stats);
-    if (!ReportFile.empty()) {
-      AnalysisReport Report;
-      Report.SourceName = Prog.Name;
-      Report.M = M.get();
-      Report.Opts = &Opts;
-      Report.Single = &R;
-      JsonValue Entry = buildAnalysisReport(Report);
-      Entry.set("sound", Ok);
-      Programs.push(std::move(Entry));
-    }
-  }
+  SuiteRunner Runner(Jobs);
+  SuiteStudyResult Study = runSuiteStudy(Runner, !ReportFile.empty());
+  for (const std::string &Message : Study.Messages)
+    if (!Message.empty())
+      std::printf("%s", Message.c_str());
 
-  auto T1 = computeTable1(benchmarkSuite());
-  auto T2 = computeTable2(benchmarkSuite());
-  auto T3 = computeTable3(benchmarkSuite());
-  std::printf("%s\n", formatTable1(T1).c_str());
-  std::printf("%s\n", formatTable2(T2).c_str());
-  std::printf("%s\n", formatTable3(T3).c_str());
-  std::printf("failures: %d\n", Failures);
+  std::printf("%s\n", formatTable1(Study.T1).c_str());
+  std::printf("%s\n", formatTable2(Study.T2).c_str());
+  std::printf("%s\n", formatTable3(Study.T3).c_str());
+  std::printf("failures: %d\n", Study.Failures);
 
   if (ShowStats)
     std::printf("statistics (all programs):\n%s",
-                formatStatsTable(Merged).c_str());
+                formatStatsTable(Study.Counters).c_str());
 
   if (TraceOn) {
     Trace::setActive(nullptr);
@@ -105,21 +95,12 @@ int main(int argc, char **argv) {
   }
 
   if (!ReportFile.empty()) {
-    JsonValue Doc = JsonValue::object();
-    Doc.set("schema", "ipcp-suite-report-v1");
-    Doc.set("failures", Failures);
-    Doc.set("programs", std::move(Programs));
-    Doc.set("table1", table1ToJson(T1));
-    Doc.set("table2", table2ToJson(T2));
-    Doc.set("table3", table3ToJson(T3));
-    Doc.set("counters", Merged.toJson());
-    if (TraceOn)
-      Doc.set("trace", TraceData.toJson());
+    JsonValue Doc = buildSuiteReport(Study, TraceOn ? &TraceData : nullptr);
     std::string Error;
     if (!writeJsonFile(ReportFile, Doc, &Error)) {
       std::fprintf(stderr, "error: %s\n", Error.c_str());
       return 1;
     }
   }
-  return Failures != 0;
+  return Study.Failures != 0;
 }
