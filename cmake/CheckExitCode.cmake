@@ -1,0 +1,34 @@
+# Runs a command and fails unless its exit code matches expectations.
+# ctest treats any nonzero exit as failure, so tests that must assert a
+# *specific* nonzero code (the driver's documented 2/3/4/5 degradation
+# and error codes) run through this script instead:
+#
+#   cmake -DEXPECTED_CODE=5 "-DCMD=<exe>;<arg>;..." -P CheckExitCode.cmake
+#
+# An optional -DEXPECT_STDERR=<substring> additionally requires the
+# substring to appear on stderr, pinning *why* the command exited.
+
+if(NOT DEFINED CMD OR NOT DEFINED EXPECTED_CODE)
+  message(FATAL_ERROR
+          "CheckExitCode.cmake needs -DCMD=<;-list> and -DEXPECTED_CODE=<n>")
+endif()
+
+execute_process(COMMAND ${CMD}
+                RESULT_VARIABLE ActualCode
+                OUTPUT_VARIABLE Stdout
+                ERROR_VARIABLE Stderr)
+
+if(NOT ActualCode EQUAL EXPECTED_CODE)
+  message(FATAL_ERROR
+          "expected exit code ${EXPECTED_CODE}, got '${ActualCode}'\n"
+          "command: ${CMD}\nstdout:\n${Stdout}\nstderr:\n${Stderr}")
+endif()
+
+if(DEFINED EXPECT_STDERR)
+  string(FIND "${Stderr}" "${EXPECT_STDERR}" Found)
+  if(Found EQUAL -1)
+    message(FATAL_ERROR
+            "stderr does not contain '${EXPECT_STDERR}'\n"
+            "command: ${CMD}\nstderr:\n${Stderr}")
+  endif()
+endif()

@@ -21,8 +21,19 @@
 //     --stats                                     counter summary table
 //     --trace[=FILE]                              per-pass span trace
 //     --report-json=FILE                          full JSON report
+//     --limit-parse-depth=N  --limit-tokens=N  --limit-ast-nodes=N
+//     --limit-ir-insts=N     --limit-prop-evals=N --deadline-ms=N
+//                                                 resource budgets
 //
 // With no FILE, analyzes a built-in demo program.
+//
+// Exit codes (documented in docs/ROBUSTNESS.md and README.md):
+//   0  success
+//   1  usage error (unknown flag, malformed value)
+//   2  input file cannot be opened or read
+//   3  source program has errors
+//   4  an output file (report, trace) could not be written
+//   5  a resource budget tripped; the run degraded gracefully
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,14 +48,15 @@
 #include "interp/Interpreter.h"
 #include "ir/AstLower.h"
 #include "ir/IRPrinter.h"
+#include "support/FileIO.h"
 #include "support/Trace.h"
 #include "workload/Programs.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <optional>
-#include <sstream>
 #include <string>
 
 using namespace ipcp;
@@ -73,8 +85,37 @@ void printUsage() {
       "  --stats          print the counter summary table\n"
       "  --trace[=FILE]   record per-pass spans (text; stderr or FILE)\n"
       "  --report-json=FILE  write the full analysis report as JSON\n"
+      "resource budgets (0 = unlimited; a trip degrades the run, exit 5):\n"
+      "  --limit-parse-depth=N  parser recursion depth (default 512)\n"
+      "  --limit-tokens=N       tokens per source buffer\n"
+      "  --limit-ast-nodes=N    AST nodes the parser may allocate\n"
+      "  --limit-ir-insts=N     IR instructions entering (or grown by)\n"
+      "                         the analysis\n"
+      "  --limit-prop-evals=N   jump-function evaluations per solve\n"
+      "  --deadline-ms=N        wall-clock deadline for the whole run\n"
+      "exit codes: 0 ok, 1 usage, 2 input unreadable, 3 source errors,\n"
+      "            4 output write failed, 5 degraded (budget tripped)\n"
       "suite names: adm doduc fpppp linpackd matrix300 mdg ocean qcd\n"
       "             simple snasa7 spec77 trfd\n");
+}
+
+/// Parses the numeric value of --NAME=N budget flags. Exits with a usage
+/// error (code 1) on a malformed or out-of-range value.
+uint64_t parseLimitValue(const std::string &Arg, size_t PrefixLen) {
+  std::string Text = Arg.substr(PrefixLen);
+  if (Text.empty() || Text.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr, "error: malformed value in '%s' (expect a "
+                         "non-negative integer)\n",
+                 Arg.c_str());
+    std::exit(1);
+  }
+  errno = 0;
+  unsigned long long Value = std::strtoull(Text.c_str(), nullptr, 10);
+  if (errno == ERANGE) {
+    std::fprintf(stderr, "error: value out of range in '%s'\n", Arg.c_str());
+    std::exit(1);
+  }
+  return Value;
 }
 
 } // namespace
@@ -143,6 +184,36 @@ int main(int argc, char **argv) {
       ShowStats = true;
       continue;
     }
+    if (Arg.rfind("--limit-parse-depth=", 0) == 0) {
+      uint64_t V = parseLimitValue(Arg, 20);
+      if (V == 0 || V > 1u << 20) {
+        std::fprintf(stderr,
+                     "error: --limit-parse-depth must be in [1, 1048576]\n");
+        return 1;
+      }
+      Opts.Limits.MaxParseDepth = unsigned(V);
+      continue;
+    }
+    if (Arg.rfind("--limit-tokens=", 0) == 0) {
+      Opts.Limits.MaxTokens = parseLimitValue(Arg, 15);
+      continue;
+    }
+    if (Arg.rfind("--limit-ast-nodes=", 0) == 0) {
+      Opts.Limits.MaxAstNodes = parseLimitValue(Arg, 18);
+      continue;
+    }
+    if (Arg.rfind("--limit-ir-insts=", 0) == 0) {
+      Opts.Limits.MaxIRInstructions = parseLimitValue(Arg, 17);
+      continue;
+    }
+    if (Arg.rfind("--limit-prop-evals=", 0) == 0) {
+      Opts.Limits.MaxPropagationEvals = parseLimitValue(Arg, 19);
+      continue;
+    }
+    if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      Opts.Limits.DeadlineMs = parseLimitValue(Arg, 14);
+      continue;
+    }
     if (Arg == "--no-return-jf") {
       Opts.UseReturnJumpFunctions = false;
     } else if (Arg == "--gated-ssa") {
@@ -172,28 +243,51 @@ int main(int argc, char **argv) {
       printUsage();
       return 1;
     } else {
-      std::ifstream File(Arg);
-      if (!File) {
-        std::fprintf(stderr, "error: cannot open '%s'\n", Arg.c_str());
-        return 1;
+      // Exit 2 distinguishes unreadable input from a source program with
+      // errors (exit 3): an empty file is a valid (empty) program, a
+      // missing or unreadable one is not.
+      std::string Error;
+      if (!readFileToString(Arg, Source, &Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 2;
       }
-      std::ostringstream Buffer;
-      Buffer << File.rdbuf();
-      Source = Buffer.str();
       SourceName = Arg;
     }
   }
 
   DiagnosticsEngine Diags;
-  std::optional<Program> Ast = parseAndCheck(Source, Diags);
+  ResourceGuard Guard(Opts.Limits);
+  std::optional<Program> Ast = parseAndCheck(Source, Diags, true, &Guard);
   if (!Ast) {
     std::fprintf(stderr, "%s", Diags.str().c_str());
-    return 1;
+    if (!Guard.tripped())
+      return 3;
+    // A frontend budget trip is degradation, not a source error: emit a
+    // schema-valid (result-free) degraded report when one was asked for,
+    // and exit 5 so callers can tell the two apart.
+    PipelineStatus Status = Guard.status();
+    std::fprintf(stderr, "warning: %s\n", Status.Message.c_str());
+    if (!ReportFile.empty()) {
+      AnalysisReport Report;
+      Report.SourceName = SourceName;
+      Report.Opts = &Opts;
+      Report.Status = &Status;
+      std::string Error;
+      if (!writeJsonFile(ReportFile, buildAnalysisReport(Report), &Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 4;
+      }
+      if (ReportFile != "-")
+        std::printf("report written to %s\n", ReportFile.c_str());
+    }
+    return 5;
   }
   for (const Diagnostic &D : Diags.diagnostics())
     std::fprintf(stderr, "%s\n", D.str().c_str()); // surface warnings
 
   std::unique_ptr<Module> M = lowerProgram(*Ast);
+  Guard.checkIRInstructions(M->instructionCount(), "lowering");
+  Guard.checkDeadline("lowering");
   std::printf("analyzing %s: %zu procedure(s), %u instruction(s)\n",
               SourceName.c_str(), M->procedures().size(),
               M->instructionCount());
@@ -212,7 +306,7 @@ int main(int argc, char **argv) {
 
   std::optional<CloningResult> CloneResult;
   if (Clone) {
-    CloneResult = cloneForConstants(*M, {Opts});
+    CloneResult = cloneForConstants(*M, {Opts}, &Guard);
     std::printf("cloning: %u copies created, %u -> %u instructions\n",
                 CloneResult->ClonesCreated, CloneResult->InstructionsBefore,
                 CloneResult->InstructionsAfter);
@@ -231,7 +325,7 @@ int main(int argc, char **argv) {
   std::optional<CompletePropagationResult> CompleteResult;
   std::optional<IPCPResult> SingleResult;
   if (Complete) {
-    CompleteResult = runCompletePropagation(*M, Opts);
+    CompleteResult = runCompletePropagation(*M, Opts, 8, &Guard);
     const CompletePropagationResult &CR = *CompleteResult;
     std::printf("complete propagation: %u round(s), %u dead blocks "
                 "removed\n",
@@ -249,7 +343,7 @@ int main(int argc, char **argv) {
       std::printf("statistics (all rounds):\n%s",
                   formatStatsTable(CR.Stats).c_str());
   } else {
-    SingleResult = runIPCP(*M, Opts);
+    SingleResult = runIPCP(*M, Opts, &Guard);
     const IPCPResult &R = *SingleResult;
     std::printf("configuration: %s jump functions, return JFs %s, MOD %s%s\n",
                 jumpFunctionKindName(Opts.ForwardKind),
@@ -336,17 +430,15 @@ int main(int argc, char **argv) {
     if (TraceFile.empty()) {
       std::fprintf(stderr, "%s", Text.c_str());
     } else {
-      std::FILE *F = std::fopen(TraceFile.c_str(), "w");
-      if (!F) {
-        std::fprintf(stderr, "error: cannot open '%s' for writing\n",
-                     TraceFile.c_str());
-        return 1;
+      std::string Error;
+      if (!writeStringToFile(TraceFile, Text, &Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 4;
       }
-      std::fwrite(Text.data(), 1, Text.size(), F);
-      std::fclose(F);
     }
   }
 
+  PipelineStatus FinalStatus = Guard.status();
   if (!ReportFile.empty()) {
     AnalysisReport Report;
     Report.SourceName = SourceName;
@@ -356,10 +448,11 @@ int main(int argc, char **argv) {
     Report.Complete = CompleteResult ? &*CompleteResult : nullptr;
     Report.Cloning = CloneResult ? &*CloneResult : nullptr;
     Report.TraceData = TraceOn ? &TraceData : nullptr;
+    Report.Status = &FinalStatus;
     std::string Error;
     if (!writeJsonFile(ReportFile, buildAnalysisReport(Report), &Error)) {
       std::fprintf(stderr, "error: %s\n", Error.c_str());
-      return 1;
+      return 4;
     }
     if (ReportFile != "-")
       std::printf("report written to %s\n", ReportFile.c_str());
@@ -372,6 +465,10 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(Exec.Steps));
     for (ConstantValue V : Exec.Output)
       std::printf("output: %lld\n", static_cast<long long>(V));
+  }
+  if (FinalStatus.Degraded) {
+    std::fprintf(stderr, "warning: %s\n", FinalStatus.Message.c_str());
+    return 5;
   }
   return 0;
 }

@@ -31,8 +31,10 @@ class BindingGraphSolver {
 public:
   BindingGraphSolver(const CallGraph &CG, const ModRefInfo &MRI,
                      const ForwardJumpFunctions &FJFs,
-                     const IPCPOptions &Opts, PropagatorStats *Stats)
-      : CG(CG), MRI(MRI), FJFs(FJFs), Opts(Opts), Stats(Stats) {}
+                     const IPCPOptions &Opts, PropagatorStats *Stats,
+                     ResourceGuard *Guard)
+      : CG(CG), MRI(MRI), FJFs(FJFs), Opts(Opts), Stats(Stats),
+        Guard(Guard) {}
 
   ConstantsMap solve();
 
@@ -56,6 +58,7 @@ private:
   const ForwardJumpFunctions &FJFs;
   const IPCPOptions &Opts;
   PropagatorStats *Stats;
+  ResourceGuard *Guard;
 
   std::vector<BindingEdge> Edges;
   /// (caller, support var) -> indices into Edges to re-evaluate when the
@@ -97,6 +100,8 @@ void BindingGraphSolver::lower(Procedure *Q, Variable *Var,
 void BindingGraphSolver::evaluateEdge(const BindingEdge &Edge) {
   if (Stats)
     ++Stats->JumpFunctionEvaluations;
+  if (Guard)
+    Guard->noteEvaluations();
   auto EnvIt = VAL.find(Edge.Caller);
   static const LatticeEnv EmptyEnv;
   const LatticeEnv &Env = EnvIt == VAL.end() ? EmptyEnv : EnvIt->second;
@@ -133,10 +138,13 @@ ConstantsMap BindingGraphSolver::solve() {
   // Seed every edge once (this covers the support-free constant and
   // bottom jump functions; support-carrying ones evaluate to top now and
   // are revisited through the dependency index).
-  for (const BindingEdge &Edge : Edges)
+  for (const BindingEdge &Edge : Edges) {
+    if (Guard && Guard->tripped())
+      break;
     evaluateEdge(Edge);
+  }
 
-  while (!Work.empty()) {
+  while (!Work.empty() && !(Guard && Guard->tripped())) {
     PairKey Key = Work.front();
     Work.pop_front();
     Pending[Key] = false;
@@ -149,6 +157,11 @@ ConstantsMap BindingGraphSolver::solve() {
       evaluateEdge(Edges[EdgeIndex]);
   }
 
+  // A budget-interrupted iteration is above the fixpoint (too
+  // optimistic); the empty map is the sound degraded answer.
+  if (Guard && Guard->tripped())
+    return ConstantsMap();
+
   // Package into a ConstantsMap via its merge interface.
   ConstantsMap CM;
   for (auto &[P, Env] : VAL)
@@ -160,8 +173,8 @@ ConstantsMap BindingGraphSolver::solve() {
 ConstantsMap ipcp::propagateConstantsBindingGraph(
     const CallGraph &CG, const ModRefInfo &MRI,
     const ForwardJumpFunctions &FJFs, const IPCPOptions &Opts,
-    PropagatorStats *Stats) {
+    PropagatorStats *Stats, ResourceGuard *Guard) {
   ScopedTraceSpan PropSpan("propagate", "binding-multigraph");
-  BindingGraphSolver Solver(CG, MRI, FJFs, Opts, Stats);
+  BindingGraphSolver Solver(CG, MRI, FJFs, Opts, Stats, Guard);
   return Solver.solve();
 }

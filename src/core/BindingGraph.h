@@ -32,12 +32,15 @@
 namespace ipcp {
 
 /// Runs the binding-multigraph worklist propagation to fixpoint.
-/// Produces exactly the same ConstantsMap as propagateConstants.
+/// Produces exactly the same ConstantsMap as propagateConstants, and
+/// degrades the same way under a tripped ResourceGuard budget (stops
+/// early and returns the empty — soundly constant-free — map).
 ConstantsMap propagateConstantsBindingGraph(const CallGraph &CG,
                                             const ModRefInfo &MRI,
                                             const ForwardJumpFunctions &FJFs,
                                             const IPCPOptions &Opts,
-                                            PropagatorStats *Stats = nullptr);
+                                            PropagatorStats *Stats = nullptr,
+                                            ResourceGuard *Guard = nullptr);
 
 } // namespace ipcp
 

@@ -123,12 +123,16 @@ std::vector<CloneDecision> planRound(const Module &M,
 
 } // namespace
 
-CloningResult ipcp::cloneForConstants(Module &M, const CloningOptions &Opts) {
+CloningResult ipcp::cloneForConstants(Module &M, const CloningOptions &Opts,
+                                      ResourceGuard *Guard) {
   ScopedTraceSpan CloneSpan("cloning");
   CloningResult Result;
+  ResourceGuard LocalGuard(Opts.Analysis.Limits);
+  if (!Guard)
+    Guard = &LocalGuard;
   Result.InstructionsBefore = M.instructionCount();
   {
-    IPCPResult Before = runIPCP(M, Opts.Analysis);
+    IPCPResult Before = runIPCP(M, Opts.Analysis, Guard);
     Result.RefsBefore = Before.TotalConstantRefs;
     Result.ConstantsBefore = Before.TotalEntryConstants;
   }
@@ -144,6 +148,11 @@ CloningResult ipcp::cloneForConstants(Module &M, const CloningOptions &Opts) {
   unsigned CloneCounter = 0;
   for (unsigned Round = 0; Round < Opts.MaxRounds; ++Round) {
     ScopedTraceSpan RoundSpan("cloning-round", std::to_string(Round + 1));
+    // Budget gate: the deadline and the absolute IR-size budget both end
+    // the experiment between rounds, leaving the module consistent.
+    if (Guard->tripped() || !Guard->checkDeadline("cloning") ||
+        !Guard->checkIRInstructions(M.instructionCount(), "cloning"))
+      break;
     if (M.instructionCount() >
         Result.InstructionsBefore * Opts.MaxGrowthFactor)
       break;
@@ -182,10 +191,11 @@ CloningResult ipcp::cloneForConstants(Module &M, const CloningOptions &Opts) {
   }
 
   {
-    IPCPResult After = runIPCP(M, Opts.Analysis);
+    IPCPResult After = runIPCP(M, Opts.Analysis, Guard);
     Result.RefsAfter = After.TotalConstantRefs;
     Result.ConstantsAfter = After.TotalEntryConstants;
   }
   Result.InstructionsAfter = M.instructionCount();
+  Result.Status = Guard->status();
   return Result;
 }

@@ -47,6 +47,10 @@ struct CloningOptions {
 struct CloningResult {
   unsigned ClonesCreated = 0;
   unsigned RoundsRun = 0;
+  /// Degradation status: set when a resource budget (deadline, IR-size
+  /// growth budget) ended the experiment early. The module is always
+  /// left in a consistent, verifiable state.
+  PipelineStatus Status;
   /// Substituted-constant counts before and after cloning.
   unsigned RefsBefore = 0;
   unsigned RefsAfter = 0;
@@ -60,8 +64,12 @@ struct CloningResult {
 
 /// Clones procedures inside \p M (mutating it) wherever call sites
 /// disagree profitably on constants, and reports the before/after
-/// effectiveness. \p M must be in pre-SSA form.
-CloningResult cloneForConstants(Module &M, const CloningOptions &Opts = {});
+/// effectiveness. \p M must be in pre-SSA form. \p Guard (or a local
+/// guard built from Opts.Analysis.Limits) bounds the experiment: the
+/// deadline and the ir-insts budget are checked between rounds, and a
+/// trip stops cloning with the module intact.
+CloningResult cloneForConstants(Module &M, const CloningOptions &Opts = {},
+                                ResourceGuard *Guard = nullptr);
 
 } // namespace ipcp
 

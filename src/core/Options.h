@@ -16,6 +16,8 @@
 #ifndef IPCP_CORE_OPTIONS_H
 #define IPCP_CORE_OPTIONS_H
 
+#include "support/ResourceGuard.h"
+
 namespace ipcp {
 
 /// The four forward jump function classes, in increasing order of power.
@@ -93,6 +95,14 @@ struct IPCPOptions {
   /// Name of the entry procedure; its globals start at their initial
   /// value (zero) on the virtual entry edge.
   const char *EntryProcedure = "main";
+
+  /// Resource budgets for the run (all unlimited by default). When a
+  /// budget trips, the pipeline degrades gracefully: it stops the
+  /// offending stage, keeps whatever sound partial results exist, and
+  /// tags IPCPResult::Status degraded instead of looping or crashing.
+  /// Callers that span several pipeline calls under one deadline pass an
+  /// external ResourceGuard instead (see runIPCP).
+  ResourceLimits Limits;
 };
 
 } // namespace ipcp

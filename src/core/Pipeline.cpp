@@ -74,10 +74,39 @@ makeCallOutHook(const ReturnJumpFunctions *RJFs, const SSAResult *SSA) {
 
 } // namespace
 
-IPCPResult ipcp::runIPCP(const Module &M, const IPCPOptions &Opts) {
+namespace {
+
+/// Copies the guard's latched outcome into \p Result and emits the
+/// degradation counters (guard_limit_trips / guard_deadline_trips).
+void recordGuardOutcome(IPCPResult &Result, const ResourceGuard &Guard) {
+  Result.Status = Guard.status();
+  if (Guard.tripped()) {
+    Result.Stats.add("guard_limit_trips");
+    if (Guard.deadlineTripped())
+      Result.Stats.add("guard_deadline_trips");
+  }
+}
+
+} // namespace
+
+IPCPResult ipcp::runIPCP(const Module &M, const IPCPOptions &Opts,
+                         ResourceGuard *Guard) {
   IPCPResult Result;
   Timer Total;
   ScopedTraceSpan RunSpan("ipcp");
+
+  // A run without an external guard still budgets itself from the
+  // options; a guard that already tripped (earlier stage, shared
+  // deadline) short-circuits to an empty degraded result.
+  ResourceGuard LocalGuard(Opts.Limits);
+  if (!Guard)
+    Guard = &LocalGuard;
+  Guard->checkIRInstructions(M.instructionCount(), "analysis");
+  Guard->checkDeadline("analysis");
+  if (Guard->tripped()) {
+    recordGuardOutcome(Result, *Guard);
+    return Result;
+  }
 
   // Stage 0: scratch clone + structural analyses.
   std::unique_ptr<Module> Scratch = M.clone();
@@ -130,7 +159,8 @@ IPCPResult ipcp::runIPCP(const Module &M, const IPCPOptions &Opts) {
 
   // Stage 2 + 3: forward jump functions, then propagation.
   ConstantsMap CM;
-  if (!Opts.IntraproceduralOnly) {
+  Guard->checkDeadline("analysis");
+  if (!Opts.IntraproceduralOnly && !Guard->tripped()) {
     Timer FJFTimer;
     ForwardJumpFunctions FJFs = ForwardJumpFunctions::build(
         CG, MRI, SSA, RJFs.get(), Ctx, Opts.ForwardKind, Opts.UseGatedSSA);
@@ -145,8 +175,8 @@ IPCPResult ipcp::runIPCP(const Module &M, const IPCPOptions &Opts) {
     Timer PropTimer;
     PropagatorStats PS;
     CM = Opts.UseBindingGraphPropagator
-             ? propagateConstantsBindingGraph(CG, MRI, FJFs, Opts, &PS)
-             : propagateConstants(CG, MRI, FJFs, Opts, &PS);
+             ? propagateConstantsBindingGraph(CG, MRI, FJFs, Opts, &PS, Guard)
+             : propagateConstants(CG, MRI, FJFs, Opts, &PS, Guard);
     Result.Stats.add("time_propagation_us",
                      uint64_t(PropTimer.seconds() * 1e6));
     Result.Stats.add("prop_visits", PS.ProcVisits);
@@ -163,6 +193,14 @@ IPCPResult ipcp::runIPCP(const Module &M, const IPCPOptions &Opts) {
   Timer RecordTimer;
   ScopedTraceSpan RecordSpan("record-results");
   for (const std::unique_ptr<Procedure> &P : Scratch->procedures()) {
+    // A deadline interrupts recording between procedures (the tail of
+    // Result.Procs is simply missing); other budget trips — propagation
+    // evaluations — still let recording finish, yielding sound
+    // intraprocedural-quality results for every procedure.
+    if (!Guard->tripped())
+      Guard->checkDeadline("record");
+    if (Guard->deadlineTripped())
+      break;
     const SSAResult &ProcSSA = SSA.at(P.get());
 
     SCCPOptions SCCPOpts;
@@ -227,21 +265,28 @@ IPCPResult ipcp::runIPCP(const Module &M, const IPCPOptions &Opts) {
   for (const ProcedureResult &PR : Result.Procs)
     Result.Stats.add("constants_known_irrelevant", PR.IrrelevantConstants);
   Result.Stats.add("unique_exprs", Ctx.uniqueExprCount());
+  recordGuardOutcome(Result, *Guard);
 
   return Result;
 }
 
 CompletePropagationResult
 ipcp::runCompletePropagation(const Module &M, const IPCPOptions &Opts,
-                             unsigned MaxRounds) {
+                             unsigned MaxRounds, ResourceGuard *Guard) {
   CompletePropagationResult Result;
   ScopedTraceSpan CompleteSpan("complete-propagation");
   std::unique_ptr<Module> Working = M.clone();
   std::unordered_set<uint64_t> CountedLoads;
 
+  // One guard spans every round, so a deadline bounds the whole
+  // experiment rather than restarting per round.
+  ResourceGuard LocalGuard(Opts.Limits);
+  if (!Guard)
+    Guard = &LocalGuard;
+
   for (unsigned Round = 0; Round < MaxRounds; ++Round) {
     ScopedTraceSpan RoundSpan("round", std::to_string(Round + 1));
-    IPCPResult RoundResult = runIPCP(*Working, Opts);
+    IPCPResult RoundResult = runIPCP(*Working, Opts, Guard);
     ++Result.Rounds;
     for (const auto &[LoadId, Value] : RoundResult.Facts.ConstantLoads)
       CountedLoads.insert(LoadId);
@@ -255,6 +300,13 @@ ipcp::runCompletePropagation(const Module &M, const IPCPOptions &Opts,
     Result.Stats.add("cp_blocks_removed", TS.BlocksRemoved);
     Result.Stats.add("cp_insts_removed", TS.InstsRemoved);
     Result.FinalRound = std::move(RoundResult);
+
+    // A tripped budget ends the experiment with the rounds completed so
+    // far (the facts already applied stay sound).
+    if (Guard->tripped()) {
+      Result.Status = Guard->status();
+      break;
+    }
 
     // Paper: "In each case, only one pass of dead code elimination was
     // needed" — we loop until quiescence anyway.

@@ -26,6 +26,12 @@
 /// (Table 3, "Complete Propagation"). runIPCP with IntraproceduralOnly
 /// gives the Table 3 intraprocedural baseline.
 ///
+/// Both drivers are *total*: they honor the resource budgets in
+/// IPCPOptions::Limits (or an externally supplied ResourceGuard) and,
+/// when a budget trips, stop the offending stage, keep whatever sound
+/// partial results exist, and report the trip in IPCPResult::Status
+/// instead of looping or crashing.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPCP_CORE_PIPELINE_H
@@ -78,6 +84,13 @@ struct IPCPResult {
   /// Phase timings (microseconds) and work counters.
   StatisticSet Stats;
 
+  /// Whether the run completed or degraded under a resource budget. A
+  /// degraded run's results are sound but partial: propagation trips
+  /// discard interprocedural constants entirely (a cut-short iteration
+  /// is too optimistic), and record-stage trips leave later procedures
+  /// unanalyzed.
+  PipelineStatus Status;
+
   const ProcedureResult *findProc(const std::string &Name) const {
     for (const ProcedureResult &P : Procs)
       if (P.Name == Name)
@@ -87,7 +100,11 @@ struct IPCPResult {
 };
 
 /// Runs one full analysis of \p M under \p Opts. \p M is not modified.
-IPCPResult runIPCP(const Module &M, const IPCPOptions &Opts = {});
+/// When \p Guard is null a run-local guard is created from Opts.Limits;
+/// pass an external guard to share one deadline across several pipeline
+/// calls (the complete-propagation rounds do this internally).
+IPCPResult runIPCP(const Module &M, const IPCPOptions &Opts = {},
+                   ResourceGuard *Guard = nullptr);
 
 /// Result of the iterated analyze-substitute-eliminate experiment.
 struct CompletePropagationResult {
@@ -108,13 +125,19 @@ struct CompletePropagationResult {
 
   /// The last round's full result.
   IPCPResult FinalRound;
+
+  /// Degradation status across all rounds (first trip wins; mirrors the
+  /// final round's Status when that round tripped).
+  PipelineStatus Status;
 };
 
 /// Iterates runIPCP + applyFacts on a scratch copy of \p M until dead
 /// code elimination finds nothing new (paper: one extra round sufficed).
+/// All rounds share one ResourceGuard (from \p Guard or Opts.Limits), so
+/// a deadline bounds the whole experiment, not each round.
 CompletePropagationResult
 runCompletePropagation(const Module &M, const IPCPOptions &Opts = {},
-                       unsigned MaxRounds = 8);
+                       unsigned MaxRounds = 8, ResourceGuard *Guard = nullptr);
 
 } // namespace ipcp
 

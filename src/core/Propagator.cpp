@@ -81,8 +81,9 @@ class Propagator {
 public:
   Propagator(const CallGraph &CG, const ModRefInfo &MRI,
              const ForwardJumpFunctions &FJFs, const IPCPOptions &Opts,
-             PropagatorStats *Stats)
-      : CG(CG), MRI(MRI), FJFs(FJFs), Opts(Opts), Stats(Stats) {}
+             PropagatorStats *Stats, ResourceGuard *Guard)
+      : CG(CG), MRI(MRI), FJFs(FJFs), Opts(Opts), Stats(Stats),
+        Guard(Guard) {}
 
   ConstantsMap solve() {
     numberSlots();
@@ -91,6 +92,10 @@ public:
       solveFIFO();
     else
       solveSCC();
+    // A budget-interrupted iteration is above the fixpoint, i.e. too
+    // optimistic; the empty (no-constants) map is the sound fallback.
+    if (Guard && Guard->tripped())
+      return ConstantsMap();
     return package();
   }
 
@@ -146,6 +151,8 @@ private:
   bool lower(unsigned QI, unsigned Slot, LatticeValue NewVal) {
     if (Stats)
       ++Stats->JumpFunctionEvaluations;
+    if (Guard)
+      Guard->noteEvaluations();
     LatticeValue Old = VAL[QI][Slot];
     LatticeValue Met = meet(Old, NewVal);
     if (Met == Old)
@@ -197,7 +204,7 @@ private:
     Work.reserve(N);
     for (unsigned PI = 0; PI != N; ++PI)
       Work.insert(PI);
-    while (!Work.empty())
+    while (!Work.empty() && !budgetTripped())
       visit(Work.pop(), [&Work](unsigned QI) { Work.insert(QI); });
   }
 
@@ -211,6 +218,8 @@ private:
     IndexWorklist Inner;
     Inner.reserve(CG.procedures().size());
     for (size_t C = SCCs.size(); C-- != 0;) {
+      if (budgetTripped())
+        return;
       const std::vector<Procedure *> &Members = SCCs[C];
       if (Members.size() == 1 && !CG.isRecursive(Members[0])) {
         // No edge can return here: a single visit converges.
@@ -220,13 +229,15 @@ private:
       Inner.clear();
       for (Procedure *P : Members)
         Inner.insert(CG.procIndex(P));
-      while (!Inner.empty())
+      while (!Inner.empty() && !budgetTripped())
         visit(Inner.pop(), [this, C, &Inner](unsigned QI) {
           if (SCCOf[QI] == C)
             Inner.insert(QI);
         });
     }
   }
+
+  bool budgetTripped() const { return Guard && Guard->tripped(); }
 
   /// Converts the dense fixpoint into the external ConstantsMap (top
   /// entries stay implicit).
@@ -248,6 +259,7 @@ private:
   const ForwardJumpFunctions &FJFs;
   const IPCPOptions &Opts;
   PropagatorStats *Stats;
+  ResourceGuard *Guard;
 
   std::vector<ProcSlots> Slots;
   std::vector<std::vector<LatticeValue>> VAL;
@@ -261,11 +273,12 @@ ConstantsMap ipcp::propagateConstants(const CallGraph &CG,
                                       const ModRefInfo &MRI,
                                       const ForwardJumpFunctions &FJFs,
                                       const IPCPOptions &Opts,
-                                      PropagatorStats *Stats) {
+                                      PropagatorStats *Stats,
+                                      ResourceGuard *Guard) {
   ScopedTraceSpan PropSpan("propagate",
                            Opts.Schedule == PropagationSchedule::FIFO
                                ? "callgraph-fifo"
                                : "callgraph-scc");
-  Propagator Solver(CG, MRI, FJFs, Opts, Stats);
+  Propagator Solver(CG, MRI, FJFs, Opts, Stats, Guard);
   return Solver.solve();
 }

@@ -97,11 +97,17 @@ struct PropagatorStats {
   uint64_t Revisits = 0;
 };
 
-/// Runs the worklist propagation to fixpoint.
+/// Runs the worklist propagation to fixpoint. \p Guard, when non-null,
+/// budgets jump-function evaluations and the wall-clock deadline: on a
+/// trip the solver stops early and returns an EMPTY map (a cut-short
+/// iteration leaves VAL entries too high — optimistically wrong — so the
+/// only sound partial answer is "no interprocedural constants"); the
+/// caller observes Guard->tripped() and reports degradation.
 ConstantsMap propagateConstants(const CallGraph &CG, const ModRefInfo &MRI,
                                 const ForwardJumpFunctions &FJFs,
                                 const IPCPOptions &Opts,
-                                PropagatorStats *Stats = nullptr);
+                                PropagatorStats *Stats = nullptr,
+                                ResourceGuard *Guard = nullptr);
 
 } // namespace ipcp
 

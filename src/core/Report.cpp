@@ -23,7 +23,23 @@ JsonValue ipcp::optionsToJson(const IPCPOptions &Opts) {
   return Obj;
 }
 
+JsonValue ipcp::statusToJson(const PipelineStatus &Status) {
+  JsonValue Obj = JsonValue::object();
+  Obj.set("limit", Status.TrippedLimit);
+  Obj.set("stage", Status.Stage);
+  Obj.set("message", Status.Message);
+  return Obj;
+}
+
 namespace {
+
+/// Stamps the degraded flag (always present) and, when degraded, the
+/// degradation object onto one result object.
+void setDegradation(JsonValue &Obj, const PipelineStatus &Status) {
+  Obj.set("degraded", Status.Degraded);
+  if (Status.Degraded)
+    Obj.set("degradation", statusToJson(Status));
+}
 
 /// The per-stage timings as one object, pulled from the time_*_us
 /// counters so the JSON mirrors exactly what was measured.
@@ -87,6 +103,7 @@ JsonValue ipcp::resultToJson(const IPCPResult &Result) {
   Obj.set("jump_functions", histogramToJson(Result.Stats));
   Obj.set("timings_us", timingsToJson(Result.Stats));
   Obj.set("counters", Result.Stats.toJson());
+  setDegradation(Obj, Result.Status);
   return Obj;
 }
 
@@ -97,6 +114,7 @@ JsonValue ipcp::completeToJson(const CompletePropagationResult &Result) {
   Obj.set("blocks_removed", Result.BlocksRemoved);
   Obj.set("counters", Result.Stats.toJson());
   Obj.set("final_round", resultToJson(Result.FinalRound));
+  setDegradation(Obj, Result.Status);
   return Obj;
 }
 
@@ -110,6 +128,7 @@ JsonValue ipcp::cloningToJson(const CloningResult &Result) {
   Obj.set("constants_after", Result.ConstantsAfter);
   Obj.set("instructions_before", Result.InstructionsBefore);
   Obj.set("instructions_after", Result.InstructionsAfter);
+  setDegradation(Obj, Result.Status);
   return Obj;
 }
 
@@ -134,5 +153,19 @@ JsonValue ipcp::buildAnalysisReport(const AnalysisReport &Report) {
     Obj.set("cloning", cloningToJson(*Report.Cloning));
   if (Report.TraceData)
     Obj.set("trace", Report.TraceData->toJson());
+
+  // Top-level degradation: explicit status wins (frontend trips produce
+  // no result object to carry it); otherwise any degraded member result
+  // marks the whole report degraded.
+  const PipelineStatus *Status = Report.Status;
+  if (!Status && Report.Single && Report.Single->Status.Degraded)
+    Status = &Report.Single->Status;
+  if (!Status && Report.Complete && Report.Complete->Status.Degraded)
+    Status = &Report.Complete->Status;
+  if (!Status && Report.Cloning && Report.Cloning->Status.Degraded)
+    Status = &Report.Cloning->Status;
+  Obj.set("degraded", Status && Status->Degraded);
+  if (Status && Status->Degraded)
+    Obj.set("degradation", statusToJson(*Status));
   return Obj;
 }

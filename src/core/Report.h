@@ -29,6 +29,10 @@ class Trace;
 /// The analysis configuration as a JSON object.
 JsonValue optionsToJson(const IPCPOptions &Opts);
 
+/// A PipelineStatus as the report's "degradation" object: the tripped
+/// limit (named after its driver flag), the stage, and the message.
+JsonValue statusToJson(const PipelineStatus &Status);
+
 /// One IPCPResult as a JSON object: totals, per-procedure CONSTANTS(p)
 /// and substitution counts, the jump-function histogram, per-stage
 /// timings, and the raw counters.
@@ -51,6 +55,11 @@ struct AnalysisReport {
   const CompletePropagationResult *Complete = nullptr;
   const CloningResult *Cloning = nullptr;
   const Trace *TraceData = nullptr;
+
+  /// Overall run status. When null, the top-level degraded flag is
+  /// derived from whichever results are present (a frontend trip that
+  /// produced no result at all needs the explicit pointer).
+  const PipelineStatus *Status = nullptr;
 };
 
 /// Builds the top-level "ipcp-report-v1" document.

@@ -10,10 +10,48 @@
 
 using namespace ipcp;
 
-Parser::Parser(std::string_view Source, DiagnosticsEngine &Diags)
-    : Diags(Diags) {
+Parser::Parser(std::string_view Source, DiagnosticsEngine &Diags,
+               ResourceGuard *Guard)
+    : Diags(Diags), Guard(Guard) {
   Lexer Lex(Source, Diags);
   Tokens = Lex.lexAll();
+  if (Guard) {
+    if (Guard->limits().MaxParseDepth != 0)
+      MaxDepth = Guard->limits().MaxParseDepth;
+    // lexAll always appends Eof; only real tokens count.
+    if (!Guard->checkTokens(Tokens.size() - 1)) {
+      Diags.error(Tokens.front().Loc,
+                  "input exceeds the token budget (limit " +
+                      std::to_string(Guard->limits().MaxTokens) + ")");
+      BudgetReported = true;
+      Tokens.erase(Tokens.begin(), Tokens.end() - 1); // keep Eof only
+    }
+  }
+}
+
+bool Parser::atDepthLimit() {
+  if (Depth < MaxDepth)
+    return false;
+  if (!BudgetReported) {
+    BudgetReported = true;
+    Diags.error(peek().Loc, "nesting too deep (parser depth limit " +
+                                std::to_string(MaxDepth) + ")");
+    if (Guard)
+      Guard->trip("parse-depth", "frontend");
+    abortParse();
+  }
+  return true;
+}
+
+void Parser::noteNode() {
+  ++NodeCount;
+  if (Guard && !Guard->checkAstNodes(NodeCount) && !BudgetReported) {
+    BudgetReported = true;
+    Diags.error(peek().Loc,
+                "program exceeds the AST node budget (limit " +
+                    std::to_string(Guard->limits().MaxAstNodes) + ")");
+    abortParse();
+  }
 }
 
 const Token &Parser::peekAhead() const {
@@ -130,6 +168,9 @@ void Parser::parseProcDecl(Program &Prog) {
 }
 
 std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  if (atDepthLimit())
+    return nullptr;
+  DepthScope Scope(*this);
   SourceLoc Loc = peek().Loc;
   expect(TokenKind::LBrace, "to begin block");
   std::vector<StmtPtr> Stmts;
@@ -142,17 +183,20 @@ std::unique_ptr<BlockStmt> Parser::parseBlock() {
       Stmts.push_back(std::move(S));
   }
   expect(TokenKind::RBrace, "to end block");
-  return std::make_unique<BlockStmt>(Loc, std::move(Stmts));
+  return makeNode<BlockStmt>(Loc, std::move(Stmts));
 }
 
 StmtPtr Parser::parseStmt() {
+  if (atDepthLimit())
+    return nullptr;
+  DepthScope Scope(*this);
   SourceLoc Loc = peek().Loc;
   switch (peek().Kind) {
   case TokenKind::KwVar: {
     consume();
     std::vector<DeclItem> Items = parseDeclItems(/*AllowArrays=*/true);
     expect(TokenKind::Semicolon, "after variable declaration");
-    return std::make_unique<VarDeclStmt>(Loc, std::move(Items));
+    return makeNode<VarDeclStmt>(Loc, std::move(Items));
   }
   case TokenKind::KwIf:
     return parseIf();
@@ -168,7 +212,7 @@ StmtPtr Parser::parseStmt() {
     expect(TokenKind::Semicolon, "after print statement");
     if (!Value)
       return nullptr;
-    return std::make_unique<PrintStmt>(Loc, std::move(Value));
+    return makeNode<PrintStmt>(Loc, std::move(Value));
   }
   case TokenKind::KwRead: {
     consume();
@@ -176,12 +220,12 @@ StmtPtr Parser::parseStmt() {
     expect(TokenKind::Semicolon, "after read statement");
     if (!Target)
       return nullptr;
-    return std::make_unique<ReadStmt>(Loc, std::move(Target));
+    return makeNode<ReadStmt>(Loc, std::move(Target));
   }
   case TokenKind::KwReturn: {
     consume();
     expect(TokenKind::Semicolon, "after return statement");
-    return std::make_unique<ReturnStmt>(Loc);
+    return makeNode<ReturnStmt>(Loc);
   }
   case TokenKind::LBrace:
     return parseBlock();
@@ -196,6 +240,9 @@ StmtPtr Parser::parseStmt() {
 }
 
 StmtPtr Parser::parseIf() {
+  if (atDepthLimit())
+    return nullptr;
+  DepthScope Scope(*this);
   SourceLoc Loc = consume().Loc; // 'if'
   expect(TokenKind::LParen, "after 'if'");
   ExprPtr Cond = parseExpr();
@@ -208,9 +255,9 @@ StmtPtr Parser::parseIf() {
     else
       Else = parseBlock();
   }
-  if (!Cond)
+  if (!Cond || !Then)
     return nullptr;
-  return std::make_unique<IfStmt>(Loc, std::move(Cond), std::move(Then),
+  return makeNode<IfStmt>(Loc, std::move(Cond), std::move(Then),
                                   std::move(Else));
 }
 
@@ -220,9 +267,9 @@ StmtPtr Parser::parseWhile() {
   ExprPtr Cond = parseExpr();
   expect(TokenKind::RParen, "after while condition");
   StmtPtr Body = parseBlock();
-  if (!Cond)
+  if (!Cond || !Body)
     return nullptr;
-  return std::make_unique<WhileStmt>(Loc, std::move(Cond), std::move(Body));
+  return makeNode<WhileStmt>(Loc, std::move(Cond), std::move(Body));
 }
 
 StmtPtr Parser::parseDoLoop() {
@@ -241,9 +288,9 @@ StmtPtr Parser::parseDoLoop() {
   if (match(TokenKind::Comma))
     Step = parseExpr();
   StmtPtr Body = parseBlock();
-  if (!Lo || !Hi)
+  if (!Lo || !Hi || !Body)
     return nullptr;
-  return std::make_unique<DoLoopStmt>(Loc, IndVar.Text, std::move(Lo),
+  return makeNode<DoLoopStmt>(Loc, IndVar.Text, std::move(Lo),
                                       std::move(Hi), std::move(Step),
                                       std::move(Body));
 }
@@ -268,7 +315,7 @@ StmtPtr Parser::parseCall() {
   }
   expect(TokenKind::RParen, "after call arguments");
   expect(TokenKind::Semicolon, "after call statement");
-  return std::make_unique<CallStmt>(Loc, Callee.Text, std::move(Args));
+  return makeNode<CallStmt>(Loc, Callee.Text, std::move(Args));
 }
 
 StmtPtr Parser::parseAssign() {
@@ -286,7 +333,7 @@ StmtPtr Parser::parseAssign() {
   expect(TokenKind::Semicolon, "after assignment");
   if (!Value)
     return nullptr;
-  return std::make_unique<AssignStmt>(Loc, std::move(Target),
+  return makeNode<AssignStmt>(Loc, std::move(Target),
                                       std::move(Value));
 }
 
@@ -302,10 +349,10 @@ ExprPtr Parser::parseLValue() {
     expect(TokenKind::RBracket, "after array subscript");
     if (!Index)
       return nullptr;
-    return std::make_unique<ArrayRefExpr>(Name.Loc, Name.Text,
+    return makeNode<ArrayRefExpr>(Name.Loc, Name.Text,
                                           std::move(Index));
   }
-  return std::make_unique<VarRefExpr>(Name.Loc, Name.Text);
+  return makeNode<VarRefExpr>(Name.Loc, Name.Text);
 }
 
 static std::optional<BinaryOp> relOpFor(TokenKind Kind) {
@@ -328,6 +375,9 @@ static std::optional<BinaryOp> relOpFor(TokenKind Kind) {
 }
 
 ExprPtr Parser::parseExpr() {
+  if (atDepthLimit())
+    return nullptr;
+  DepthScope Scope(*this);
   ExprPtr LHS = parseAddExpr();
   if (!LHS)
     return nullptr;
@@ -336,7 +386,7 @@ ExprPtr Parser::parseExpr() {
     ExprPtr RHS = parseAddExpr();
     if (!RHS)
       return nullptr;
-    return std::make_unique<BinaryExpr>(Loc, *Op, std::move(LHS),
+    return makeNode<BinaryExpr>(Loc, *Op, std::move(LHS),
                                         std::move(RHS));
   }
   return LHS;
@@ -351,7 +401,7 @@ ExprPtr Parser::parseAddExpr() {
       return nullptr;
     BinaryOp Kind =
         Op.is(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
-    LHS = std::make_unique<BinaryExpr>(Op.Loc, Kind, std::move(LHS),
+    LHS = makeNode<BinaryExpr>(Op.Loc, Kind, std::move(LHS),
                                        std::move(RHS));
   }
   return LHS;
@@ -368,35 +418,38 @@ ExprPtr Parser::parseMulExpr() {
     BinaryOp Kind = Op.is(TokenKind::Star)    ? BinaryOp::Mul
                     : Op.is(TokenKind::Slash) ? BinaryOp::Div
                                               : BinaryOp::Mod;
-    LHS = std::make_unique<BinaryExpr>(Op.Loc, Kind, std::move(LHS),
+    LHS = makeNode<BinaryExpr>(Op.Loc, Kind, std::move(LHS),
                                        std::move(RHS));
   }
   return LHS;
 }
 
 ExprPtr Parser::parseUnary() {
+  if (atDepthLimit())
+    return nullptr;
+  DepthScope Scope(*this);
   SourceLoc Loc = peek().Loc;
   if (match(TokenKind::Minus)) {
     // Fold a negated literal into a single literal so `-5` is a literal
     // constant for the literal jump function, as it would be in Fortran.
     if (check(TokenKind::IntLiteral)) {
       Token Lit = consume();
-      return std::make_unique<IntLiteralExpr>(Loc, -Lit.IntValue);
+      return makeNode<IntLiteralExpr>(Loc, -Lit.IntValue);
     }
     ExprPtr Operand = parseUnary();
     if (!Operand)
       return nullptr;
-    return std::make_unique<UnaryExpr>(Loc, UnaryOp::Neg, std::move(Operand));
+    return makeNode<UnaryExpr>(Loc, UnaryOp::Neg, std::move(Operand));
   }
   if (match(TokenKind::Not)) {
     ExprPtr Operand = parseUnary();
     if (!Operand)
       return nullptr;
-    return std::make_unique<UnaryExpr>(Loc, UnaryOp::Not, std::move(Operand));
+    return makeNode<UnaryExpr>(Loc, UnaryOp::Not, std::move(Operand));
   }
   if (check(TokenKind::IntLiteral)) {
     Token Lit = consume();
-    return std::make_unique<IntLiteralExpr>(Loc, Lit.IntValue);
+    return makeNode<IntLiteralExpr>(Loc, Lit.IntValue);
   }
   if (match(TokenKind::LParen)) {
     ExprPtr Inner = parseExpr();
@@ -433,8 +486,9 @@ Program Parser::parseProgram() {
 
 std::optional<Program> ipcp::parseAndCheck(std::string_view Source,
                                            DiagnosticsEngine &Diags,
-                                           bool RequireMain) {
-  Parser P(Source, Diags);
+                                           bool RequireMain,
+                                           ResourceGuard *Guard) {
+  Parser P(Source, Diags, Guard);
   Program Prog = P.parseProgram();
   if (Diags.hasErrors())
     return std::nullopt;

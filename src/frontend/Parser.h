@@ -31,6 +31,14 @@
 /// the next statement or declaration boundary, so one run reports many
 /// errors. A program with errors must not be consumed downstream.
 ///
+/// The parser is total on adversarial input: recursion depth is always
+/// bounded (ResourceLimits::MaxParseDepth, finite even without a guard),
+/// so `((((...` diagnoses "nesting too deep" instead of exhausting the
+/// C++ stack, and an attached ResourceGuard additionally budgets token
+/// and AST-node counts. A tripped budget aborts the parse with one
+/// diagnostic and latches the guard so drivers can tell resource
+/// degradation apart from a plain syntax error.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPCP_FRONTEND_PARSER_H
@@ -39,6 +47,7 @@
 #include "frontend/Ast.h"
 #include "frontend/Lexer.h"
 #include "support/Diagnostics.h"
+#include "support/ResourceGuard.h"
 
 #include <optional>
 
@@ -47,7 +56,11 @@ namespace ipcp {
 /// Parses one MiniFort source buffer into a Program.
 class Parser {
 public:
-  Parser(std::string_view Source, DiagnosticsEngine &Diags);
+  /// \p Guard, when non-null, supplies the depth/token/AST budgets and is
+  /// latched when one trips; without a guard the default MaxParseDepth
+  /// still bounds recursion.
+  Parser(std::string_view Source, DiagnosticsEngine &Diags,
+         ResourceGuard *Guard = nullptr);
 
   /// Parses the whole buffer. Check \p Diags for errors afterwards.
   Program parseProgram();
@@ -63,6 +76,26 @@ private:
   bool expect(TokenKind Kind, const char *Context);
   void syncToStmtBoundary();
   void syncToTopLevel();
+
+  /// Jumps the cursor to Eof: a tripped budget ends the whole parse.
+  void abortParse() { Index = Tokens.size() - 1; }
+  /// True (after reporting once and aborting) when the recursion budget
+  /// is exhausted. Checked on entry to every recursive production.
+  bool atDepthLimit();
+  /// Charges one AST node against the guard's budget.
+  void noteNode();
+  /// Allocates an AST node, charging the budget.
+  template <typename T, typename... ArgTs>
+  std::unique_ptr<T> makeNode(ArgTs &&...Args) {
+    noteNode();
+    return std::make_unique<T>(std::forward<ArgTs>(Args)...);
+  }
+  /// RAII recursion-depth counter.
+  struct DepthScope {
+    Parser &P;
+    explicit DepthScope(Parser &P) : P(P) { ++P.Depth; }
+    ~DepthScope() { --P.Depth; }
+  };
 
   std::vector<DeclItem> parseDeclItems(bool AllowArrays);
   void parseGlobalDecl(Program &Prog);
@@ -83,14 +116,21 @@ private:
   std::vector<Token> Tokens;
   size_t Index = 0;
   DiagnosticsEngine &Diags;
+  ResourceGuard *Guard = nullptr;
+  unsigned Depth = 0;
+  unsigned MaxDepth = ResourceLimits().MaxParseDepth;
+  uint64_t NodeCount = 0;
+  bool BudgetReported = false;
 };
 
 /// Convenience: lex+parse+check \p Source; returns nullopt (with
 /// diagnostics) on any error. \p RequireMain demands a zero-argument
-/// `main` procedure, which whole-program analysis needs.
+/// `main` procedure, which whole-program analysis needs. \p Guard, when
+/// non-null, bounds the frontend's work (see Parser).
 std::optional<Program> parseAndCheck(std::string_view Source,
                                      DiagnosticsEngine &Diags,
-                                     bool RequireMain = true);
+                                     bool RequireMain = true,
+                                     ResourceGuard *Guard = nullptr);
 
 } // namespace ipcp
 

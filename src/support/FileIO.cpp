@@ -1,0 +1,63 @@
+//===- support/FileIO.cpp -------------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileIO.h"
+
+#include <cstdio>
+
+using namespace ipcp;
+
+bool ipcp::readFileToString(const std::string &Path, std::string &Out,
+                            std::string *Error) {
+  Out.clear();
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for reading";
+    return false;
+  }
+  char Buf[64 * 1024];
+  size_t Got;
+  while ((Got = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, Got);
+  bool ReadError = std::ferror(F) != 0;
+  std::fclose(F);
+  if (ReadError) {
+    if (Error)
+      *Error = "cannot read '" + Path + "'";
+    Out.clear();
+    return false;
+  }
+  return true;
+}
+
+bool ipcp::writeStringToFile(const std::string &Path, std::string_view Text,
+                             std::string *Error) {
+  if (Path == "-") {
+    size_t Written = std::fwrite(Text.data(), 1, Text.size(), stdout);
+    if (Written != Text.size() || std::fflush(stdout) != 0) {
+      if (Error)
+        *Error = "short write to stdout";
+      return false;
+    }
+    return true;
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  bool WriteOk = Written == Text.size();
+  bool CloseOk = std::fclose(F) == 0; // always close, even on short write
+  if (!WriteOk || !CloseOk) {
+    if (Error)
+      *Error = (WriteOk ? "cannot close '" : "short write to '") + Path + "'";
+    return false;
+  }
+  return true;
+}

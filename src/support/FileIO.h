@@ -1,0 +1,39 @@
+//===- support/FileIO.h - Checked whole-file read/write ---------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-file I/O with every failure checked and reported. Tools route
+/// all their file reads (source programs) and writes (traces, JSON
+/// reports) through these helpers so an unreadable input or a failed
+/// write becomes a diagnostic and a nonzero exit code, never a silently
+/// empty program or a silently dropped output file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_FILEIO_H
+#define IPCP_SUPPORT_FILEIO_H
+
+#include <string>
+#include <string_view>
+
+namespace ipcp {
+
+/// Reads the entire file at \p Path into \p Out. Distinguishes an
+/// unopenable file ("cannot open") from a read failure mid-stream
+/// ("cannot read", e.g. the path is a directory) — an empty file reads
+/// successfully as the empty string. Returns false and fills \p Error
+/// on failure.
+bool readFileToString(const std::string &Path, std::string &Out,
+                      std::string *Error = nullptr);
+
+/// Writes \p Text to \p Path ("-" means stdout), checking open, write,
+/// and close. Returns false and fills \p Error on any failure.
+bool writeStringToFile(const std::string &Path, std::string_view Text,
+                       std::string *Error = nullptr);
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_FILEIO_H

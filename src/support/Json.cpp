@@ -6,6 +6,8 @@
 
 #include "support/Json.h"
 
+#include "support/FileIO.h"
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -179,21 +181,7 @@ bool ipcp::writeJsonFile(const std::string &Path, const JsonValue &V,
                          std::string *Error) {
   std::string Text = V.dump(2);
   Text += '\n';
-  if (Path == "-") {
-    std::fwrite(Text.data(), 1, Text.size(), stdout);
-    return true;
-  }
-  std::FILE *F = std::fopen(Path.c_str(), "w");
-  if (!F) {
-    if (Error)
-      *Error = "cannot open '" + Path + "' for writing";
-    return false;
-  }
-  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
-  bool Ok = Written == Text.size() && std::fclose(F) == 0;
-  if (!Ok && Error)
-    *Error = "short write to '" + Path + "'";
-  return Ok;
+  return writeStringToFile(Path, Text, Error);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,29 @@
+//===- support/ResourceGuard.cpp ------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ResourceGuard.h"
+
+using namespace ipcp;
+
+void ResourceGuard::trip(const char *Limit, const char *Stage) {
+  if (Tripped)
+    return; // first trip wins
+  Tripped = true;
+  TrippedLimit = Limit;
+  TrippedStage = Stage;
+}
+
+PipelineStatus ResourceGuard::status() const {
+  PipelineStatus S;
+  if (!Tripped)
+    return S;
+  S.Degraded = true;
+  S.TrippedLimit = TrippedLimit;
+  S.Stage = TrippedStage;
+  S.Message = "resource budget '" + TrippedLimit + "' tripped during " +
+              TrippedStage + "; results are partial";
+  return S;
+}

@@ -1,0 +1,184 @@
+//===- support/ResourceGuard.h - Pipeline resource budgets ------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource governance for the analysis pipeline. A ResourceGuard carries
+/// the configured budgets (ResourceLimits) for one end-to-end run —
+/// frontend through propagation — and every stage charges its work
+/// against them. When a budget trips, the guard latches the first tripped
+/// limit and the stage it tripped in; stages observe the latch and unwind
+/// cleanly, so the pipeline *degrades gracefully*: it returns whatever
+/// partial (still sound) results it has, tagged with a PipelineStatus,
+/// instead of crashing, looping, or blowing the stack on adversarial
+/// input (deeply nested expressions, explosive cloning, runaway
+/// propagation).
+///
+/// A guard is single-run, single-thread state: create one per pipeline
+/// invocation and never share it across threads (each SuiteRunner task
+/// gets its own). All check methods are cheap; the deadline is polled
+/// with an amortized clock read on the hot evaluation path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_RESOURCEGUARD_H
+#define IPCP_SUPPORT_RESOURCEGUARD_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ipcp {
+
+/// Budgets for one pipeline run. Zero means unlimited, except for
+/// MaxParseDepth, which is always finite: the recursive-descent parser
+/// must never be able to exhaust the C++ stack.
+struct ResourceLimits {
+  /// Maximum recursion depth of the parser (statement nesting plus
+  /// expression nesting). Tripping it is a frontend diagnostic, exactly
+  /// like any other syntax error.
+  unsigned MaxParseDepth = 512;
+
+  /// Maximum number of tokens the frontend accepts per source buffer.
+  uint64_t MaxTokens = 0;
+
+  /// Maximum number of AST nodes the parser allocates.
+  uint64_t MaxAstNodes = 0;
+
+  /// Maximum IR instruction count a module may have when entering the
+  /// analysis (and that cloning may grow it to).
+  uint64_t MaxIRInstructions = 0;
+
+  /// Maximum jump-function evaluations across one propagation solve.
+  uint64_t MaxPropagationEvals = 0;
+
+  /// Wall-clock deadline for the whole run, milliseconds.
+  uint64_t DeadlineMs = 0;
+};
+
+/// Outcome classification of one pipeline run. Default-constructed means
+/// "completed normally".
+struct PipelineStatus {
+  /// True when any budget or the deadline tripped and the run returned
+  /// partial results.
+  bool Degraded = false;
+
+  /// The tripped limit, named after the driver flag that configures it:
+  /// "parse-depth", "tokens", "ast-nodes", "ir-insts", "prop-evals",
+  /// "deadline-ms". Empty when not degraded.
+  std::string TrippedLimit;
+
+  /// Pipeline stage the trip happened in: "frontend", "lowering",
+  /// "analysis", "propagation", "record", "cloning".
+  std::string Stage;
+
+  /// Human-readable one-liner for diagnostics.
+  std::string Message;
+
+  bool ok() const { return !Degraded; }
+};
+
+/// Tracks consumption against one ResourceLimits instance and latches the
+/// first trip. Not thread-safe; one guard per run per thread.
+class ResourceGuard {
+public:
+  explicit ResourceGuard(const ResourceLimits &Limits = {})
+      : Limits(Limits), Start(Clock::now()) {}
+
+  const ResourceLimits &limits() const { return Limits; }
+
+  /// Whether any budget has tripped (latched).
+  bool tripped() const { return Tripped; }
+
+  /// True when the wall-clock deadline specifically tripped.
+  bool deadlineTripped() const { return DeadlineTripped; }
+
+  /// The latched outcome; Degraded mirrors tripped().
+  PipelineStatus status() const;
+
+  /// Latches a trip of \p Limit in \p Stage (first trip wins).
+  void trip(const char *Limit, const char *Stage);
+
+  /// Elapsed wall time since construction, milliseconds.
+  uint64_t elapsedMs() const {
+    return uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                        Clock::now() - Start)
+                        .count());
+  }
+
+  /// Polls the deadline (a real clock read). Returns false — after
+  /// latching — when the deadline passed or the guard already tripped.
+  bool checkDeadline(const char *Stage) {
+    if (Tripped)
+      return false;
+    if (Limits.DeadlineMs != 0 && elapsedMs() >= Limits.DeadlineMs) {
+      DeadlineTripped = true;
+      trip("deadline-ms", Stage);
+      return false;
+    }
+    return true;
+  }
+
+  /// Budget checks: each compares an externally maintained total against
+  /// its limit (zero = unlimited) and latches on excess. All return
+  /// false once the guard has tripped, so callers can use the return
+  /// value to unwind.
+  bool checkTokens(uint64_t Count) {
+    return checkCount(Count, Limits.MaxTokens, "tokens", "frontend");
+  }
+  bool checkAstNodes(uint64_t Count) {
+    return checkCount(Count, Limits.MaxAstNodes, "ast-nodes", "frontend");
+  }
+  bool checkIRInstructions(uint64_t Count, const char *Stage = "lowering") {
+    return checkCount(Count, Limits.MaxIRInstructions, "ir-insts", Stage);
+  }
+
+  /// Charges \p N jump-function evaluations; polls the deadline every
+  /// 4096 evaluations so a deadline can interrupt a propagation solve
+  /// without a clock read per evaluation.
+  bool noteEvaluations(uint64_t N = 1) {
+    if (Tripped)
+      return false;
+    Evaluations += N;
+    if (Limits.MaxPropagationEvals != 0 &&
+        Evaluations > Limits.MaxPropagationEvals) {
+      trip("prop-evals", "propagation");
+      return false;
+    }
+    if (Limits.DeadlineMs != 0 && ++EvalsSinceClock >= 4096) {
+      EvalsSinceClock = 0;
+      return checkDeadline("propagation");
+    }
+    return true;
+  }
+
+  uint64_t evaluations() const { return Evaluations; }
+
+private:
+  bool checkCount(uint64_t Count, uint64_t Limit, const char *Name,
+                  const char *Stage) {
+    if (Tripped)
+      return false;
+    if (Limit != 0 && Count > Limit) {
+      trip(Name, Stage);
+      return false;
+    }
+    return true;
+  }
+
+  using Clock = std::chrono::steady_clock;
+  ResourceLimits Limits;
+  Clock::time_point Start;
+  uint64_t Evaluations = 0;
+  unsigned EvalsSinceClock = 0;
+  bool Tripped = false;
+  bool DeadlineTripped = false;
+  std::string TrippedLimit;
+  std::string TrippedStage;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_RESOURCEGUARD_H

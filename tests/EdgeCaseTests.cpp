@@ -11,9 +11,12 @@
 #include "core/Pipeline.h"
 #include "frontend/Lexer.h"
 #include "interp/Interpreter.h"
+#include "support/ConstantMath.h"
 #include "workload/Study.h"
 
 #include <gtest/gtest.h>
+
+#include <limits>
 
 using namespace ipcp;
 using namespace ipcp::test;
@@ -173,6 +176,122 @@ TEST(PipelineEdge, MaxExprNodesIsRespected) {
   unsigned SmallRefs = runIPCP(*M, Small).TotalConstantRefs;
   unsigned LargeRefs = runIPCP(*M, Large).TotalConstantRefs;
   EXPECT_GT(LargeRefs, SmallRefs);
+}
+
+//===----------------------------------------------------------------------===//
+// Overflow agreement: ConstantMath, SCCP folding, jump-function
+// composition, and the interpreter must all decline/trap on the same
+// boundary cases, never silently wrap.
+//===----------------------------------------------------------------------===//
+
+constexpr int64_t I64Min = std::numeric_limits<int64_t>::min();
+constexpr int64_t I64Max = std::numeric_limits<int64_t>::max();
+
+TEST(ConstantMathEdge, DivisionBoundariesDecline) {
+  EXPECT_EQ(checkedDiv(I64Min, -1), std::nullopt);
+  EXPECT_EQ(checkedRem(I64Min, -1), std::nullopt);
+  EXPECT_EQ(checkedDiv(42, 0), std::nullopt);
+  EXPECT_EQ(checkedRem(42, 0), std::nullopt);
+  EXPECT_EQ(checkedNeg(I64Min), std::nullopt);
+  // Just inside the boundary both succeed.
+  EXPECT_EQ(checkedDiv(I64Min, 1), I64Min);
+  EXPECT_EQ(checkedRem(I64Min, -2), std::optional<int64_t>(0));
+  EXPECT_EQ(checkedDiv(I64Max, -1), std::optional<int64_t>(-I64Max));
+}
+
+TEST(ConstantMathEdge, AdditionAndMultiplicationBoundaries) {
+  EXPECT_EQ(checkedAdd(I64Max, 1), std::nullopt);
+  EXPECT_EQ(checkedAdd(I64Max, 0), I64Max);
+  EXPECT_EQ(checkedSub(I64Min, 1), std::nullopt);
+  EXPECT_EQ(checkedSub(I64Min, 0), I64Min);
+  EXPECT_EQ(checkedMul(int64_t(1) << 62, 2), std::nullopt);
+  EXPECT_EQ(checkedMul(I64Min, -1), std::nullopt);
+}
+
+TEST(OverflowAgreement, AdditionOverflowNeitherFoldedNorExecuted) {
+  // a is a known constant, but a + a overflows: SCCP must leave b
+  // unfolded (only the two loads of a count as constant refs) and the
+  // interpreter must trap rather than wrap.
+  auto M = lowerOk("proc main() { var a; var b;\n"
+                   "  a = 4611686018427387904;\n"
+                   "  b = a + a;\n"
+                   "  print b; }");
+  IPCPResult R = runIPCP(*M);
+  EXPECT_TRUE(R.Status.ok());
+  EXPECT_EQ(R.TotalConstantRefs, 2u);
+
+  ExecutionResult Exec = interpret(*M);
+  EXPECT_EQ(Exec.TheStatus, ExecutionResult::Status::Trap);
+  EXPECT_TRUE(Exec.Output.empty());
+}
+
+TEST(OverflowAgreement, Int64MinDivMinusOneTrapsAndIsNotFolded) {
+  // INT64_MIN is only expressible as an arithmetic result; the analysis
+  // folds m itself but must decline m / -1 (the one 2's-complement
+  // division that overflows).
+  auto M = lowerOk("proc use(v) { print v; }\n"
+                   "proc main() { var m;\n"
+                   "  m = 0 - 9223372036854775807 - 1;\n"
+                   "  call use(m / (0 - 1)); }");
+  IPCPResult R = runIPCP(*M);
+  EXPECT_TRUE(R.Status.ok());
+  const ProcedureResult *Use = R.findProc("use");
+  ASSERT_NE(Use, nullptr);
+  for (const auto &[Name, Value] : Use->EntryConstants)
+    EXPECT_NE(Name, "v") << "declined division must not reach CONSTANTS(use)";
+
+  ExecutionResult Exec = interpret(*M);
+  EXPECT_EQ(Exec.TheStatus, ExecutionResult::Status::Trap);
+}
+
+TEST(OverflowAgreement, RemainderByZeroTrapsAndIsNotFolded) {
+  auto M = lowerOk("proc use(v) { print v; }\n"
+                   "proc main() { var x;\n"
+                   "  x = 5;\n"
+                   "  call use(x % (x - x)); }");
+  IPCPResult R = runIPCP(*M);
+  EXPECT_TRUE(R.Status.ok());
+  const ProcedureResult *Use = R.findProc("use");
+  ASSERT_NE(Use, nullptr);
+  for (const auto &[Name, Value] : Use->EntryConstants)
+    EXPECT_NE(Name, "v") << "x % 0 must not fold to a constant";
+
+  ExecutionResult Exec = interpret(*M);
+  EXPECT_EQ(Exec.TheStatus, ExecutionResult::Status::Trap);
+  EXPECT_FALSE(Exec.TrapMessage.empty());
+}
+
+TEST(OverflowAgreement, JumpFunctionCompositionDeclinesOverflow) {
+  // mid's formal v is the constant 2^62; composing leaf's jump function
+  // w = v + v overflows, so CONSTANTS(mid) keeps v while CONSTANTS(leaf)
+  // must not claim w.
+  auto M = lowerOk("proc leaf(w) { print w; }\n"
+                   "proc mid(v) { call leaf(v + v); }\n"
+                   "proc main() { call mid(4611686018427387904); }");
+  IPCPResult R = runIPCP(*M);
+  EXPECT_TRUE(R.Status.ok());
+
+  const ProcedureResult *Mid = R.findProc("mid");
+  ASSERT_NE(Mid, nullptr);
+  bool MidHasV = false;
+  for (const auto &[Name, Value] : Mid->EntryConstants)
+    if (Name == "v") {
+      MidHasV = true;
+      EXPECT_EQ(Value, int64_t(1) << 62);
+    }
+  EXPECT_TRUE(MidHasV);
+
+  const ProcedureResult *Leaf = R.findProc("leaf");
+  ASSERT_NE(Leaf, nullptr);
+  for (const auto &[Name, Value] : Leaf->EntryConstants)
+    EXPECT_NE(Name, "w") << "overflowing composition must go to bottom";
+
+  // The binding-graph formulation must agree on the same composition.
+  IPCPOptions BG;
+  BG.UseBindingGraphPropagator = true;
+  IPCPResult RB = runIPCP(*M, BG);
+  EXPECT_EQ(RB.TotalEntryConstants, R.TotalEntryConstants);
+  EXPECT_EQ(RB.TotalConstantRefs, R.TotalConstantRefs);
 }
 
 TEST(PipelineEdge, IrrelevantPlusCountedConsistent) {

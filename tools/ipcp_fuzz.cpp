@@ -1,0 +1,270 @@
+//===- tools/ipcp_fuzz.cpp - Pipeline fuzzing harness ---------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Exercises the whole pipeline — lexer, parser, sema, lowering, verifier,
+// analysis, propagation, interpreter — on generated and mutated inputs
+// under tight resource budgets, asserting totality: no crash, no hang, no
+// verifier violation, no unsound constant, and degradation reported
+// exactly when a budget tripped.
+//
+// Two entry points share one harness:
+//
+//  * Deterministic mode (the default `main`): seeded random programs from
+//    workload/Generator, each also re-run through a byte-level mutator.
+//    Same --seed, same behavior — this is what CI runs (see the fuzz_smoke
+//    tests and docs/ROBUSTNESS.md).
+//
+//      ipcp_fuzz [--runs=N] [--seed=S] [--no-mutate] [--crash-file=PATH]
+//
+//    Before each input runs, it is written to PATH (default
+//    ipcp_fuzz_crash.mf) so a crash leaves its reproducer on disk; the
+//    file is removed when the whole campaign passes.
+//
+//  * libFuzzer mode: compile with -DIPCP_FUZZ_LIBFUZZER and
+//    -fsanitize=fuzzer to get LLVMFuzzerTestOneInput over raw bytes
+//    (coverage-guided, when the toolchain provides libFuzzer).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "frontend/Parser.h"
+#include "interp/Interpreter.h"
+#include "ir/AstLower.h"
+#include "ir/Verifier.h"
+#include "support/FileIO.h"
+#include "workload/Generator.h"
+#include "workload/Oracle.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+
+using namespace ipcp;
+
+namespace {
+
+/// Budgets tight enough that adversarial inputs trip them quickly, loose
+/// enough that ordinary generated programs complete un-degraded.
+ResourceLimits fuzzLimits() {
+  ResourceLimits Limits;
+  Limits.MaxParseDepth = 96;
+  Limits.MaxTokens = 200'000;
+  Limits.MaxAstNodes = 100'000;
+  Limits.MaxIRInstructions = 200'000;
+  Limits.MaxPropagationEvals = 2'000'000;
+  return Limits;
+}
+
+/// One pipeline pass over \p Source. \p CheckOracle additionally executes
+/// the program and validates every reported constant against the recorded
+/// dynamic entries (only meaningful for generator output: mutated bytes
+/// rarely parse, and when they do the oracle still holds, but the run
+/// budget is better spent elsewhere). Returns false — after printing the
+/// failure — when an invariant broke; crashes and hangs are the
+/// sanitizers' and the timeout's to catch.
+bool runOne(const std::string &Source, bool CheckOracle,
+            std::string *Failure) {
+  IPCPOptions Opts;
+  Opts.Limits = fuzzLimits();
+  ResourceGuard Guard(Opts.Limits);
+
+  DiagnosticsEngine Diags;
+  std::optional<Program> Ast = parseAndCheck(Source, Diags, true, &Guard);
+  if (!Ast)
+    return true; // rejected cleanly (syntax/sema error or frontend trip)
+
+  std::unique_ptr<Module> M = lowerProgram(*Ast);
+  std::vector<std::string> Violations = verifyModule(*M, VerifyMode::PreSSA);
+  if (!Violations.empty()) {
+    *Failure = "verifier violation after lowering: " + Violations.front();
+    return false;
+  }
+
+  Guard.checkIRInstructions(M->instructionCount(), "lowering");
+  IPCPResult R = runIPCP(*M, Opts, &Guard);
+  if (R.Status.Degraded != Guard.tripped()) {
+    *Failure = "degradation flag disagrees with the guard latch";
+    return false;
+  }
+  if (R.Status.Degraded)
+    return true; // partial results; nothing further to cross-check
+
+  // A second solve through the binding-multigraph propagator must agree
+  // on the totals (the two formulations compute the same fixpoint).
+  IPCPOptions BGOpts = Opts;
+  BGOpts.UseBindingGraphPropagator = true;
+  IPCPResult BG = runIPCP(*M, BGOpts);
+  if (!BG.Status.Degraded &&
+      (BG.TotalEntryConstants != R.TotalEntryConstants ||
+       BG.TotalConstantRefs != R.TotalConstantRefs)) {
+    *Failure = "call-graph and binding-graph propagators disagree";
+    return false;
+  }
+
+  CompletePropagationResult CP = runCompletePropagation(*M, Opts, 4);
+  if (CP.TotalConstantRefs < R.TotalConstantRefs) {
+    *Failure = "complete propagation found fewer constant refs than one "
+               "analysis round";
+    return false;
+  }
+
+  if (CheckOracle) {
+    ExecutionOptions Exec;
+    Exec.MaxSteps = 2'000'000;
+    OracleReport Oracle = checkSoundness(*M, R, Exec);
+    if (!Oracle.Sound) {
+      *Failure = "oracle violation: " + Oracle.Violations.front();
+      return false;
+    }
+  } else {
+    ExecutionOptions Exec;
+    Exec.MaxSteps = 500'000;
+    Exec.RecordEntrySnapshots = false;
+    interpret(*M, Exec); // traps/out-of-fuel are fine; crashes are not
+  }
+  return true;
+}
+
+/// Deterministic byte-level mutation: truncations, flips, splices, and
+/// nesting bombs, all drawn from \p Rng.
+std::string mutate(const std::string &Source, std::mt19937_64 &Rng) {
+  std::string Out = Source;
+  switch (Rng() % 6) {
+  case 0: // truncate
+    if (!Out.empty())
+      Out.resize(Rng() % Out.size());
+    break;
+  case 1: { // flip bytes
+    for (unsigned I = 0, E = 1 + Rng() % 8; I != E && !Out.empty(); ++I)
+      Out[Rng() % Out.size()] = char(Rng() % 256);
+    break;
+  }
+  case 2: { // splice a chunk elsewhere
+    if (Out.size() > 8) {
+      size_t From = Rng() % (Out.size() / 2);
+      size_t Len = 1 + Rng() % (Out.size() / 4);
+      size_t To = Rng() % Out.size();
+      Out.insert(To, Out.substr(From, Len));
+    }
+    break;
+  }
+  case 3: { // nesting bomb: deep parens inside an expression
+    size_t Depth = 1 + Rng() % 256;
+    std::string Bomb = "proc nest() { x = ";
+    Bomb.append(Depth, '(');
+    Bomb += "1";
+    Bomb.append(Depth, ')');
+    Bomb += "; }\n";
+    Out += Bomb;
+    break;
+  }
+  case 4: { // block bomb: deep statement nesting
+    size_t Depth = 1 + Rng() % 256;
+    std::string Bomb = "proc blocks() { ";
+    for (size_t I = 0; I != Depth; ++I)
+      Bomb += "if (1) { ";
+    Bomb += "x = 1; ";
+    for (size_t I = 0; I != Depth; ++I)
+      Bomb += "} ";
+    Bomb += "}\n";
+    Out += Bomb;
+    break;
+  }
+  default: { // arithmetic edge cases
+    Out += "proc edges(a) { a = a / (a - a); a = -9223372036854775807 - 1; "
+           "a = a * a; print a % (a - a); }\n";
+    break;
+  }
+  }
+  return Out;
+}
+
+/// Derives a generator shape from the campaign RNG.
+GeneratorConfig shapeFor(uint64_t Seed, std::mt19937_64 &Rng) {
+  GeneratorConfig Config;
+  Config.Seed = Seed;
+  Config.NumProcs = 2 + Rng() % 8;
+  Config.NumGlobals = Rng() % 5;
+  Config.StmtsPerProc = 4 + Rng() % 12;
+  Config.MaxExprDepth = 2 + Rng() % 3;
+  Config.AllowRecursion = (Rng() % 4) == 0;
+  Config.UseArrays = (Rng() % 2) == 0;
+  return Config;
+}
+
+} // namespace
+
+#ifdef IPCP_FUZZ_LIBFUZZER
+
+// Coverage-guided entry: libFuzzer supplies the bytes, the harness
+// asserts totality. Link with -fsanitize=fuzzer (no main here).
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  std::string Source(reinterpret_cast<const char *>(Data), Size);
+  std::string Failure;
+  if (!runOne(Source, /*CheckOracle=*/false, &Failure)) {
+    std::fprintf(stderr, "invariant failure: %s\n", Failure.c_str());
+    std::abort();
+  }
+  return 0;
+}
+
+#else // deterministic driver
+
+int main(int argc, char **argv) {
+  uint64_t Runs = 1000, Seed = 1;
+  bool Mutate = true;
+  std::string CrashFile = "ipcp_fuzz_crash.mf";
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--runs=", 0) == 0)
+      Runs = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    else if (Arg.rfind("--seed=", 0) == 0)
+      Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    else if (Arg == "--no-mutate")
+      Mutate = false;
+    else if (Arg.rfind("--crash-file=", 0) == 0)
+      CrashFile = Arg.substr(13);
+    else {
+      std::fprintf(stderr,
+                   "usage: ipcp_fuzz [--runs=N] [--seed=S] [--no-mutate] "
+                   "[--crash-file=PATH]\n");
+      return 1;
+    }
+  }
+
+  std::mt19937_64 Rng(Seed);
+  for (uint64_t Run = 0; Run != Runs; ++Run) {
+    std::string Source = generateProgram(shapeFor(Seed + Run, Rng));
+    // Persist the input before running it: a crash (or sanitizer abort)
+    // leaves its reproducer at CrashFile for CI to upload.
+    std::string Inputs[2] = {Source, Mutate ? mutate(Source, Rng) : ""};
+    for (unsigned Variant = 0; Variant != (Mutate ? 2u : 1u); ++Variant) {
+      writeStringToFile(CrashFile, Inputs[Variant], nullptr);
+      std::string Failure;
+      if (!runOne(Inputs[Variant], /*CheckOracle=*/Variant == 0, &Failure)) {
+        std::fprintf(stderr,
+                     "FAIL at run %llu variant %u (seed %llu): %s\n"
+                     "reproducer written to %s\n",
+                     static_cast<unsigned long long>(Run), Variant,
+                     static_cast<unsigned long long>(Seed), Failure.c_str(),
+                     CrashFile.c_str());
+        return 1;
+      }
+    }
+    if ((Run + 1) % 500 == 0)
+      std::printf("ipcp_fuzz: %llu/%llu inputs ok\n",
+                  static_cast<unsigned long long>(Run + 1),
+                  static_cast<unsigned long long>(Runs));
+  }
+  std::remove(CrashFile.c_str());
+  std::printf("ipcp_fuzz: %llu inputs, 0 failures\n",
+              static_cast<unsigned long long>(Runs * (Mutate ? 2 : 1)));
+  return 0;
+}
+
+#endif // IPCP_FUZZ_LIBFUZZER

@@ -13,6 +13,7 @@
 // the three paper tables, so suite-wide trajectories can be produced
 // mechanically.
 #include "core/SuiteRunner.h"
+#include "support/FileIO.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 #include "workload/SuiteReport.h"
@@ -83,14 +84,11 @@ int main(int argc, char **argv) {
     if (TraceFile.empty()) {
       std::fprintf(stderr, "%s", Text.c_str());
     } else {
-      std::FILE *F = std::fopen(TraceFile.c_str(), "w");
-      if (!F) {
-        std::fprintf(stderr, "error: cannot open '%s' for writing\n",
-                     TraceFile.c_str());
-        return 1;
+      std::string Error;
+      if (!writeStringToFile(TraceFile, Text, &Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 2;
       }
-      std::fwrite(Text.data(), 1, Text.size(), F);
-      std::fclose(F);
     }
   }
 
@@ -99,7 +97,7 @@ int main(int argc, char **argv) {
     std::string Error;
     if (!writeJsonFile(ReportFile, Doc, &Error)) {
       std::fprintf(stderr, "error: %s\n", Error.c_str());
-      return 1;
+      return 2;
     }
   }
   return Study.Failures != 0;
