@@ -43,6 +43,7 @@
 #include "core/Inlining.h"
 #include "core/Pipeline.h"
 #include "core/Report.h"
+#include "core/SummaryCache.h"
 #include "core/ValueNumbering.h"
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
@@ -85,6 +86,11 @@ void printUsage() {
       "  --stats          print the counter summary table\n"
       "  --trace[=FILE]   record per-pass spans (text; stderr or FILE)\n"
       "  --report-json=FILE  write the full analysis report as JSON\n"
+      "  --cache-dir=DIR  persistent summary cache for incremental reruns\n"
+      "                   (single-run analyses only; see docs/INCREMENTAL.md)\n"
+      "  --no-cache       ignore --cache-dir (one-off cold run)\n"
+      "  --scrub-timings  zero wall-clock fields in the JSON report so\n"
+      "                   identical runs produce identical bytes\n"
       "resource budgets (0 = unlimited; a trip degrades the run, exit 5):\n"
       "  --limit-parse-depth=N  parser recursion depth (default 512)\n"
       "  --limit-tokens=N       tokens per source buffer\n"
@@ -127,7 +133,8 @@ int main(int argc, char **argv) {
   bool Complete = false, Clone = false, DumpIR = false, Run = false;
   bool CheckAlias = false, DumpJF = false, Integrate = false;
   bool ShowStats = false, TraceOn = false;
-  std::string TraceFile, ReportFile;
+  bool NoCache = false, ScrubTimings = false;
+  std::string TraceFile, ReportFile, CacheDir;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -182,6 +189,22 @@ int main(int argc, char **argv) {
     }
     if (Arg == "--stats") {
       ShowStats = true;
+      continue;
+    }
+    if (Arg == "--cache-dir=") {
+      std::fprintf(stderr, "error: --cache-dir needs a directory name\n");
+      return 1;
+    }
+    if (Arg.rfind("--cache-dir=", 0) == 0) {
+      CacheDir = Arg.substr(12);
+      continue;
+    }
+    if (Arg == "--no-cache") {
+      NoCache = true;
+      continue;
+    }
+    if (Arg == "--scrub-timings") {
+      ScrubTimings = true;
       continue;
     }
     if (Arg.rfind("--limit-parse-depth=", 0) == 0) {
@@ -322,6 +345,17 @@ int main(int argc, char **argv) {
                 IR.InstructionsBefore, IR.InstructionsAfter);
   }
 
+  // Summary cache: single-run analyses of the unmodified module only
+  // (complete propagation, cloning, and integration all mutate or
+  // re-analyze the module; see docs/INCREMENTAL.md). A load failure is
+  // not an error — the run proceeds cold and reports cache_load_failures.
+  std::optional<SummaryCache> Cache;
+  if (!CacheDir.empty() && !NoCache && !Complete && !Clone && !Integrate) {
+    Cache.emplace(CacheDir);
+    Cache->load(SourceName, Opts, &Guard);
+    Opts.Cache = &*Cache;
+  }
+
   std::optional<CompletePropagationResult> CompleteResult;
   std::optional<IPCPResult> SingleResult;
   if (Complete) {
@@ -362,6 +396,18 @@ int main(int argc, char **argv) {
     }
     if (ShowStats)
       std::printf("statistics:\n%s", formatStatsTable(R.Stats).c_str());
+    if (R.UsedCache)
+      std::printf("cache: %llu hit(s), %llu miss(es), %llu replayed\n",
+                  static_cast<unsigned long long>(R.Stats.get("cache_hits")),
+                  static_cast<unsigned long long>(R.Stats.get("cache_misses")),
+                  static_cast<unsigned long long>(
+                      R.Stats.get("cache_record_reused")));
+  }
+
+  if (Cache) {
+    std::string Error;
+    if (!Cache->save(SourceName, Opts, &Error))
+      std::fprintf(stderr, "warning: cache not saved: %s\n", Error.c_str());
   }
 
   // Stop recording before the ancillary dumps so the trace covers
@@ -449,8 +495,11 @@ int main(int argc, char **argv) {
     Report.Cloning = CloneResult ? &*CloneResult : nullptr;
     Report.TraceData = TraceOn ? &TraceData : nullptr;
     Report.Status = &FinalStatus;
+    JsonValue Doc = buildAnalysisReport(Report);
+    if (ScrubTimings)
+      scrubReportTimings(Doc);
     std::string Error;
-    if (!writeJsonFile(ReportFile, buildAnalysisReport(Report), &Error)) {
+    if (!writeJsonFile(ReportFile, Doc, &Error)) {
       std::fprintf(stderr, "error: %s\n", Error.c_str());
       return 4;
     }

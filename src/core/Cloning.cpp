@@ -131,8 +131,13 @@ CloningResult ipcp::cloneForConstants(Module &M, const CloningOptions &Opts,
   if (!Guard)
     Guard = &LocalGuard;
   Result.InstructionsBefore = M.instructionCount();
+  // The before/after measurement runs must not consult (or restock) a
+  // summary cache: the module mutates between them.
+  CloningOptions MeasureOpts = Opts;
+  MeasureOpts.Analysis.Cache = nullptr;
+  const IPCPOptions &AnalysisOpts = MeasureOpts.Analysis;
   {
-    IPCPResult Before = runIPCP(M, Opts.Analysis, Guard);
+    IPCPResult Before = runIPCP(M, AnalysisOpts, Guard);
     Result.RefsBefore = Before.TotalConstantRefs;
     Result.ConstantsBefore = Before.TotalEntryConstants;
   }
@@ -191,7 +196,7 @@ CloningResult ipcp::cloneForConstants(Module &M, const CloningOptions &Opts,
   }
 
   {
-    IPCPResult After = runIPCP(M, Opts.Analysis, Guard);
+    IPCPResult After = runIPCP(M, AnalysisOpts, Guard);
     Result.RefsAfter = After.TotalConstantRefs;
     Result.ConstantsAfter = After.TotalEntryConstants;
   }

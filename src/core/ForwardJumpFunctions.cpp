@@ -44,6 +44,60 @@ static JumpFunction trim(JumpFunctionKind Kind, const SymExpr *E) {
   return JumpFunction::bottom();
 }
 
+void ForwardJumpFunctions::buildProcedure(
+    Procedure *P, const CallGraph &CG, const ModRefInfo &MRI,
+    const SSAResult &ProcSSA, const ReturnJumpFunctions *RJFs,
+    SymExprContext &Ctx, JumpFunctionKind Kind, bool UseGatedSSA) {
+  traceEvent("forward-jf.proc", P->getName());
+
+  // Section 3.2: the second evaluation of return jump functions, during
+  // forward jump function generation, keeps only constant results.
+  SymbolicLifter Lifter(Ctx, ProcSSA, RJFs, CallOutMode::ConstantOnly,
+                        UseGatedSSA);
+
+  for (CallInst *Site : CG.callSitesIn(P)) {
+    CallSiteJumpFunctions JFs;
+    JFs.Site = Site;
+    JFs.Caller = P;
+    Procedure *Callee = Site->getCallee();
+
+    for (unsigned I = 0, E = Site->getNumActuals(); I != E; ++I) {
+      if (Kind == JumpFunctionKind::Literal) {
+        const CallActual &A = Site->getActual(I);
+        if (A.WasLiteral) {
+          auto *C = cast<ConstantInt>(Site->getActualValue(I));
+          JFs.Formals.push_back(
+              JumpFunction::constant(Ctx, C->getValue()));
+        } else {
+          JFs.Formals.push_back(JumpFunction::bottom());
+        }
+        continue;
+      }
+      JFs.Formals.push_back(
+          trim(Kind, Lifter.lift(Site->getActualValue(I))));
+    }
+
+    // Globals are implicit parameters of the callee; the literal class
+    // cannot see them at all.
+    auto CallIn = ProcSSA.CallInValues.find(Site);
+    for (Variable *G : MRI.extendedGlobals(Callee)) {
+      if (Kind == JumpFunctionKind::Literal) {
+        JFs.Globals.push_back({G, JumpFunction::bottom()});
+        continue;
+      }
+      const SymExpr *E = nullptr;
+      if (CallIn != ProcSSA.CallInValues.end()) {
+        auto It = CallIn->second.find(G);
+        if (It != CallIn->second.end())
+          E = Lifter.lift(It->second);
+      }
+      JFs.Globals.push_back({G, trim(Kind, E)});
+    }
+
+    Sites.emplace(Site, std::move(JFs));
+  }
+}
+
 ForwardJumpFunctions ForwardJumpFunctions::build(
     const CallGraph &CG, const ModRefInfo &MRI, const SSAMap &SSA,
     const ReturnJumpFunctions *RJFs, SymExprContext &Ctx,
@@ -52,57 +106,10 @@ ForwardJumpFunctions ForwardJumpFunctions::build(
   ScopedTraceSpan BuildSpan("forward-jf");
 
   for (Procedure *P : CG.procedures()) {
-    traceEvent("forward-jf.proc", P->getName());
     auto SSAIt = SSA.find(P);
     assert(SSAIt != SSA.end() && "missing SSA for procedure");
-    const SSAResult &ProcSSA = SSAIt->second;
-
-    // Section 3.2: the second evaluation of return jump functions, during
-    // forward jump function generation, keeps only constant results.
-    SymbolicLifter Lifter(Ctx, ProcSSA, RJFs, CallOutMode::ConstantOnly,
-                          UseGatedSSA);
-
-    for (CallInst *Site : CG.callSitesIn(P)) {
-      CallSiteJumpFunctions JFs;
-      JFs.Site = Site;
-      JFs.Caller = P;
-      Procedure *Callee = Site->getCallee();
-
-      for (unsigned I = 0, E = Site->getNumActuals(); I != E; ++I) {
-        if (Kind == JumpFunctionKind::Literal) {
-          const CallActual &A = Site->getActual(I);
-          if (A.WasLiteral) {
-            auto *C = cast<ConstantInt>(Site->getActualValue(I));
-            JFs.Formals.push_back(
-                JumpFunction::constant(Ctx, C->getValue()));
-          } else {
-            JFs.Formals.push_back(JumpFunction::bottom());
-          }
-          continue;
-        }
-        JFs.Formals.push_back(
-            trim(Kind, Lifter.lift(Site->getActualValue(I))));
-      }
-
-      // Globals are implicit parameters of the callee; the literal class
-      // cannot see them at all.
-      auto CallIn = ProcSSA.CallInValues.find(Site);
-      for (Variable *G : MRI.extendedGlobals(Callee)) {
-        if (Kind == JumpFunctionKind::Literal) {
-          JFs.Globals.push_back({G, JumpFunction::bottom()});
-          continue;
-        }
-        const SymExpr *E = nullptr;
-        if (CallIn != ProcSSA.CallInValues.end()) {
-          auto It = CallIn->second.find(G);
-          if (It != CallIn->second.end())
-            E = Lifter.lift(It->second);
-        }
-        JFs.Globals.push_back({G, trim(Kind, E)});
-      }
-
-      FJFs.Sites.emplace(Site, std::move(JFs));
-    }
+    FJFs.buildProcedure(P, CG, MRI, SSAIt->second, RJFs, Ctx, Kind,
+                        UseGatedSSA);
   }
 
   return FJFs;

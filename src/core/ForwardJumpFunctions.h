@@ -62,6 +62,22 @@ public:
                                     JumpFunctionKind Kind,
                                     bool UseGatedSSA = false);
 
+  /// Builds the jump functions for every call site in \p P alone — the
+  /// per-procedure step the incremental pipeline runs for dirty
+  /// procedures (build() is this in a loop). Callee return jump
+  /// functions consulted through \p RJFs must be final.
+  void buildProcedure(Procedure *P, const CallGraph &CG, const ModRefInfo &MRI,
+                      const SSAResult &ProcSSA,
+                      const ReturnJumpFunctions *RJFs, SymExprContext &Ctx,
+                      JumpFunctionKind Kind, bool UseGatedSSA);
+
+  /// Installs one call site's jump functions directly (cache restore
+  /// path).
+  void insert(CallSiteJumpFunctions JFs) {
+    const CallInst *Site = JFs.Site;
+    Sites.insert_or_assign(Site, std::move(JFs));
+  }
+
   const CallSiteJumpFunctions &at(const CallInst *Site) const;
 
   /// Distribution counters for the study: how many jump functions ended

@@ -20,6 +20,8 @@
 
 namespace ipcp {
 
+class SummaryCache;
+
 /// The four forward jump function classes, in increasing order of power.
 /// Each class propagates a superset of the constants of its predecessor
 /// (paper Section 3.1) — a property the test suite checks on random
@@ -95,6 +97,15 @@ struct IPCPOptions {
   /// Name of the entry procedure; its globals start at their initial
   /// value (zero) on the virtual entry edge.
   const char *EntryProcedure = "main";
+
+  /// Persistent summary store for incremental analysis (null = every run
+  /// is cold). Owned by the caller; runIPCP reads entries whose keys
+  /// still validate, stages fresh ones, and commits the staged set only
+  /// when the run finishes un-degraded. Ignored (left untouched) by
+  /// configurations the cache does not model: IntraproceduralOnly runs,
+  /// the binding-graph propagator, and the FIFO schedule fall back to
+  /// cold analysis. See docs/INCREMENTAL.md.
+  SummaryCache *Cache = nullptr;
 
   /// Resource budgets for the run (all unlimited by default). When a
   /// budget trips, the pipeline degrades gracefully: it stops the

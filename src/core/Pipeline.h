@@ -84,6 +84,13 @@ struct IPCPResult {
   /// Phase timings (microseconds) and work counters.
   StatisticSet Stats;
 
+  /// True when this run consulted a summary cache (Options::Cache was
+  /// set and the configuration is cacheable). The cache_* counters in
+  /// Stats and the report's "cache" object are emitted exactly when this
+  /// is set. Note: replayed procedures contribute no entries to Facts —
+  /// complete propagation therefore always runs cache-less.
+  bool UsedCache = false;
+
   /// Whether the run completed or degraded under a resource budget. A
   /// degraded run's results are sound but partial: propagation trips
   /// discard interprocedural constants entirely (a cut-short iteration

@@ -81,13 +81,16 @@ class Propagator {
 public:
   Propagator(const CallGraph &CG, const ModRefInfo &MRI,
              const ForwardJumpFunctions &FJFs, const IPCPOptions &Opts,
-             PropagatorStats *Stats, ResourceGuard *Guard)
+             PropagatorStats *Stats, ResourceGuard *Guard,
+             const IncrementalPropagationPlan *Plan)
       : CG(CG), MRI(MRI), FJFs(FJFs), Opts(Opts), Stats(Stats),
-        Guard(Guard) {}
+        Guard(Guard),
+        Plan(Opts.Schedule == PropagationSchedule::SCC ? Plan : nullptr) {}
 
   ConstantsMap solve() {
     numberSlots();
     seedEntry();
+    preloadAdopted();
     if (Opts.Schedule == PropagationSchedule::FIFO)
       solveFIFO();
     else
@@ -136,6 +139,29 @@ private:
       }
   }
 
+  /// Installs the cached fixpoint VAL of every adopted procedure. Runs
+  /// after seedEntry so the cached values (which already absorbed the
+  /// virtual entry edge when they were computed) win.
+  void preloadAdopted() {
+    if (!Plan)
+      return;
+    for (const auto &[P, Vals] : Plan->CachedVal) {
+      unsigned PI = CG.procIndex(const_cast<Procedure *>(P));
+      const ProcSlots &S = Slots[PI];
+      for (const auto &[Var, LV] : Vals) {
+        if (Var->isFormal()) {
+          VAL[PI][Var->getFormalIndex()] = LV;
+          continue;
+        }
+        auto It = S.GlobalSlot.find(Var);
+        assert(It != S.GlobalSlot.end() &&
+               "cached VAL entry outside the extended-formal numbering");
+        if (It != S.GlobalSlot.end())
+          VAL[PI][It->second] = LV;
+      }
+    }
+  }
+
   /// VAL(P, Var) read through the dense numbering; variables outside P's
   /// extended formals are top, matching the hash-map env semantics.
   LatticeValue valueAt(unsigned PI, Variable *Var) const {
@@ -178,9 +204,15 @@ private:
     auto Lookup = [this, PI](Variable *Var) { return valueAt(PI, Var); };
 
     for (CallInst *Site : CG.callSitesIn(P)) {
-      const CallSiteJumpFunctions &JFs = FJFs.at(Site);
       Procedure *Q = Site->getCallee();
       unsigned QI = CG.procIndex(Q);
+      // An adopted component's VAL is its cached fixpoint, which already
+      // includes this edge's contribution (the adoption closure proves
+      // the caller is unchanged too) — skipping it is where warm runs
+      // save their jump-function evaluations.
+      if (Plan && Plan->adopted(SCCOf[QI]))
+        continue;
+      const CallSiteJumpFunctions &JFs = FJFs.at(Site);
 
       for (unsigned I = 0, E = unsigned(JFs.Formals.size()); I != E; ++I)
         if (lower(QI, I, JFs.Formals[I].evaluateVia(Lookup)))
@@ -221,6 +253,15 @@ private:
       if (budgetTripped())
         return;
       const std::vector<Procedure *> &Members = SCCs[C];
+      if (Plan && Plan->adopted(C)) {
+        // Preloaded cached fixpoint: already converged, so one filtered
+        // visit per member pushes contributions into dirty callees;
+        // intra-component edges target this adopted component and are
+        // skipped inside visit().
+        for (Procedure *P : Members)
+          visit(CG.procIndex(P), [](unsigned) {});
+        continue;
+      }
       if (Members.size() == 1 && !CG.isRecursive(Members[0])) {
         // No edge can return here: a single visit converges.
         visit(CG.procIndex(Members[0]), [](unsigned) {});
@@ -260,6 +301,7 @@ private:
   const IPCPOptions &Opts;
   PropagatorStats *Stats;
   ResourceGuard *Guard;
+  const IncrementalPropagationPlan *Plan;
 
   std::vector<ProcSlots> Slots;
   std::vector<std::vector<LatticeValue>> VAL;
@@ -274,11 +316,12 @@ ConstantsMap ipcp::propagateConstants(const CallGraph &CG,
                                       const ForwardJumpFunctions &FJFs,
                                       const IPCPOptions &Opts,
                                       PropagatorStats *Stats,
-                                      ResourceGuard *Guard) {
+                                      ResourceGuard *Guard,
+                                      const IncrementalPropagationPlan *Plan) {
   ScopedTraceSpan PropSpan("propagate",
                            Opts.Schedule == PropagationSchedule::FIFO
                                ? "callgraph-fifo"
                                : "callgraph-scc");
-  Propagator Solver(CG, MRI, FJFs, Opts, Stats, Guard);
+  Propagator Solver(CG, MRI, FJFs, Opts, Stats, Guard, Plan);
   return Solver.solve();
 }

@@ -97,17 +97,48 @@ struct PropagatorStats {
   uint64_t Revisits = 0;
 };
 
+/// What the incremental pipeline tells the propagator about cached VAL
+/// sets (docs/INCREMENTAL.md). An SCC may be *adopted* only when the
+/// pipeline proved its cached fixpoint still applies: every member's
+/// summary hit, its callers are unchanged (callers hash), and — applied
+/// transitively — every external caller SCC was itself adopted. Under
+/// that closure, no jump function ever needs to be evaluated *into* an
+/// adopted component: its VAL is preloaded from the cache and the solver
+/// skips those edges, which is exactly where the warm-run savings in
+/// prop_evaluations come from. Edges *out of* adopted components into
+/// dirty ones are still evaluated (dirty procedures restart from top and
+/// need every caller's contribution).
+struct IncrementalPropagationPlan {
+  /// Indexed by SCC index (CallGraph::sccIndex). Non-zero = adopted.
+  std::vector<char> AdoptSCC;
+
+  /// The cached fixpoint VAL for each procedure of an adopted SCC
+  /// (non-top entries only; variables are the procedure's formals and
+  /// extended globals).
+  std::unordered_map<const Procedure *,
+                     std::vector<std::pair<Variable *, LatticeValue>>>
+      CachedVal;
+
+  bool adopted(size_t SCC) const {
+    return SCC < AdoptSCC.size() && AdoptSCC[SCC];
+  }
+};
+
 /// Runs the worklist propagation to fixpoint. \p Guard, when non-null,
 /// budgets jump-function evaluations and the wall-clock deadline: on a
 /// trip the solver stops early and returns an EMPTY map (a cut-short
 /// iteration leaves VAL entries too high — optimistically wrong — so the
 /// only sound partial answer is "no interprocedural constants"); the
-/// caller observes Guard->tripped() and reports degradation.
+/// caller observes Guard->tripped() and reports degradation. \p Plan,
+/// when non-null, preloads adopted SCCs from cached VAL sets (SCC
+/// schedule only; the FIFO baseline ignores it).
 ConstantsMap propagateConstants(const CallGraph &CG, const ModRefInfo &MRI,
                                 const ForwardJumpFunctions &FJFs,
                                 const IPCPOptions &Opts,
                                 PropagatorStats *Stats = nullptr,
-                                ResourceGuard *Guard = nullptr);
+                                ResourceGuard *Guard = nullptr,
+                                const IncrementalPropagationPlan *Plan =
+                                    nullptr);
 
 } // namespace ipcp
 

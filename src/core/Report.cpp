@@ -8,6 +8,8 @@
 
 #include "support/Trace.h"
 
+#include <algorithm>
+
 using namespace ipcp;
 
 JsonValue ipcp::optionsToJson(const IPCPOptions &Opts) {
@@ -103,6 +105,16 @@ JsonValue ipcp::resultToJson(const IPCPResult &Result) {
   Obj.set("jump_functions", histogramToJson(Result.Stats));
   Obj.set("timings_us", timingsToJson(Result.Stats));
   Obj.set("counters", Result.Stats.toJson());
+  if (Result.UsedCache) {
+    JsonValue Cache = JsonValue::object();
+    Cache.set("hits", Result.Stats.get("cache_hits"));
+    Cache.set("misses", Result.Stats.get("cache_misses"));
+    Cache.set("invalidations", Result.Stats.get("cache_invalidations"));
+    Cache.set("val_adopted", Result.Stats.get("cache_val_adopted"));
+    Cache.set("record_reused", Result.Stats.get("cache_record_reused"));
+    Cache.set("load_failures", Result.Stats.get("cache_load_failures"));
+    Obj.set("cache", std::move(Cache));
+  }
   setDegradation(Obj, Result.Status);
   return Obj;
 }
@@ -168,4 +180,65 @@ JsonValue ipcp::buildAnalysisReport(const AnalysisReport &Report) {
   if (Status && Status->Degraded)
     Obj.set("degradation", statusToJson(*Status));
   return Obj;
+}
+
+namespace {
+
+/// Counters whose values a warm run may legitimately change.
+bool isWarmVolatileCounter(const std::string &Name) {
+  if (Name.rfind("time_", 0) == 0 || Name.rfind("cache_", 0) == 0)
+    return true;
+  return Name == "prop_visits" || Name == "prop_evaluations" ||
+         Name == "prop_lowerings" || Name == "prop_revisits" ||
+         Name == "unique_exprs";
+}
+
+} // namespace
+
+void ipcp::normalizeReportForDiff(JsonValue &Report) {
+  if (Report.isArray()) {
+    for (size_t I = 0, N = Report.size(); I != N; ++I)
+      normalizeReportForDiff(Report.at(I));
+    return;
+  }
+  if (!Report.isObject())
+    return;
+  Report.remove("timings_us");
+  Report.remove("cache");
+  Report.remove("trace");
+  for (auto &[Key, Val] : Report.members()) {
+    if (Key == "counters" && Val.isObject()) {
+      auto &Counters = Val.members();
+      Counters.erase(std::remove_if(Counters.begin(), Counters.end(),
+                                    [](const auto &KV) {
+                                      return isWarmVolatileCounter(KV.first);
+                                    }),
+                     Counters.end());
+      continue;
+    }
+    normalizeReportForDiff(Val);
+  }
+}
+
+void ipcp::scrubReportTimings(JsonValue &Report) {
+  if (Report.isArray()) {
+    for (size_t I = 0, N = Report.size(); I != N; ++I)
+      scrubReportTimings(Report.at(I));
+    return;
+  }
+  if (!Report.isObject())
+    return;
+  for (auto &[Key, Val] : Report.members()) {
+    if (Key == "timings_us" && Val.isObject()) {
+      for (auto &[Stage, T] : Val.members())
+        if (T.isNumber())
+          T = JsonValue(int64_t(0));
+      continue;
+    }
+    if (Key.rfind("time_", 0) == 0 && Val.isNumber()) {
+      Val = JsonValue(int64_t(0));
+      continue;
+    }
+    scrubReportTimings(Val);
+  }
 }

@@ -65,6 +65,22 @@ struct AnalysisReport {
 /// Builds the top-level "ipcp-report-v1" document.
 JsonValue buildAnalysisReport(const AnalysisReport &Report);
 
+/// Strips, in place, everything that may legitimately differ between a
+/// warm (summary-cache) and a cold run of the same analysis: timings,
+/// the cache object and cache_* counters, the work counters of stages a
+/// warm run skips or shrinks (prop_visits, prop_evaluations,
+/// prop_lowerings, prop_revisits, unique_exprs), and the trace. What
+/// remains — results, CONSTANTS(p), jump-function histogram, the sccp_*
+/// and prop_val_* counters — the differential test layer requires to be
+/// byte-identical (docs/INCREMENTAL.md).
+void normalizeReportForDiff(JsonValue &Report);
+
+/// Zeroes, in place, every wall-clock field (the "timings_us" objects
+/// and the time_* counters) so two reports of identical runs compare
+/// equal; everything else — including cache statistics — is kept.
+/// Driver flag --scrub-timings; the warm-determinism CI job diffs these.
+void scrubReportTimings(JsonValue &Report);
+
 } // namespace ipcp
 
 #endif // IPCP_CORE_REPORT_H

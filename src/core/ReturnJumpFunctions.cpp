@@ -37,6 +37,35 @@ unsigned ReturnJumpFunctions::entryCount() const {
   return Count;
 }
 
+void ReturnJumpFunctions::seedBottoms(Procedure *P, const ModRefInfo &MRI) {
+  auto &Entries = Table[P];
+  for (unsigned I = 0, E = P->getNumFormals(); I != E; ++I)
+    if (MRI.formalMayBeModified(P, I))
+      Entries.emplace(P->formals()[I], JumpFunction::bottom());
+  for (Variable *G : MRI.modifiedGlobals(P))
+    Entries.emplace(G, JumpFunction::bottom());
+}
+
+void ReturnJumpFunctions::liftProcedure(Procedure *P, const SSAResult &ProcSSA,
+                                        SymExprContext &Ctx,
+                                        bool UseGatedSSA) {
+  traceEvent("return-jf.proc", P->getName());
+  auto &Entries = Table[P];
+  if (Entries.empty())
+    return;
+  if (ProcSSA.ExitValues.empty())
+    return; // never returns: bottoms stay (never consulted anyway)
+
+  SymbolicLifter Lifter(Ctx, ProcSSA, this, CallOutMode::Symbolic,
+                        UseGatedSSA);
+  for (auto &[Var, JF] : Entries) {
+    auto ExitIt = ProcSSA.ExitValues.find(const_cast<Variable *>(Var));
+    if (ExitIt == ProcSSA.ExitValues.end())
+      continue; // not promoted here (e.g. global untouched): bottom
+    JF = JumpFunction(Lifter.lift(ExitIt->second));
+  }
+}
+
 ReturnJumpFunctions ReturnJumpFunctions::build(const CallGraph &CG,
                                                const ModRefInfo &MRI,
                                                const SSAMap &SSA,
@@ -48,38 +77,16 @@ ReturnJumpFunctions ReturnJumpFunctions::build(const CallGraph &CG,
   // Pre-populate bottom entries for every modifiable variable, so that
   // recursive components see "modified, unknown" rather than "not
   // modified" for not-yet-processed members.
-  for (Procedure *P : CG.procedures()) {
-    auto &Entries = RJFs.Table[P];
-    for (unsigned I = 0, E = P->getNumFormals(); I != E; ++I)
-      if (MRI.formalMayBeModified(P, I))
-        Entries.emplace(P->formals()[I], JumpFunction::bottom());
-    for (Variable *G : MRI.modifiedGlobals(P))
-      Entries.emplace(G, JumpFunction::bottom());
-  }
+  for (Procedure *P : CG.procedures())
+    RJFs.seedBottoms(P, MRI);
 
   // Bottom-up over SCCs: callees are ready before their callers, except
   // within a recursive component, where the pre-populated bottoms apply.
   for (const std::vector<Procedure *> &SCC : CG.sccsBottomUp()) {
     for (Procedure *P : SCC) {
-      traceEvent("return-jf.proc", P->getName());
       auto SSAIt = SSA.find(P);
       assert(SSAIt != SSA.end() && "missing SSA for procedure");
-      const SSAResult &ProcSSA = SSAIt->second;
-
-      auto &Entries = RJFs.Table[P];
-      if (Entries.empty())
-        continue;
-      if (ProcSSA.ExitValues.empty())
-        continue; // never returns: bottoms stay (never consulted anyway)
-
-      SymbolicLifter Lifter(Ctx, ProcSSA, &RJFs, CallOutMode::Symbolic,
-                            UseGatedSSA);
-      for (auto &[Var, JF] : Entries) {
-        auto ExitIt = ProcSSA.ExitValues.find(const_cast<Variable *>(Var));
-        if (ExitIt == ProcSSA.ExitValues.end())
-          continue; // not promoted here (e.g. global untouched): bottom
-        JF = JumpFunction(Lifter.lift(ExitIt->second));
-      }
+      RJFs.liftProcedure(P, SSAIt->second, Ctx, UseGatedSSA);
     }
   }
 

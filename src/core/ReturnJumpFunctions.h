@@ -38,11 +38,41 @@ using SSAMap = std::unordered_map<Procedure *, SSAResult>;
 /// The table of return jump functions for one module.
 class ReturnJumpFunctions {
 public:
+  /// Empty table; the incremental pipeline fills it procedure by
+  /// procedure (seedBottoms/liftProcedure for dirty procedures, insert
+  /// for cache-restored ones). The batch build() below remains the
+  /// cold-path entry point and is implemented on top of the same steps.
+  ReturnJumpFunctions() = default;
+
   /// Builds the table bottom-up. \p SSA must contain every procedure.
   /// \p UseGatedSSA selects the gated phi resolution (Options.h).
   static ReturnJumpFunctions build(const CallGraph &CG, const ModRefInfo &MRI,
                                    const SSAMap &SSA, SymExprContext &Ctx,
                                    bool UseGatedSSA = false);
+
+  /// Pre-populates bottom entries for every variable \p P may modify, so
+  /// recursive components see "modified, unknown" rather than "not
+  /// modified" for not-yet-lifted members. Must run for every member of
+  /// an SCC before liftProcedure runs for any of them.
+  void seedBottoms(Procedure *P, const ModRefInfo &MRI);
+
+  /// Lifts \p P's exit values into its (already seeded) entries. Callee
+  /// entries this lift consults must be final (bottom-up SCC order).
+  void liftProcedure(Procedure *P, const SSAResult &ProcSSA,
+                     SymExprContext &Ctx, bool UseGatedSSA);
+
+  /// Installs one entry directly (cache restore path).
+  void insert(const Procedure *P, const Variable *Var, JumpFunction JF) {
+    Table[P].insert_or_assign(Var, std::move(JF));
+  }
+
+  /// All entries of \p P in deterministic (variable-ID) order; null when
+  /// \p P modifies nothing.
+  const std::map<const Variable *, JumpFunction, VariableIdLess> *
+  entriesOf(const Procedure *P) const {
+    auto It = Table.find(P);
+    return It == Table.end() ? nullptr : &It->second;
+  }
 
   /// Three-way lookup:
   ///  - null: \p P does not modify \p Var (no return jump function needed;
@@ -60,8 +90,6 @@ public:
   unsigned entryCount() const;
 
 private:
-  ReturnJumpFunctions() = default;
-
   // Keyed by (procedure, variable) with deterministic inner ordering.
   std::unordered_map<const Procedure *,
                      std::map<const Variable *, JumpFunction, VariableIdLess>>

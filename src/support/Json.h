@@ -79,6 +79,7 @@ public:
 
   /// Array indexing.
   const JsonValue &at(size_t I) const { return Elements[I]; }
+  JsonValue &at(size_t I) { return Elements[I]; }
 
   /// Appends \p V to this array.
   JsonValue &push(JsonValue V) {
@@ -104,11 +105,29 @@ public:
         return &V;
     return nullptr;
   }
+  JsonValue *find(const std::string &Key) {
+    for (auto &[K, V] : Members)
+      if (K == Key)
+        return &V;
+    return nullptr;
+  }
+
+  /// Removes object key \p Key; returns true when it was present. The
+  /// report-normalization helpers edit documents in place with this.
+  bool remove(const std::string &Key) {
+    for (auto It = Members.begin(); It != Members.end(); ++It)
+      if (It->first == Key) {
+        Members.erase(It);
+        return true;
+      }
+    return false;
+  }
 
   /// Object members in insertion order.
   const std::vector<std::pair<std::string, JsonValue>> &members() const {
     return Members;
   }
+  std::vector<std::pair<std::string, JsonValue>> &members() { return Members; }
 
   /// Structural equality (object key order is ignored).
   bool operator==(const JsonValue &Other) const;

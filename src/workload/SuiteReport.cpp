@@ -8,13 +8,17 @@
 
 #include "core/Report.h"
 #include "core/SuiteRunner.h"
+#include "core/SummaryCache.h"
 #include "ir/Verifier.h"
 #include "support/Trace.h"
 #include "workload/Oracle.h"
 
+#include <optional>
+
 using namespace ipcp;
 
-SuiteStudyResult ipcp::runSuiteStudy(SuiteRunner &Runner, bool BuildReports) {
+SuiteStudyResult ipcp::runSuiteStudy(SuiteRunner &Runner, bool BuildReports,
+                                     const std::string &CacheDir) {
   const std::vector<SuiteProgram> &Suite = benchmarkSuite();
   size_t N = Suite.size();
 
@@ -34,7 +38,18 @@ SuiteStudyResult ipcp::runSuiteStudy(SuiteRunner &Runner, bool BuildReports) {
       Messages[I] += Prog.Name + ": verify: " + E + "\n";
       ++Failures[I];
     }
-    IPCPResult Res = runIPCP(*M);
+    // Each program gets its own cache object (and file): the tasks run
+    // concurrently and must not share mutable cache state.
+    std::optional<SummaryCache> Cache;
+    IPCPOptions ProgOpts = Opts;
+    if (!CacheDir.empty()) {
+      Cache.emplace(CacheDir);
+      Cache->load(Prog.Name, ProgOpts);
+      ProgOpts.Cache = &*Cache;
+    }
+    IPCPResult Res = runIPCP(*M, ProgOpts);
+    if (Cache)
+      Cache->save(Prog.Name, ProgOpts);
     OracleReport Rep = checkSoundness(*M, Res);
     bool Ok = Rep.Sound && Rep.ExecStatus == ExecutionResult::Status::Ok;
     if (!Ok) {

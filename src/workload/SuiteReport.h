@@ -56,8 +56,11 @@ struct SuiteStudyResult {
 /// Runs the study over the full benchmark suite through \p Runner. With
 /// \p BuildReports, also builds the per-program report entries (they cost
 /// a per-program JSON tree, so suitecheck only asks when --report-json is
-/// given).
-SuiteStudyResult runSuiteStudy(SuiteRunner &Runner, bool BuildReports);
+/// given). A non-empty \p CacheDir analyzes each program through a
+/// persistent summary cache rooted there (one file per program; see
+/// docs/INCREMENTAL.md) — table computations always run cold.
+SuiteStudyResult runSuiteStudy(SuiteRunner &Runner, bool BuildReports,
+                               const std::string &CacheDir = "");
 
 /// Assembles the "ipcp-suite-report-v1" document: schema, failures,
 /// programs, the three tables, merged counters, and (when \p TraceData is

@@ -1,0 +1,464 @@
+//===- tests/IncrementalTests.cpp - Warm-vs-cold differential layer -------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The soundness argument for the incremental summary cache
+// (docs/INCREMENTAL.md) is differential: a warm run — whatever mix of
+// adopted summaries, cached VAL sets, and replayed record stages it
+// lands on — must produce a normalized "ipcp-report-v1" document that is
+// byte-identical to a cold run of the same module. This file drives that
+// comparison over:
+//
+//  - every program in examples/programs/,
+//  - the twelve-program benchmark suite,
+//  - a seeded generator corpus, and
+//  - single-procedure mutants analyzed against the *stale* cache of
+//    their original (the invalidation paths, including MOD changes that
+//    must propagate to callers),
+//
+// for well over 200 distinct programs per run, plus the corruption and
+// lifecycle properties: truncated / version-mismatched / bit-flipped
+// cache files degrade to a cold run (never crash, never alter results),
+// mismatched options miss the cache entirely, and a degraded run can
+// never poison the store.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/CallGraph.h"
+#include "core/Pipeline.h"
+#include "core/Report.h"
+#include "core/SummaryCache.h"
+#include "ir/Instructions.h"
+#include "support/FileIO.h"
+#include "support/Json.h"
+#include "workload/Generator.h"
+#include "workload/Study.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+using namespace ipcp;
+using namespace ipcp::test;
+
+namespace {
+
+/// A result's report with everything a warm run may legitimately change
+/// (timings, cache block, volatile work counters) stripped.
+std::string normalized(const IPCPResult &Res) {
+  JsonValue Doc = resultToJson(Res);
+  normalizeReportForDiff(Doc);
+  return Doc.dump(2);
+}
+
+/// The core differential check on one module: a cache-populating cold
+/// run, the warm rerun behind it, and a cache-less reference must agree
+/// on the normalized report — and the warm run must actually have been
+/// warm (every procedure a hit, at least one VAL set adopted).
+void expectWarmEqualsCold(Module &M, const std::string &Label) {
+  IPCPResult Plain = runIPCP(M);
+
+  SummaryCache Cache;
+  IPCPOptions WithCache;
+  WithCache.Cache = &Cache;
+  IPCPResult Cold = runIPCP(M, WithCache);
+  IPCPResult Warm = runIPCP(M, WithCache);
+
+  std::string Reference = normalized(Plain);
+  EXPECT_EQ(Reference, normalized(Cold)) << Label << ": populating run";
+  EXPECT_EQ(Reference, normalized(Warm)) << Label << ": warm run";
+
+  EXPECT_EQ(Cold.Stats.get("cache_hits"), 0u) << Label;
+  EXPECT_GT(Cold.Stats.get("cache_misses"), 0u) << Label;
+  EXPECT_EQ(Warm.Stats.get("cache_misses"), 0u) << Label;
+  EXPECT_GT(Warm.Stats.get("cache_hits"), 0u) << Label;
+  EXPECT_GT(Warm.Stats.get("cache_val_adopted"), 0u) << Label;
+}
+
+/// The stale-cache differential check: analyze \p Mutant against the
+/// cache populated from \p Original. Whatever the invalidation logic
+/// decides to keep or rebuild, the normalized report must match a cold
+/// run of the mutant.
+void expectStaleWarmEqualsCold(Module &Original, Module &Mutant,
+                               const std::string &Label) {
+  SummaryCache Cache;
+  IPCPOptions WithCache;
+  WithCache.Cache = &Cache;
+  runIPCP(Original, WithCache);
+
+  IPCPResult Warm = runIPCP(Mutant, WithCache);
+  IPCPResult Cold = runIPCP(Mutant);
+  EXPECT_EQ(normalized(Cold), normalized(Warm)) << Label;
+}
+
+/// Prepends `print 9;` to procedure index \p Victim of a clone of \p M:
+/// a body change whose summary content is unchanged (the early-cutoff
+/// case).
+std::unique_ptr<Module> withPrintPrepended(const Module &M, size_t Victim) {
+  std::unique_ptr<Module> Mut = M.clone();
+  Procedure *P = Mut->procedures()[Victim % Mut->procedures().size()].get();
+  P->getEntryBlock()->insertAtTop(std::make_unique<PrintInst>(
+      Mut->nextInstId(), SourceLoc(), Mut->getConstant(9)));
+  return Mut;
+}
+
+/// Prepends `g = 7;` (first scalar global) to procedure index \p Victim
+/// of a clone of \p M: grows MOD(p), so the summary *content* changes
+/// and the invalidation must reach every caller. Returns null when the
+/// module has no scalar global.
+std::unique_ptr<Module> withGlobalStorePrepended(const Module &M,
+                                                 size_t Victim) {
+  std::unique_ptr<Module> Mut = M.clone();
+  Variable *Global = nullptr;
+  for (Variable *G : Mut->globals())
+    if (G->isScalar()) {
+      Global = G;
+      break;
+    }
+  if (!Global)
+    return nullptr;
+  Procedure *P = Mut->procedures()[Victim % Mut->procedures().size()].get();
+  P->getEntryBlock()->insertAtTop(std::make_unique<StoreInst>(
+      Mut->nextInstId(), SourceLoc(), Global, Mut->getConstant(7)));
+  return Mut;
+}
+
+//===----------------------------------------------------------------------===//
+// Differential equivalence: examples, suite, generated corpus, mutants
+//===----------------------------------------------------------------------===//
+
+TEST(Incremental, ExamplePrograms) {
+  unsigned Analyzed = 0;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(IPCP_EXAMPLES_DIR)) {
+    if (Entry.path().extension() != ".mf")
+      continue;
+    std::string Source, Error;
+    ASSERT_TRUE(readFileToString(Entry.path().string(), Source, &Error))
+        << Error;
+    DiagnosticsEngine Diags;
+    std::optional<Program> Prog = parseAndCheck(Source, Diags);
+    if (!Prog)
+      continue; // e.g. bad_syntax.mf — frontend rejection is its own test
+    std::unique_ptr<Module> M = lowerProgram(*Prog);
+    expectWarmEqualsCold(*M, Entry.path().filename().string());
+    ++Analyzed;
+  }
+  EXPECT_GE(Analyzed, 3u) << "examples/programs/ lost its corpus";
+}
+
+TEST(Incremental, SuitePrograms) {
+  for (const SuiteProgram &Prog : benchmarkSuite()) {
+    std::unique_ptr<Module> M = loadSuiteModule(Prog);
+    expectWarmEqualsCold(*M, Prog.Name);
+  }
+}
+
+// ~100 generated programs across the generator's shape axes.
+TEST(Incremental, GeneratedPrograms) {
+  for (uint64_t Seed = 1; Seed <= 100; ++Seed) {
+    GeneratorConfig Config;
+    Config.Seed = Seed;
+    Config.NumProcs = 3 + unsigned(Seed % 5);
+    Config.StmtsPerProc = 6;
+    Config.AllowRecursion = Seed % 4 == 0;
+    Config.UseArrays = Seed % 3 != 0;
+    Config.UseWhileLoops = Seed % 2 == 0;
+    std::unique_ptr<Module> M = lowerOk(generateProgram(Config));
+    expectWarmEqualsCold(*M, "seed " + std::to_string(Seed));
+  }
+}
+
+// ~120 single-procedure mutants, each analyzed against the stale cache
+// of its original: 60 body-only edits (early cutoff) and 60 MOD-growing
+// edits (content change, caller invalidation).
+TEST(Incremental, MutatedPrograms) {
+  for (uint64_t Seed = 1; Seed <= 60; ++Seed) {
+    GeneratorConfig Config;
+    Config.Seed = 1000 + Seed;
+    Config.NumProcs = 3 + unsigned(Seed % 4);
+    Config.StmtsPerProc = 6;
+    Config.AllowRecursion = Seed % 5 == 0;
+    std::unique_ptr<Module> M = lowerOk(generateProgram(Config));
+    std::string Label = "mutant seed " + std::to_string(Seed);
+
+    std::unique_ptr<Module> PrintMut = withPrintPrepended(*M, size_t(Seed));
+    expectStaleWarmEqualsCold(*M, *PrintMut, Label + " (print)");
+
+    std::unique_ptr<Module> StoreMut =
+        withGlobalStorePrepended(*M, size_t(Seed) + 1);
+    ASSERT_NE(StoreMut, nullptr) << Label;
+    expectStaleWarmEqualsCold(*M, *StoreMut, Label + " (global store)");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Incrementality: a warm rerun does strictly less propagation work
+//===----------------------------------------------------------------------===//
+
+const char *const Chain = R"(
+global scale;
+
+proc leaf(a) {
+  a = a * 2;
+}
+
+proc mid(b) {
+  call leaf(b);
+  b = b + scale;
+}
+
+proc main() {
+  var x;
+  scale = 10;
+  x = 3;
+  call mid(x);
+  print x;
+}
+)";
+
+TEST(Incremental, LeafEditDoesStrictlyLessWork) {
+  std::unique_ptr<Module> M = lowerOk(Chain);
+  SummaryCache Cache;
+  IPCPOptions WithCache;
+  WithCache.Cache = &Cache;
+  runIPCP(*M, WithCache);
+
+  // A fully warm rerun evaluates no jump functions at all.
+  IPCPResult Rerun = runIPCP(*M, WithCache);
+  EXPECT_EQ(Rerun.Stats.get("prop_evaluations"), 0u);
+  EXPECT_EQ(Rerun.Stats.get("cache_misses"), 0u);
+
+  // After editing only `leaf`, the warm run re-analyzes the leaf's SCC
+  // but adopts `mid` and `main` (the body edit left the leaf's summary
+  // content unchanged, so the callers' keys still validate) — strictly
+  // fewer evaluations than the identical cold run.
+  std::unique_ptr<Module> Edited = M->clone();
+  getProc(*Edited, "leaf")
+      ->getEntryBlock()
+      ->insertAtTop(std::make_unique<PrintInst>(
+          Edited->nextInstId(), SourceLoc(), Edited->getConstant(1)));
+  IPCPResult Warm = runIPCP(*Edited, WithCache);
+  IPCPResult Cold = runIPCP(*Edited);
+  EXPECT_EQ(normalized(Cold), normalized(Warm));
+  EXPECT_LT(Warm.Stats.get("prop_evaluations"),
+            Cold.Stats.get("prop_evaluations"));
+  EXPECT_GT(Warm.Stats.get("cache_hits"), 0u);
+  EXPECT_GT(Warm.Stats.get("cache_invalidations") +
+                Warm.Stats.get("cache_misses"),
+            0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption: every broken cache degrades to a cold run
+//===----------------------------------------------------------------------===//
+
+/// Populates an in-memory cache from the chain program and returns its
+/// serialized form along with the module.
+std::string populatedCacheText(std::unique_ptr<Module> &M,
+                               const IPCPOptions &Opts) {
+  M = lowerOk(Chain);
+  SummaryCache Cache;
+  IPCPOptions WithCache = Opts;
+  WithCache.Cache = &Cache;
+  runIPCP(*M, WithCache);
+  EXPECT_TRUE(Cache.committed());
+  return Cache.serialize(Opts);
+}
+
+/// Expects \p Text to be rejected by loadFromString and the subsequent
+/// run to be a plain cold run with unchanged results.
+void expectDegradesToCold(const std::string &Text, const std::string &Label) {
+  std::unique_ptr<Module> M = lowerOk(Chain);
+  IPCPResult Reference = runIPCP(*M);
+
+  SummaryCache Cache;
+  IPCPOptions WithCache;
+  WithCache.Cache = &Cache;
+  EXPECT_FALSE(Cache.loadFromString(Text, WithCache)) << Label;
+  EXPECT_EQ(Cache.size(), 0u) << Label;
+
+  IPCPResult Run = runIPCP(*M, WithCache);
+  EXPECT_EQ(normalized(Reference), normalized(Run)) << Label;
+  EXPECT_EQ(Run.Stats.get("cache_hits"), 0u) << Label;
+  EXPECT_GT(Run.Stats.get("cache_misses"), 0u) << Label;
+}
+
+TEST(IncrementalCache, SerializedRoundTrip) {
+  std::unique_ptr<Module> M;
+  IPCPOptions Opts;
+  std::string Text = populatedCacheText(M, Opts);
+  EXPECT_NE(Text.find("ipcp-cache-v1"), std::string::npos);
+
+  SummaryCache Cache;
+  ASSERT_TRUE(Cache.loadFromString(Text, Opts));
+  EXPECT_EQ(Cache.size(), 3u); // leaf, mid, main
+
+  IPCPOptions WithCache = Opts;
+  WithCache.Cache = &Cache;
+  IPCPResult Warm = runIPCP(*M, WithCache);
+  EXPECT_EQ(Warm.Stats.get("cache_misses"), 0u);
+  EXPECT_EQ(normalized(runIPCP(*M)), normalized(Warm));
+}
+
+TEST(IncrementalCache, TruncationDegradesToCold) {
+  std::unique_ptr<Module> M;
+  IPCPOptions Opts;
+  std::string Text = populatedCacheText(M, Opts);
+  expectDegradesToCold(Text.substr(0, Text.size() / 2), "half");
+  expectDegradesToCold(Text.substr(0, 1), "one byte");
+  expectDegradesToCold("", "empty");
+}
+
+TEST(IncrementalCache, VersionMismatchDegradesToCold) {
+  std::unique_ptr<Module> M;
+  IPCPOptions Opts;
+  std::string Text = populatedCacheText(M, Opts);
+  size_t At = Text.find("ipcp-cache-v1");
+  ASSERT_NE(At, std::string::npos);
+  Text.replace(At, 13, "ipcp-cache-v9");
+  expectDegradesToCold(Text, "version");
+}
+
+TEST(IncrementalCache, BitFlipsDegradeToCold) {
+  std::unique_ptr<Module> M;
+  IPCPOptions Opts;
+  std::string Text = populatedCacheText(M, Opts);
+  // Flip a spread of payload bytes; the checksum (or the JSON parser)
+  // must reject every one of them without crashing.
+  for (size_t Frac = 1; Frac <= 4; ++Frac) {
+    std::string Bad = Text;
+    Bad[Bad.size() * Frac / 5] ^= 0x11;
+    SummaryCache Probe;
+    IPCPOptions ProbeOpts;
+    if (Probe.loadFromString(Bad, ProbeOpts) && Probe.size() > 0)
+      continue; // the flip landed on a byte the checksum ignores (none do)
+    expectDegradesToCold(Bad, "flip at " + std::to_string(Frac) + "/5");
+  }
+}
+
+TEST(IncrementalCache, OptionsMismatchMissesTheCache) {
+  IPCPOptions A;
+  IPCPOptions B;
+  B.ForwardKind = JumpFunctionKind::Literal;
+  SummaryCache Probe("/tmp/unused-cache-dir");
+  EXPECT_NE(Probe.filePathFor("prog.mf", A), Probe.filePathFor("prog.mf", B));
+
+  // A payload saved under A does not validate under B even when handed
+  // over file-path resolution's head: the fingerprint is in the payload.
+  std::unique_ptr<Module> M;
+  std::string Text = populatedCacheText(M, A);
+  SummaryCache Cache;
+  EXPECT_FALSE(Cache.loadFromString(Text, B));
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST(IncrementalCache, DiskRoundTripAndTruncation) {
+  std::string Dir = ::testing::TempDir() + "ipcp-cache-test";
+  std::filesystem::remove_all(Dir);
+  std::unique_ptr<Module> M = lowerOk(Chain);
+  IPCPOptions Opts;
+
+  // Cold start on a missing directory: not a failure, just cold.
+  SummaryCache Writer(Dir);
+  EXPECT_FALSE(Writer.load("chain.mf", Opts));
+  EXPECT_FALSE(Writer.loadFailed());
+  IPCPOptions WriterOpts = Opts;
+  WriterOpts.Cache = &Writer;
+  runIPCP(*M, WriterOpts);
+  std::string Error;
+  ASSERT_TRUE(Writer.save("chain.mf", Opts, &Error)) << Error;
+
+  // A fresh object warms up from the file.
+  SummaryCache Reader(Dir);
+  EXPECT_TRUE(Reader.load("chain.mf", Opts));
+  EXPECT_EQ(Reader.size(), 3u);
+  IPCPOptions ReaderOpts = Opts;
+  ReaderOpts.Cache = &Reader;
+  IPCPResult Warm = runIPCP(*M, ReaderOpts);
+  EXPECT_EQ(Warm.Stats.get("cache_misses"), 0u);
+
+  // Truncate the file on disk: load fails, loadFailed() reports it, and
+  // the run both proceeds cold and surfaces cache_load_failures.
+  std::string Path = Reader.filePathFor("chain.mf", Opts);
+  std::string Text;
+  ASSERT_TRUE(readFileToString(Path, Text, &Error)) << Error;
+  {
+    std::ofstream Out(Path, std::ios::trunc | std::ios::binary);
+    Out << Text.substr(0, Text.size() / 3);
+  }
+  SummaryCache Corrupt(Dir);
+  EXPECT_FALSE(Corrupt.load("chain.mf", Opts));
+  EXPECT_TRUE(Corrupt.loadFailed());
+  IPCPOptions CorruptOpts = Opts;
+  CorruptOpts.Cache = &Corrupt;
+  IPCPResult Run = runIPCP(*M, CorruptOpts);
+  EXPECT_GT(Run.Stats.get("cache_load_failures"), 0u);
+  EXPECT_GT(Run.Stats.get("cache_misses"), 0u);
+  EXPECT_EQ(normalized(runIPCP(*M)), normalized(Run));
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Lifecycle: degraded runs never poison the store
+//===----------------------------------------------------------------------===//
+
+TEST(IncrementalCache, DegradedRunDoesNotPoisonTheStore) {
+  std::unique_ptr<Module> M = lowerOk(Chain);
+  SummaryCache Cache;
+  IPCPOptions WithCache;
+  WithCache.Cache = &Cache;
+  runIPCP(*M, WithCache);
+  EXPECT_TRUE(Cache.committed());
+
+  // Edit the *root* procedure and rerun with a budget that trips
+  // mid-propagation (the root edit invalidates every cached VAL set, so
+  // propagation must do real work): the degraded run must not commit
+  // its partial summaries.
+  std::unique_ptr<Module> Edited = M->clone();
+  getProc(*Edited, "main")
+      ->getEntryBlock()
+      ->insertAtTop(std::make_unique<PrintInst>(
+          Edited->nextInstId(), SourceLoc(), Edited->getConstant(2)));
+  IPCPOptions Tripping = WithCache;
+  Tripping.Limits.MaxPropagationEvals = 1;
+  IPCPResult Degraded = runIPCP(*Edited, Tripping);
+  EXPECT_TRUE(Degraded.Status.Degraded);
+
+  // The store still serves the *original* module perfectly warm.
+  IPCPResult Warm = runIPCP(*M, WithCache);
+  EXPECT_EQ(Warm.Stats.get("cache_misses"), 0u);
+  EXPECT_EQ(normalized(runIPCP(*M)), normalized(Warm));
+}
+
+// The reporting surface: a cached run exposes the "cache" block, and
+// normalizeReportForDiff removes exactly the volatile parts.
+TEST(IncrementalCache, ReportSurface) {
+  std::unique_ptr<Module> M = lowerOk(Chain);
+  SummaryCache Cache;
+  IPCPOptions WithCache;
+  WithCache.Cache = &Cache;
+  IPCPResult Res = runIPCP(*M, WithCache);
+  EXPECT_TRUE(Res.UsedCache);
+
+  JsonValue Doc = resultToJson(Res);
+  ASSERT_NE(Doc.find("cache"), nullptr);
+  EXPECT_NE(Doc.find("timings_us"), nullptr);
+  normalizeReportForDiff(Doc);
+  EXPECT_EQ(Doc.find("cache"), nullptr);
+  EXPECT_EQ(Doc.find("timings_us"), nullptr);
+
+  IPCPResult Plain = runIPCP(*M);
+  EXPECT_FALSE(Plain.UsedCache);
+  JsonValue PlainDoc = resultToJson(Plain);
+  EXPECT_EQ(PlainDoc.find("cache"), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,50 @@
+# Driver-level cache corruption check (invoked by the ctest target
+# driver_corrupt_cache, see tests/CMakeLists.txt):
+#
+#   cmake -DDRIVER=<ipcp_driver> -DSRCDIR=<repo root>
+#         -DSOURCE=<relative .mf> -DWORKDIR=<scratch dir>
+#         -P RunCorruptCache.cmake
+#
+# Populates a cache directory, truncates the cache file behind the
+# driver's back, and reruns: the driver must still exit 0 and write a
+# report (the run degrades to cold — docs/INCREMENTAL.md). Result
+# equivalence under corruption is covered byte-for-byte by the unit
+# tests and the fuzzer; this test pins the end-to-end exit behavior.
+
+file(REMOVE_RECURSE ${WORKDIR})
+
+execute_process(
+  COMMAND ${DRIVER} ${SOURCE} --cache-dir=${WORKDIR}
+  WORKING_DIRECTORY ${SRCDIR}
+  RESULT_VARIABLE RC
+  OUTPUT_QUIET)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "populating run failed (exit ${RC})")
+endif()
+
+file(GLOB CACHE_FILES ${WORKDIR}/*.json)
+list(LENGTH CACHE_FILES N)
+if(NOT N EQUAL 1)
+  message(FATAL_ERROR "expected exactly one cache file in ${WORKDIR}, "
+                      "found ${N}")
+endif()
+list(GET CACHE_FILES 0 CACHE_FILE)
+file(READ ${CACHE_FILE} TEXT)
+string(LENGTH "${TEXT}" LEN)
+math(EXPR HALF "${LEN} / 2")
+string(SUBSTRING "${TEXT}" 0 ${HALF} TRUNCATED)
+file(WRITE ${CACHE_FILE} "${TRUNCATED}")
+
+execute_process(
+  COMMAND ${DRIVER} ${SOURCE} --cache-dir=${WORKDIR}
+          --report-json=${WORKDIR}/report.json
+  WORKING_DIRECTORY ${SRCDIR}
+  RESULT_VARIABLE RC
+  OUTPUT_QUIET)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "run with a corrupted cache failed (exit ${RC}); "
+                      "it must degrade to a cold run")
+endif()
+if(NOT EXISTS ${WORKDIR}/report.json)
+  message(FATAL_ERROR "corrupted-cache run wrote no report")
+endif()

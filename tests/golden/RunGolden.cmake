@@ -1,0 +1,41 @@
+# Golden-report diff driver (invoked per program by ctest, see
+# tests/CMakeLists.txt):
+#
+#   cmake -DDRIVER=<ipcp_driver> -DSRCDIR=<repo root> -DSOURCE=<relative .mf>
+#         -DOUT=<scratch json> -DGOLDEN=<tests/golden/<name>.json>
+#         [-DUPDATE=1] -P RunGolden.cmake
+#
+# Runs the driver from the repo root (so the report's source_name field
+# stays machine-independent) with --scrub-timings, then byte-compares
+# the report against the checked-in golden file. With -DUPDATE=1 the
+# golden file is rewritten instead — that is what the `update-golden`
+# build target does after an intentional output change.
+
+execute_process(
+  COMMAND ${DRIVER} ${SOURCE} --report-json=${OUT} --scrub-timings
+  WORKING_DIRECTORY ${SRCDIR}
+  RESULT_VARIABLE RC
+  OUTPUT_QUIET)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "ipcp_driver failed (exit ${RC}) on ${SOURCE}")
+endif()
+
+if(UPDATE)
+  configure_file(${OUT} ${GOLDEN} COPYONLY)
+  message(STATUS "updated ${GOLDEN}")
+  return()
+endif()
+
+if(NOT EXISTS ${GOLDEN})
+  message(FATAL_ERROR "missing golden file ${GOLDEN}; build the "
+                      "`update-golden` target to create it")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  message(FATAL_ERROR "report for ${SOURCE} differs from ${GOLDEN}; "
+                      "inspect ${OUT}, and build the `update-golden` "
+                      "target if the change is intentional")
+endif()

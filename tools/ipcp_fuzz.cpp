@@ -30,6 +30,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Pipeline.h"
+#include "core/Report.h"
+#include "core/SummaryCache.h"
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
 #include "ir/AstLower.h"
@@ -111,6 +113,44 @@ bool runOne(const std::string &Source, bool CheckOracle,
     *Failure = "complete propagation found fewer constant refs than one "
                "analysis round";
     return false;
+  }
+
+  // Incremental-cache invariants (docs/INCREMENTAL.md): a warm rerun
+  // through an in-memory summary cache must normalize to the same report
+  // as its cold populating run, and a corrupted serialization must
+  // degrade to a cold run — never crash, never change results.
+  {
+    SummaryCache Cache;
+    IPCPOptions CacheOpts = Opts;
+    CacheOpts.Cache = &Cache;
+    IPCPResult Cold = runIPCP(*M, CacheOpts);
+    IPCPResult Warm = runIPCP(*M, CacheOpts);
+    JsonValue ColdDoc = resultToJson(Cold);
+    JsonValue WarmDoc = resultToJson(Warm);
+    normalizeReportForDiff(ColdDoc);
+    normalizeReportForDiff(WarmDoc);
+    if (!Cold.Status.Degraded && !Warm.Status.Degraded &&
+        ColdDoc != WarmDoc) {
+      *Failure = "warm cache run disagrees with its cold populating run";
+      return false;
+    }
+    if (Cache.committed()) {
+      std::string Text = Cache.serialize(CacheOpts);
+      std::string Bad = Text;
+      if (!Bad.empty())
+        Bad[Bad.size() / 2] ^= 0x20;
+      SummaryCache Corrupt;
+      Corrupt.loadFromString(Bad, CacheOpts); // may reject; must not crash
+      IPCPOptions CorruptOpts = Opts;
+      CorruptOpts.Cache = &Corrupt;
+      IPCPResult After = runIPCP(*M, CorruptOpts);
+      JsonValue AfterDoc = resultToJson(After);
+      normalizeReportForDiff(AfterDoc);
+      if (!After.Status.Degraded && AfterDoc != ColdDoc) {
+        *Failure = "corrupted cache changed analysis results";
+        return false;
+      }
+    }
   }
 
   if (CheckOracle) {

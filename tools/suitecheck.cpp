@@ -2,6 +2,7 @@
 // the three tables. Shares the driver's observability surface:
 //
 //   suitecheck [--jobs=N] [--stats] [--trace[=FILE]] [--report-json=FILE]
+//             [--cache-dir=DIR] [--no-cache] [--scrub-timings]
 //
 // Programs (and table rows) are analyzed concurrently across N worker
 // threads (default: hardware concurrency; --jobs=1 forces sequential).
@@ -12,6 +13,7 @@
 // The JSON report carries one "ipcp-report-v1" result per program plus
 // the three paper tables, so suite-wide trajectories can be produced
 // mechanically.
+#include "core/Report.h"
 #include "core/SuiteRunner.h"
 #include "support/FileIO.h"
 #include "support/ThreadPool.h"
@@ -25,18 +27,32 @@ using namespace ipcp;
 static void usage() {
   std::fprintf(stderr, "usage: suitecheck [--jobs=N] [--stats] "
                        "[--trace[=FILE]] [--report-json=FILE]\n"
-                       "  --jobs=N   analyze programs on N threads "
-                       "(default: hardware concurrency)\n");
+                       "                  [--cache-dir=DIR] [--no-cache] "
+                       "[--scrub-timings]\n"
+                       "  --jobs=N       analyze programs on N threads "
+                       "(default: hardware concurrency)\n"
+                       "  --cache-dir=DIR  persistent per-program summary "
+                       "caches (docs/INCREMENTAL.md)\n"
+                       "  --no-cache     ignore --cache-dir\n"
+                       "  --scrub-timings  zero wall-clock fields in the "
+                       "JSON report\n");
 }
 
 int main(int argc, char **argv) {
   bool ShowStats = false, TraceOn = false;
-  std::string TraceFile, ReportFile;
+  bool NoCache = false, ScrubTimings = false;
+  std::string TraceFile, ReportFile, CacheDir;
   unsigned Jobs = ThreadPool::defaultConcurrency();
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--stats") {
       ShowStats = true;
+    } else if (Arg.rfind("--cache-dir=", 0) == 0 && Arg.size() > 12) {
+      CacheDir = Arg.substr(12);
+    } else if (Arg == "--no-cache") {
+      NoCache = true;
+    } else if (Arg == "--scrub-timings") {
+      ScrubTimings = true;
     } else if (Arg == "--trace") {
       TraceOn = true;
     } else if (Arg.rfind("--trace=", 0) == 0) {
@@ -64,7 +80,8 @@ int main(int argc, char **argv) {
     Trace::setActive(&TraceData);
 
   SuiteRunner Runner(Jobs);
-  SuiteStudyResult Study = runSuiteStudy(Runner, !ReportFile.empty());
+  SuiteStudyResult Study = runSuiteStudy(Runner, !ReportFile.empty(),
+                                         NoCache ? std::string() : CacheDir);
   for (const std::string &Message : Study.Messages)
     if (!Message.empty())
       std::printf("%s", Message.c_str());
@@ -94,6 +111,8 @@ int main(int argc, char **argv) {
 
   if (!ReportFile.empty()) {
     JsonValue Doc = buildSuiteReport(Study, TraceOn ? &TraceData : nullptr);
+    if (ScrubTimings)
+      scrubReportTimings(Doc);
     std::string Error;
     if (!writeJsonFile(ReportFile, Doc, &Error)) {
       std::fprintf(stderr, "error: %s\n", Error.c_str());
