@@ -1,0 +1,263 @@
+//===- bench/bench_service.cpp - Analysis-as-a-service throughput ---------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The performance claims of the ipcp_serverd work (docs/SERVICE.md):
+//
+//  1. A resident service beats one-shot driver invocations on repeat
+//     requests: once a session's summary cache is populated, a warm
+//     `analyze` performs ZERO jump-function evaluations for an unedited
+//     program — the response is assembled entirely from adopted
+//     summaries. This harness asserts that (exit 1 if any warm request
+//     evaluates anything).
+//
+//  2. Batching amortizes per-request overhead: one `analyze-batch`
+//     carrying the whole suite is compared against the same programs as
+//     individual requests.
+//
+// The headline numbers — cold / warm / batched throughput in requests
+// per second plus p99 per-request latency — land in BENCH_service.json
+// (when IPCP_BENCH_JSON_DIR is set, see docs/OBSERVABILITY.md) so
+// trajectories can compare them mechanically. Requests go through the
+// real wire codec (ServiceEngine::parseRequestLine), not hand-built
+// structs, so the measured path is the daemon's path minus the socket.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchReport.h"
+#include "core/ServiceEngine.h"
+#include "support/Statistics.h"
+#include "workload/Programs.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ipcp;
+
+namespace {
+
+ServiceEngine::Config benchConfig() {
+  ServiceEngine::Config Conf;
+  Conf.ScrubTimings = true;
+  Conf.SuiteResolver = [](const std::string &Name, std::string &Out) {
+    const SuiteProgram *Prog = findSuiteProgram(Name);
+    if (!Prog)
+      return false;
+    Out = Prog->Source;
+    return true;
+  };
+  return Conf;
+}
+
+/// An `analyze` request line for one suite program; \p Session == ""
+/// means no resident cache (every request is a cold run).
+std::string analyzeLine(const std::string &Suite, const std::string &Session) {
+  std::string Line = "{\"op\":\"analyze\",\"suite\":\"" + Suite + "\"";
+  if (!Session.empty())
+    Line += ",\"session\":\"" + Session + "\"";
+  return Line + "}";
+}
+
+/// One `analyze-batch` line carrying every suite program.
+std::string batchLine(const std::string &Session) {
+  std::string Line = "{\"op\":\"analyze-batch\",\"requests\":[";
+  bool First = true;
+  for (const SuiteProgram &Prog : benchmarkSuite()) {
+    if (!First)
+      Line += ",";
+    First = false;
+    Line += analyzeLine(Prog.Name, Session);
+  }
+  return Line + "]}";
+}
+
+/// Parses \p Line through the wire codec and dispatches it, returning
+/// the response body. Aborts loudly on anything but status "ok" — the
+/// suite programs all analyze cleanly, so an error here is a bench bug.
+JsonValue dispatch(ServiceEngine &Engine, const std::string &Line) {
+  ServiceRequest Req;
+  std::string Code, Error;
+  if (!Engine.parseRequestLine(Line, Req, &Code, &Error)) {
+    std::fprintf(stderr, "bench_service: bad request line (%s): %s\n",
+                 Code.c_str(), Error.c_str());
+    std::exit(1);
+  }
+  JsonValue Body = Req.Op == ServiceRequest::Kind::AnalyzeBatch
+                       ? Engine.analyzeBatch(Req)
+                       : Engine.analyze(Req);
+  const JsonValue *Status = Body.find("status");
+  if (!Status || !Status->isString() || Status->asString() != "ok") {
+    std::fprintf(stderr, "bench_service: request failed: %s\n",
+                 Body.dump().c_str());
+    std::exit(1);
+  }
+  return Body;
+}
+
+/// prop_evaluations out of one analyze response body.
+uint64_t evalsOf(const JsonValue &Body) {
+  const JsonValue *Report = Body.find("report");
+  const JsonValue *Result = Report ? Report->find("result") : nullptr;
+  const JsonValue *Counters = Result ? Result->find("counters") : nullptr;
+  const JsonValue *Evals =
+      Counters ? Counters->find("prop_evaluations") : nullptr;
+  return Evals ? uint64_t(Evals->asInt()) : 0;
+}
+
+/// Sum of prop_evaluations over a batch response's items.
+uint64_t batchEvals(const JsonValue &Body) {
+  uint64_t Sum = 0;
+  if (const JsonValue *Items = Body.find("responses"))
+    for (size_t I = 0; I != Items->size(); ++I)
+      Sum += evalsOf(Items->at(I));
+  return Sum;
+}
+
+struct ModeResult {
+  uint64_t Requests = 0;
+  uint64_t Programs = 0;
+  uint64_t Evaluations = 0;
+  double TotalMs = 0;
+  double P99Ms = 0;
+};
+
+double p99(std::vector<double> Latencies) {
+  if (Latencies.empty())
+    return 0;
+  std::sort(Latencies.begin(), Latencies.end());
+  size_t Idx = (Latencies.size() * 99 + 99) / 100; // ceil(0.99 * n)
+  return Latencies[std::min(Idx, Latencies.size()) - 1];
+}
+
+/// Runs \p Rounds passes over the request \p Lines, timing each request.
+ModeResult runMode(ServiceEngine &Engine, const std::vector<std::string> &Lines,
+                   unsigned Rounds, unsigned ProgramsPerRequest) {
+  ModeResult R;
+  std::vector<double> Latencies;
+  Latencies.reserve(size_t(Rounds) * Lines.size());
+  for (unsigned Round = 0; Round != Rounds; ++Round)
+    for (const std::string &Line : Lines) {
+      Timer T;
+      JsonValue Body = dispatch(Engine, Line);
+      double Ms = T.seconds() * 1e3;
+      Latencies.push_back(Ms);
+      R.TotalMs += Ms;
+      R.Evaluations += ProgramsPerRequest > 1 ? batchEvals(Body) : evalsOf(Body);
+      ++R.Requests;
+      R.Programs += ProgramsPerRequest;
+    }
+  R.P99Ms = p99(std::move(Latencies));
+  return R;
+}
+
+JsonValue modeJson(const ModeResult &R) {
+  JsonValue Obj = JsonValue::object();
+  Obj.set("requests", R.Requests);
+  Obj.set("programs", R.Programs);
+  Obj.set("prop_evaluations", R.Evaluations);
+  Obj.set("total_ms", R.TotalMs);
+  Obj.set("requests_per_sec", R.TotalMs > 0 ? R.Requests / (R.TotalMs / 1e3)
+                                            : 0.0);
+  Obj.set("programs_per_sec", R.TotalMs > 0 ? R.Programs / (R.TotalMs / 1e3)
+                                            : 0.0);
+  Obj.set("p99_ms", R.P99Ms);
+  return Obj;
+}
+
+// Google-benchmark coverage of the same three paths, for `--benchmark_*`
+// style runs; the headline section below is what CI and BENCH_service.json
+// consume.
+
+void BM_ServiceAnalyze(benchmark::State &State) {
+  bool Warm = State.range(0) != 0;
+  State.SetLabel(Warm ? "warm" : "cold");
+  ServiceEngine Engine(benchConfig());
+  std::vector<std::string> Lines;
+  for (const SuiteProgram &Prog : benchmarkSuite())
+    Lines.push_back(analyzeLine(Prog.Name, Warm ? "bm" : ""));
+  if (Warm)
+    for (const std::string &Line : Lines)
+      dispatch(Engine, Line); // populate the session caches
+  for (auto _ : State)
+    for (const std::string &Line : Lines)
+      benchmark::DoNotOptimize(dispatch(Engine, Line));
+}
+BENCHMARK(BM_ServiceAnalyze)->DenseRange(0, 1)->ArgName("warm");
+
+void BM_ServiceBatch(benchmark::State &State) {
+  ServiceEngine Engine(benchConfig());
+  std::string Line = batchLine("bm");
+  dispatch(Engine, Line); // populate
+  for (auto _ : State)
+    benchmark::DoNotOptimize(dispatch(Engine, Line));
+}
+BENCHMARK(BM_ServiceBatch);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const unsigned Rounds = 25;
+  std::vector<std::string> ColdLines, WarmLines;
+  for (const SuiteProgram &Prog : benchmarkSuite()) {
+    ColdLines.push_back(analyzeLine(Prog.Name, ""));
+    WarmLines.push_back(analyzeLine(Prog.Name, "bench"));
+  }
+
+  // Cold: no session, so every request re-analyzes from scratch.
+  ServiceEngine ColdEngine(benchConfig());
+  ModeResult Cold = runMode(ColdEngine, ColdLines, Rounds, 1);
+
+  // Warm: resident session caches, populated by one untimed pass.
+  ServiceEngine WarmEngine(benchConfig());
+  for (const std::string &Line : WarmLines)
+    dispatch(WarmEngine, Line);
+  ModeResult Warmed = runMode(WarmEngine, WarmLines, Rounds, 1);
+
+  // Batched warm: one request carries the whole suite.
+  ServiceEngine BatchEngine(benchConfig());
+  std::string Batch = batchLine("bench");
+  dispatch(BatchEngine, Batch);
+  ModeResult Batched =
+      runMode(BatchEngine, {Batch}, Rounds,
+              unsigned(benchmarkSuite().size()));
+
+  std::printf("service throughput over the %zu-program suite "
+              "(%u rounds each):\n",
+              benchmarkSuite().size(), Rounds);
+  auto Print = [](const char *Name, const ModeResult &R) {
+    std::printf("  %-8s %6llu req  %8.1f req/s  %8.1f prog/s  "
+                "p99 %7.3f ms  evals %llu\n",
+                Name, (unsigned long long)R.Requests,
+                R.TotalMs > 0 ? R.Requests / (R.TotalMs / 1e3) : 0.0,
+                R.TotalMs > 0 ? R.Programs / (R.TotalMs / 1e3) : 0.0, R.P99Ms,
+                (unsigned long long)R.Evaluations);
+  };
+  Print("cold", Cold);
+  Print("warm", Warmed);
+  Print("batched", Batched);
+
+  // The headline claim: warm requests — batched or not — for unedited
+  // programs perform no jump-function evaluations at all.
+  bool WarmFree = Warmed.Evaluations == 0 && Batched.Evaluations == 0;
+  bool ColdWorked = Cold.Evaluations > 0;
+  std::printf("  warm requests evaluate nothing: %s\n\n",
+              WarmFree ? "yes" : "NO");
+
+  JsonValue Doc = JsonValue::object();
+  Doc.set("cold", modeJson(Cold));
+  Doc.set("warm", modeJson(Warmed));
+  Doc.set("batched", modeJson(Batched));
+  Doc.set("warm_evaluations_zero", WarmFree);
+  Doc.set("ok", WarmFree && ColdWorked);
+  benchReport("service", std::move(Doc));
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return (WarmFree && ColdWorked) ? 0 : 1;
+}

@@ -220,6 +220,26 @@ void ipcp::normalizeReportForDiff(JsonValue &Report) {
   }
 }
 
+JsonValue ipcp::buildServiceEnvelope(uint64_t Seq, const JsonValue *Id,
+                                     JsonValue Body) {
+  JsonValue Env = JsonValue::object();
+  Env.set("schema", "ipcp-service-v1");
+  Env.set("seq", Seq);
+  if (Id)
+    Env.set("id", *Id);
+  for (auto &[Key, Val] : Body.members())
+    Env.set(Key, std::move(Val));
+  return Env;
+}
+
+JsonValue ipcp::serviceErrorObject(const std::string &Code,
+                                   const std::string &Message) {
+  JsonValue Err = JsonValue::object();
+  Err.set("code", Code);
+  Err.set("message", Message);
+  return Err;
+}
+
 void ipcp::scrubReportTimings(JsonValue &Report) {
   if (Report.isArray()) {
     for (size_t I = 0, N = Report.size(); I != N; ++I)

@@ -81,6 +81,19 @@ void normalizeReportForDiff(JsonValue &Report);
 /// Driver flag --scrub-timings; the warm-determinism CI job diffs these.
 void scrubReportTimings(JsonValue &Report);
 
+/// The "ipcp-service-v1" wire envelope (docs/SERVICE.md): schema tag,
+/// response sequence number, the echoed client id (when \p Id is
+/// non-null), then every member of \p Body ("status", "error",
+/// "report", "responses", "stats", ...) in order.
+JsonValue buildServiceEnvelope(uint64_t Seq, const JsonValue *Id,
+                               JsonValue Body);
+
+/// A service response error object: {"code": Code, "message": Message}.
+/// Codes are enumerated in docs/SERVICE.md ("bad-json", "bad-request",
+/// "unknown-suite", "source-error", "busy").
+JsonValue serviceErrorObject(const std::string &Code,
+                             const std::string &Message);
+
 } // namespace ipcp
 
 #endif // IPCP_CORE_REPORT_H

@@ -1,0 +1,232 @@
+//===- core/ServiceEngine.h - Resident analysis service ---------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analysis-as-a-service layer behind tools/ipcp_serverd
+/// (docs/SERVICE.md). A ServiceEngine turns the one-shot pipeline into a
+/// long-lived, thread-safe request handler:
+///
+///  * the `ipcp-service-v1` request codec — one newline-delimited JSON
+///    object per request (`analyze`, `analyze-batch`, `stats`,
+///    `flush-cache`, `shutdown`) parsed into a ServiceRequest, with every
+///    malformed field reported as a structured error instead of a crash;
+///
+///  * session-scoped resident summary caches: a request naming a
+///    `session` analyzes through an in-memory SummaryCache (PR-4's
+///    incremental layer) that stays resident between requests, so repeat
+///    and edited-program requests are warm without any file round-trip.
+///    Sessions are LRU-evicted beyond Config::MaxSessions; when
+///    Config::CacheDir is set, the disk store is a *write-behind* tier —
+///    sessions persist on eviction, flush-cache, and shutdown, and a new
+///    session first tries to load its disk file;
+///
+///  * per-request ResourceGuard budgets: server-wide default limits
+///    merged with per-request overrides (the stricter value wins for any
+///    budget the server configures), so one pathological program
+///    degrades its own request and nothing else;
+///
+///  * driver-parity reports: an analyze response embeds exactly the
+///    `ipcp-report-v1` document `ipcp_driver --report-json` writes for
+///    the same program and options — the differential tests and the CI
+///    service-smoke job byte-compare the two (after timing scrub).
+///
+/// All entry points except the parse helpers are safe to call from
+/// multiple threads; analyses of distinct sessions (and cache-less
+/// analyses) run fully in parallel, while requests sharing one session
+/// serialize on that session's lock *in arrival order*: the daemon
+/// reserves a SessionTurn per request on its reader thread, and the
+/// per-session ticket turnstile replays the serial warm/cold sequence
+/// exactly no matter how the pool interleaves — which is what makes
+/// concurrent responses byte-identical to a serial run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_CORE_SERVICEENGINE_H
+#define IPCP_CORE_SERVICEENGINE_H
+
+#include "core/Options.h"
+#include "core/SummaryCache.h"
+#include "support/Json.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ipcp {
+
+/// One parsed `ipcp-service-v1` request line.
+struct ServiceRequest {
+  enum class Kind { Analyze, AnalyzeBatch, Stats, FlushCache, Shutdown };
+  Kind Op = Kind::Analyze;
+
+  /// Client correlation id, echoed verbatim in the response envelope
+  /// (any JSON value; absent when HasId is false).
+  JsonValue Id;
+  bool HasId = false;
+
+  // -- analyze fields ----------------------------------------------------
+  /// MiniFort source text (mutually exclusive with Suite).
+  std::string Source;
+  /// Name of a built-in suite program to analyze instead of Source.
+  std::string Suite;
+  /// Report source name (defaults to the suite name or "<request>").
+  std::string Name;
+  /// Resident-cache session key; empty disables the summary cache for
+  /// this request.
+  std::string Session;
+  /// Run complete propagation (analysis interleaved with DCE) instead of
+  /// a single analysis; such requests never use the cache (the driver's
+  /// rule for --complete).
+  bool Complete = false;
+  /// Zero every wall-clock field in the embedded report.
+  bool ScrubTimings = false;
+  /// Analysis configuration ("options" object) and effective budgets
+  /// ("limits" object merged with the server defaults).
+  IPCPOptions Opts;
+
+  // -- analyze-batch -----------------------------------------------------
+  std::vector<ServiceRequest> Batch;
+};
+
+/// Long-lived, thread-safe analysis service over the pipeline.
+class ServiceEngine {
+public:
+  struct Config {
+    /// Write-behind disk tier for session caches; empty keeps sessions
+    /// memory-only.
+    std::string CacheDir;
+    /// Resident session caches before LRU eviction.
+    unsigned MaxSessions = 64;
+    /// Default per-request budgets. A request's "limits" object
+    /// overrides them field by field, except that a budget the server
+    /// configures (non-zero) is a ceiling: the stricter value wins.
+    ResourceLimits DefaultLimits;
+    /// Zero wall-clock fields in every response (server-wide
+    /// --scrub-timings).
+    bool ScrubTimings = false;
+    /// Resolves a request's "suite" name to source text (the daemon
+    /// installs workload/Programs' findSuiteProgram; core itself has no
+    /// workload dependency). Null rejects every suite request.
+    std::function<bool(const std::string &Name, std::string &SourceOut)>
+        SuiteResolver;
+  };
+
+  explicit ServiceEngine(Config C);
+  ~ServiceEngine();
+
+  ServiceEngine(const ServiceEngine &) = delete;
+  ServiceEngine &operator=(const ServiceEngine &) = delete;
+
+  struct SessionState;
+
+  /// An ordered claim on a session's cache. Turns are issued in request
+  /// arrival order (reserveTurn) and redeemed by analyze(); the session
+  /// executes them strictly in issue order, so which request runs warm
+  /// is a function of the request stream alone, never of thread timing.
+  /// An empty turn (default-constructed, or reserved for a cache-less
+  /// request) is a no-op.
+  class SessionTurn {
+    friend class ServiceEngine;
+    std::shared_ptr<SessionState> S;
+    uint64_t Ticket = 0;
+
+  public:
+    SessionTurn() = default;
+    explicit operator bool() const { return S != nullptr; }
+  };
+
+  /// Issues the session turn for an analyze request. Call on the thread
+  /// that orders requests (the daemon's reader), in arrival order;
+  /// returns an empty turn for requests that do not use the session
+  /// cache (no session, or complete propagation).
+  SessionTurn reserveTurn(const ServiceRequest &Req);
+
+  /// Parses one request line. Returns false and fills \p Error (with
+  /// \p ErrorCode one of "bad-json", "bad-request") when the line is not
+  /// a well-formed request; \p Req is then unspecified.
+  bool parseRequestLine(const std::string &Line, ServiceRequest &Req,
+                        std::string *ErrorCode, std::string *Error) const;
+
+  /// Executes one Analyze request (thread-safe; callable from pool
+  /// workers). Returns the response body: {"status": "ok" | "degraded" |
+  /// "error", "error"?: {...}, "report"?: {...ipcp-report-v1...}}.
+  /// Reserves the session turn itself — the serial path.
+  JsonValue analyze(const ServiceRequest &Req);
+
+  /// Same, redeeming a turn reserved earlier with reserveTurn() — the
+  /// daemon's concurrent path. Consumes the turn on every outcome
+  /// (including errors), so a failed request never wedges its session.
+  JsonValue analyze(const ServiceRequest &Req, SessionTurn Turn);
+
+  /// Executes every item of an AnalyzeBatch request sequentially on the
+  /// calling thread and returns the batch body ({"status", "responses":
+  /// [...]}). The daemon instead fans items onto its pool and assembles
+  /// the same body; both orders produce identical bytes.
+  JsonValue analyzeBatch(const ServiceRequest &Req);
+
+  /// One batch item's response object ({"index", "id"?, ...analyze
+  /// body...}) — shared by analyzeBatch and the daemon's parallel path
+  /// so the assembled bytes cannot diverge.
+  JsonValue analyzeBatchItem(const ServiceRequest &Item, size_t Index);
+  JsonValue analyzeBatchItem(const ServiceRequest &Item, size_t Index,
+                             SessionTurn Turn);
+
+  /// Counts one batch dispatch (the daemon's parallel path calls this
+  /// once per batch; analyzeBatch does it itself).
+  void noteBatch() { ++StatBatches; }
+
+  /// The "stats" response body: request/session/cache counters.
+  JsonValue statsBody();
+
+  /// The "flush-cache" response body: persists every dirty session to
+  /// the write-behind tier (when configured) and drops all resident
+  /// sessions.
+  JsonValue flushCacheBody();
+
+  /// Counts a queue-full rejection (the daemon answers `busy`).
+  void noteBusy() { ++StatBusy; }
+
+  /// Persists dirty sessions on shutdown (write-behind final flush).
+  /// Returns the number of sessions persisted.
+  unsigned shutdownFlush();
+
+  /// Number of resident session caches (tests and stats).
+  size_t residentSessions() const;
+
+  const Config &config() const { return Conf; }
+
+private:
+  SessionTurn acquireSession(const ServiceRequest &Req,
+                             const IPCPOptions &Opts);
+  void evictOverflowSessions(std::vector<std::shared_ptr<SessionState>> &Out);
+  unsigned persistSession(SessionState &S);
+
+  Config Conf;
+
+  mutable std::mutex SessionsMutex;
+  std::unordered_map<std::string, std::shared_ptr<SessionState>> Sessions;
+  uint64_t UseCounter = 0;
+
+  std::atomic<uint64_t> StatAnalyses{0};
+  std::atomic<uint64_t> StatDegraded{0};
+  std::atomic<uint64_t> StatErrors{0};
+  std::atomic<uint64_t> StatBatches{0};
+  std::atomic<uint64_t> StatBusy{0};
+  std::atomic<uint64_t> StatCacheWarmHits{0};
+  std::atomic<uint64_t> StatEvictions{0};
+  std::atomic<uint64_t> StatWriteBehindSaves{0};
+  std::atomic<uint64_t> StatWriteBehindFailures{0};
+  std::atomic<uint64_t> StatDiskLoads{0};
+};
+
+} // namespace ipcp
+
+#endif // IPCP_CORE_SERVICEENGINE_H

@@ -1,0 +1,125 @@
+//===- support/BoundedQueue.h - Service queue primitives --------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two queue primitives behind the analysis daemon's concurrency
+/// story (docs/SERVICE.md):
+///
+///  * AdmissionGate — a bounded in-flight counter giving the request
+///    queue explicit backpressure: admission either succeeds immediately
+///    or fails immediately (the caller answers `busy`), it never blocks,
+///    so one pathological program can saturate the workers but can never
+///    stall the accept loop or grow an unbounded backlog.
+///
+///  * OrderedResultQueue — a sequence-numbered reorder buffer between
+///    concurrent producers and one consumer. Producers complete in any
+///    order; the consumer receives results strictly in sequence order,
+///    which is what makes concurrent service responses deterministic and
+///    byte-comparable against serial runs.
+///
+/// Both are small, mutex-based, and header-only; the daemon's throughput
+/// is bounded by whole-program analyses, not by queue operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_BOUNDEDQUEUE_H
+#define IPCP_SUPPORT_BOUNDEDQUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace ipcp {
+
+/// Bounded in-flight work counter with non-blocking admission.
+class AdmissionGate {
+public:
+  /// \p Limit is the maximum admitted-but-unfinished work items; zero
+  /// admits nothing (every tryAcquire fails — the backpressure tests
+  /// drive this).
+  explicit AdmissionGate(size_t Limit) : Limit(Limit) {}
+
+  /// Admits \p N items if they fit within the limit; never blocks.
+  bool tryAcquire(size_t N = 1) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (InFlightCount + N > Limit)
+      return false;
+    InFlightCount += N;
+    return true;
+  }
+
+  /// Returns \p N previously admitted items.
+  void release(size_t N = 1) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    InFlightCount -= N <= InFlightCount ? N : InFlightCount;
+  }
+
+  size_t inFlight() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return InFlightCount;
+  }
+
+  size_t limit() const { return Limit; }
+
+private:
+  mutable std::mutex Mutex;
+  size_t Limit;
+  size_t InFlightCount = 0;
+};
+
+/// Reorder buffer: push(Seq, Value) from any thread, pop() delivers
+/// values in ascending Seq order (0, 1, 2, ...) to one consumer.
+template <typename T> class OrderedResultQueue {
+public:
+  /// Publishes the result for \p Seq. Every sequence number must be
+  /// pushed exactly once.
+  void push(uint64_t Seq, T Value) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Ready.emplace(Seq, std::move(Value));
+    }
+    Available.notify_all();
+  }
+
+  /// Blocks until the next-in-order result exists (or the queue is
+  /// closed and drained). Returns false only when closed and drained.
+  bool pop(T &Out) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Available.wait(Lock, [&] {
+      return Ready.count(Next) != 0 || (Closed && Ready.empty());
+    });
+    auto It = Ready.find(Next);
+    if (It == Ready.end())
+      return false;
+    Out = std::move(It->second);
+    Ready.erase(It);
+    ++Next;
+    return true;
+  }
+
+  /// Marks the stream complete. Call only after every admitted sequence
+  /// number has been pushed (the daemon drains its pool first).
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Closed = true;
+    }
+    Available.notify_all();
+  }
+
+private:
+  std::mutex Mutex;
+  std::condition_variable Available;
+  std::map<uint64_t, T> Ready;
+  uint64_t Next = 0;
+  bool Closed = false;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_BOUNDEDQUEUE_H

@@ -1,0 +1,112 @@
+//===- support/LineIO.cpp -------------------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LineIO.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace ipcp;
+
+bool LineReader::readLine(std::string &Out) {
+  Out.clear();
+  Truncated = false;
+  for (;;) {
+    // Drain buffered bytes up to the next newline.
+    while (Pos < Buffer.size()) {
+      char C = Buffer[Pos++];
+      if (C == '\n')
+        return true;
+      if (Out.size() < MaxLineBytes)
+        Out.push_back(C);
+      else
+        Truncated = true;
+    }
+    Buffer.clear();
+    Pos = 0;
+    if (AtEof || ReadError)
+      return !Out.empty();
+
+    char Chunk[64 * 1024];
+    ssize_t N;
+    do
+      N = ::read(Fd, Chunk, sizeof Chunk);
+    while (N < 0 && errno == EINTR);
+    if (N < 0) {
+      ReadError = true;
+      return !Out.empty();
+    }
+    if (N == 0) {
+      AtEof = true;
+      // A trailing unterminated line is still a line.
+      return !Out.empty();
+    }
+    Buffer.assign(Chunk, size_t(N));
+  }
+}
+
+bool ipcp::writeAllToFd(int Fd, std::string_view Data, std::string *Error) {
+  while (!Data.empty()) {
+    ssize_t N;
+    do
+      N = ::write(Fd, Data.data(), Data.size());
+    while (N < 0 && errno == EINTR);
+    if (N < 0) {
+      if (Error)
+        *Error = std::string("write failed: ") + std::strerror(errno);
+      return false;
+    }
+    Data.remove_prefix(size_t(N));
+  }
+  return true;
+}
+
+int ipcp::listenUnixSocket(const std::string &Path, std::string *Error) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof Addr);
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof Addr.sun_path) {
+    if (Error)
+      *Error = "socket path too long: " + Path;
+    return -1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("cannot create socket: ") + std::strerror(errno);
+    return -1;
+  }
+  ::unlink(Path.c_str()); // a stale socket file from a previous run
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) < 0 ||
+      ::listen(Fd, 16) < 0) {
+    if (Error)
+      *Error = "cannot listen on '" + Path + "': " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int ipcp::acceptUnixConnection(int ListenFd, std::string *Error) {
+  int Fd;
+  do
+    Fd = ::accept(ListenFd, nullptr, nullptr);
+  while (Fd < 0 && errno == EINTR);
+  if (Fd < 0 && Error)
+    *Error = std::string("accept failed: ") + std::strerror(errno);
+  return Fd;
+}
+
+void ipcp::closeFd(int Fd) {
+  if (Fd >= 0)
+    ::close(Fd);
+}

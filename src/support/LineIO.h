@@ -1,0 +1,81 @@
+//===- support/LineIO.h - Line-delimited stream + unix sockets --*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stream-level I/O for the analysis service (docs/SERVICE.md): a
+/// buffered newline-delimited reader over a file descriptor, a checked
+/// write-everything helper, and the unix-domain-socket listener the
+/// daemon serves on. This is the streaming sibling of support/FileIO —
+/// FileIO moves whole files, LineIO moves one request or response line
+/// at a time over pipes and sockets, with every failure reported instead
+/// of swallowed.
+///
+/// POSIX-only (read/write/socket/bind/listen/accept); the daemon is a
+/// server-side tool, not part of the portable analysis library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_LINEIO_H
+#define IPCP_SUPPORT_LINEIO_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace ipcp {
+
+/// Buffered reader yielding one '\n'-terminated line at a time from a
+/// file descriptor it does not own. A trailing unterminated line is
+/// still delivered (stdin piped from printf without a final newline).
+class LineReader {
+public:
+  /// Reads from \p Fd; \p MaxLineBytes bounds a single line so one
+  /// unterminated request cannot grow the buffer without limit (the
+  /// oversized line is delivered truncated, flagged by lineTruncated()).
+  explicit LineReader(int Fd, size_t MaxLineBytes = 64u << 20)
+      : Fd(Fd), MaxLineBytes(MaxLineBytes) {}
+
+  /// Fetches the next line into \p Out (terminator stripped). Returns
+  /// false on end of stream or read error; readFailed() tells the two
+  /// apart.
+  bool readLine(std::string &Out);
+
+  /// True when the stream ended with a read(2) error rather than EOF.
+  bool readFailed() const { return ReadError; }
+
+  /// True when the last delivered line exceeded MaxLineBytes and was
+  /// truncated (the remainder of that line is discarded).
+  bool lineTruncated() const { return Truncated; }
+
+private:
+  int Fd;
+  size_t MaxLineBytes;
+  std::string Buffer;
+  size_t Pos = 0;
+  bool AtEof = false;
+  bool ReadError = false;
+  bool Truncated = false;
+};
+
+/// Writes all of \p Data to \p Fd, restarting on EINTR and short
+/// writes. Returns false and fills \p Error on failure.
+bool writeAllToFd(int Fd, std::string_view Data, std::string *Error = nullptr);
+
+/// Creates, binds, and listens on a unix domain socket at \p Path,
+/// removing any stale socket file first. Returns the listening fd, or
+/// -1 with \p Error filled.
+int listenUnixSocket(const std::string &Path, std::string *Error = nullptr);
+
+/// Accepts one connection on \p ListenFd (blocking, EINTR-restarted).
+/// Returns the connection fd, or -1 with \p Error filled.
+int acceptUnixConnection(int ListenFd, std::string *Error = nullptr);
+
+/// close(2) wrapper so callers outside support/ need no <unistd.h>.
+void closeFd(int Fd);
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_LINEIO_H

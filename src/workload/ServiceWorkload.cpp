@@ -1,0 +1,106 @@
+//===- workload/ServiceWorkload.cpp ---------------------------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/ServiceWorkload.h"
+
+#include "support/Json.h"
+#include "workload/Programs.h"
+
+using namespace ipcp;
+
+namespace {
+
+/// The same xorshift mix the program generator uses; seeded identically,
+/// a log is a pure function of its config.
+struct Rng {
+  uint64_t State;
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+  unsigned below(unsigned N) { return unsigned(next() % N); }
+  bool percent(unsigned Chance) { return below(100) < Chance; }
+};
+
+/// One analyze request object (not yet wrapped in a batch).
+JsonValue makeAnalyze(const ServiceLogConfig &Config, unsigned Id,
+                      const std::string &Suite, unsigned KindIndex) {
+  static const char *const Kinds[] = {"literal", "intra", "pass-through",
+                                      "polynomial"};
+  JsonValue Req = JsonValue::object();
+  Req.set("op", "analyze");
+  Req.set("id", "r" + std::to_string(Id));
+  Req.set("suite", Suite);
+  if (!Config.Session.empty())
+    Req.set("session", Config.Session);
+  JsonValue Options = JsonValue::object();
+  Options.set("forward_jf", Kinds[KindIndex % 4]);
+  Req.set("options", std::move(Options));
+  Req.set("scrub_timings", true);
+  return Req;
+}
+
+} // namespace
+
+std::vector<std::string>
+ipcp::generateServiceLog(const ServiceLogConfig &Config) {
+  const std::vector<SuiteProgram> &Suite = benchmarkSuite();
+  Rng R(Config.Seed);
+  std::vector<std::string> Lines;
+
+  unsigned Emitted = 0;
+  unsigned ProgIndex = R.below(unsigned(Suite.size()));
+  unsigned KindIndex = R.below(4);
+  while (Emitted < Config.Requests) {
+    // Repeating the previous (program, options) pair inside one session
+    // is what makes the request warm; otherwise pick fresh axes.
+    if (Emitted && !R.percent(Config.RepeatChance)) {
+      ProgIndex = R.below(unsigned(Suite.size()));
+      KindIndex = R.below(4);
+    }
+    unsigned Left = Config.Requests - Emitted;
+    if (Left >= 2 && R.percent(Config.BatchChance)) {
+      unsigned Size = 2 + R.below(Left < 4 ? Left - 1 : 3);
+      JsonValue Batch = JsonValue::object();
+      Batch.set("op", "analyze-batch");
+      Batch.set("id", "b" + std::to_string(Emitted));
+      JsonValue Items = JsonValue::array();
+      for (unsigned I = 0; I != Size; ++I) {
+        Items.push(makeAnalyze(Config, Emitted + I,
+                               Suite[ProgIndex].Name, KindIndex));
+        if (!R.percent(Config.RepeatChance)) {
+          ProgIndex = R.below(unsigned(Suite.size()));
+          KindIndex = R.below(4);
+        }
+      }
+      Batch.set("requests", std::move(Items));
+      Lines.push_back(Batch.dump());
+      Emitted += Size;
+      continue;
+    }
+    Lines.push_back(
+        makeAnalyze(Config, Emitted, Suite[ProgIndex].Name, KindIndex)
+            .dump());
+    ++Emitted;
+  }
+
+  if (Config.EndWithStats) {
+    JsonValue Stats = JsonValue::object();
+    Stats.set("op", "stats");
+    Stats.set("id", "stats");
+    Lines.push_back(Stats.dump());
+  }
+  if (Config.EndWithShutdown) {
+    JsonValue Bye = JsonValue::object();
+    Bye.set("op", "shutdown");
+    Bye.set("id", "bye");
+    Lines.push_back(Bye.dump());
+  }
+  return Lines;
+}

@@ -1,0 +1,60 @@
+//===- workload/ServiceWorkload.h - Service request-log generator -*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded generator of `ipcp-service-v1` request logs (docs/SERVICE.md)
+/// for replaying against the analysis daemon: the CI service-smoke job
+/// boots ipcp_serverd, feeds it a generated log, and diffs every
+/// embedded report against a one-shot ipcp_driver run of the same
+/// program; bench_service replays logs to measure cold, warm, and
+/// batched throughput. Same config -> same lines, so a replay is a
+/// deterministic workload, not a flaky one.
+///
+/// Logs are built from the benchmark suite (workload/Programs): every
+/// request names a suite program, asks for a scrubbed-timings report,
+/// and cycles through the forward jump-function classes so the replay
+/// exercises distinct cache fingerprints, warm session reuse, and batch
+/// fan-out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_WORKLOAD_SERVICEWORKLOAD_H
+#define IPCP_WORKLOAD_SERVICEWORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ipcp {
+
+/// Shape of one generated request log.
+struct ServiceLogConfig {
+  uint64_t Seed = 1;
+  /// Analyze requests to emit (batch items each count as one).
+  unsigned Requests = 24;
+  /// Session key prefix; requests reusing a (session, program, options)
+  /// triple run warm. Empty disables sessions (every request cold).
+  std::string Session = "replay";
+  /// Percent (0..100) of requests that repeat the previous program in
+  /// the same session — the warm-hit knob.
+  unsigned RepeatChance = 50;
+  /// Percent (0..100) of requests folded into analyze-batch groups.
+  unsigned BatchChance = 30;
+  /// Append a "stats" barrier request at the end of the log.
+  bool EndWithStats = true;
+  /// Append a "shutdown" request after everything else, so a replay
+  /// terminates the daemon cleanly.
+  bool EndWithShutdown = true;
+};
+
+/// Produces one request per line (no trailing newline per element).
+/// Every analyze request carries "scrub_timings": true and an "id" of
+/// the form "r<n>", so replays are byte-diffable.
+std::vector<std::string> generateServiceLog(const ServiceLogConfig &Config);
+
+} // namespace ipcp
+
+#endif // IPCP_WORKLOAD_SERVICEWORKLOAD_H

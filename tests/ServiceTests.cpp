@@ -1,0 +1,503 @@
+//===- tests/ServiceTests.cpp - analysis-service layer tests --------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The service layer behind tools/ipcp_serverd (docs/SERVICE.md): the
+// ipcp-service-v1 request codec, the response envelope, the queue
+// primitives, resident session caches with write-behind persistence,
+// and the determinism contract — concurrent execution through the
+// session turnstile produces byte-identical responses to a serial run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Report.h"
+#include "core/ServiceEngine.h"
+#include "support/BoundedQueue.h"
+#include "support/ThreadPool.h"
+#include "workload/Programs.h"
+#include "workload/ServiceWorkload.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+using namespace ipcp;
+
+namespace {
+
+const char *CalleeSource = R"(
+global g;
+proc callee(x) { print x + g; }
+proc main() { g = 2; call callee(3); }
+)";
+
+ServiceEngine::Config basicConfig() {
+  ServiceEngine::Config Conf;
+  Conf.SuiteResolver = [](const std::string &Name, std::string &Out) {
+    const SuiteProgram *Prog = findSuiteProgram(Name);
+    if (!Prog)
+      return false;
+    Out = Prog->Source;
+    return true;
+  };
+  return Conf;
+}
+
+/// Parses a request line through \p Engine, expecting success.
+ServiceRequest parseOk(const ServiceEngine &Engine, const std::string &Line) {
+  ServiceRequest Req;
+  std::string Code, Error;
+  EXPECT_TRUE(Engine.parseRequestLine(Line, Req, &Code, &Error))
+      << Code << ": " << Error;
+  return Req;
+}
+
+/// Parses a request line expecting failure; returns the error code.
+std::string parseCode(const ServiceEngine &Engine, const std::string &Line) {
+  ServiceRequest Req;
+  std::string Code, Error;
+  EXPECT_FALSE(Engine.parseRequestLine(Line, Req, &Code, &Error)) << Line;
+  return Code;
+}
+
+uint64_t counter(const JsonValue &Body, const char *Name) {
+  const JsonValue *Report = Body.find("report");
+  if (!Report)
+    return ~0ull;
+  const JsonValue *Result = Report->find("result");
+  if (!Result)
+    return ~0ull;
+  const JsonValue *Counters = Result->find("counters");
+  if (!Counters)
+    return ~0ull;
+  const JsonValue *C = Counters->find(Name);
+  return C ? uint64_t(C->asInt()) : 0;
+}
+
+std::string statusOf(const JsonValue &Body) {
+  const JsonValue *S = Body.find("status");
+  return S ? S->asString() : "<missing>";
+}
+
+TEST(ServiceCodec, ParsesAnalyzeFields) {
+  ServiceEngine Engine(basicConfig());
+  ServiceRequest Req = parseOk(
+      Engine,
+      R"({"op":"analyze","id":42,"suite":"simple","session":"s","complete":false,)"
+      R"("scrub_timings":true,"options":{"forward_jf":"pass-through","return_jf":false},)"
+      R"("limits":{"prop_evals":100}})");
+  EXPECT_EQ(Req.Op, ServiceRequest::Kind::Analyze);
+  EXPECT_TRUE(Req.HasId);
+  EXPECT_EQ(Req.Id.asInt(), 42);
+  EXPECT_EQ(Req.Suite, "simple");
+  EXPECT_EQ(Req.Name, "simple"); // defaults to the suite name
+  EXPECT_EQ(Req.Session, "s");
+  EXPECT_TRUE(Req.ScrubTimings);
+  EXPECT_EQ(Req.Opts.ForwardKind, JumpFunctionKind::PassThrough);
+  EXPECT_FALSE(Req.Opts.UseReturnJumpFunctions);
+  EXPECT_EQ(Req.Opts.Limits.MaxPropagationEvals, 100u);
+  // "passthrough" (the driver's spelling) is accepted too.
+  Req = parseOk(Engine,
+                R"({"op":"analyze","source":"proc main() { print 1; }",)"
+                R"("options":{"forward_jf":"passthrough"}})");
+  EXPECT_EQ(Req.Opts.ForwardKind, JumpFunctionKind::PassThrough);
+  EXPECT_EQ(Req.Name, "<request>");
+}
+
+TEST(ServiceCodec, RejectsMalformedRequests) {
+  ServiceEngine Engine(basicConfig());
+  EXPECT_EQ(parseCode(Engine, "not json"), "bad-json");
+  EXPECT_EQ(parseCode(Engine, "[1,2]"), "bad-request");
+  EXPECT_EQ(parseCode(Engine, R"({"id":1})"), "bad-request");
+  EXPECT_EQ(parseCode(Engine, R"({"op":"frobnicate"})"), "bad-request");
+  // Unknown keys are rejected so a typo cannot silently use defaults.
+  EXPECT_EQ(parseCode(Engine, R"({"op":"analyze","suite":"x","sesion":"s"})"),
+            "bad-request");
+  EXPECT_EQ(parseCode(Engine, R"({"op":"stats","suite":"x"})"), "bad-request");
+  // Exactly one of source/suite.
+  EXPECT_EQ(parseCode(Engine, R"({"op":"analyze"})"), "bad-request");
+  EXPECT_EQ(parseCode(Engine, R"({"op":"analyze","suite":"a","source":"b"})"),
+            "bad-request");
+  // Malformed nested objects.
+  EXPECT_EQ(parseCode(
+                Engine,
+                R"({"op":"analyze","suite":"x","options":{"forward_jf":"??"}})"),
+            "bad-request");
+  EXPECT_EQ(
+      parseCode(Engine, R"({"op":"analyze","suite":"x","options":{"jf":1}})"),
+      "bad-request");
+  EXPECT_EQ(parseCode(
+                Engine,
+                R"({"op":"analyze","suite":"x","limits":{"parse_depth":0}})"),
+            "bad-request");
+  EXPECT_EQ(
+      parseCode(Engine, R"({"op":"analyze","suite":"x","limits":{"cpus":1}})"),
+      "bad-request");
+  EXPECT_EQ(parseCode(Engine,
+                      R"({"op":"analyze","suite":"x","limits":{"tokens":-1}})"),
+            "bad-request");
+}
+
+TEST(ServiceCodec, LimitsMergeStricterWins) {
+  ServiceEngine::Config Conf = basicConfig();
+  Conf.DefaultLimits.MaxTokens = 100;
+  Conf.DefaultLimits.MaxParseDepth = 64;
+  ServiceEngine Engine(std::move(Conf));
+  // A request cannot raise or disable a server-configured budget...
+  ServiceRequest Req = parseOk(
+      Engine, R"({"op":"analyze","suite":"x","limits":{"tokens":1000}})");
+  EXPECT_EQ(Req.Opts.Limits.MaxTokens, 100u);
+  Req =
+      parseOk(Engine, R"({"op":"analyze","suite":"x","limits":{"tokens":0}})");
+  EXPECT_EQ(Req.Opts.Limits.MaxTokens, 100u);
+  // ...but can tighten it.
+  Req =
+      parseOk(Engine, R"({"op":"analyze","suite":"x","limits":{"tokens":50}})");
+  EXPECT_EQ(Req.Opts.Limits.MaxTokens, 50u);
+  // An unconfigured (unlimited) budget takes the request value as-is.
+  Req = parseOk(Engine,
+                R"({"op":"analyze","suite":"x","limits":{"deadline_ms":5}})");
+  EXPECT_EQ(Req.Opts.Limits.DeadlineMs, 5u);
+  // Parse depth is always finite: the merge is a plain min.
+  Req = parseOk(Engine,
+                R"({"op":"analyze","suite":"x","limits":{"parse_depth":512}})");
+  EXPECT_EQ(Req.Opts.Limits.MaxParseDepth, 64u);
+  Req = parseOk(Engine,
+                R"({"op":"analyze","suite":"x","limits":{"parse_depth":8}})");
+  EXPECT_EQ(Req.Opts.Limits.MaxParseDepth, 8u);
+  // Defaults apply when the request has no limits object at all.
+  Req = parseOk(Engine, R"({"op":"analyze","suite":"x"})");
+  EXPECT_EQ(Req.Opts.Limits.MaxTokens, 100u);
+}
+
+TEST(ServiceCodec, ParsesBatches) {
+  ServiceEngine Engine(basicConfig());
+  ServiceRequest Req = parseOk(
+      Engine,
+      R"({"op":"analyze-batch","id":"b","requests":[)"
+      R"({"suite":"simple"},{"op":"analyze","id":7,"suite":"trfd"}]})");
+  EXPECT_EQ(Req.Op, ServiceRequest::Kind::AnalyzeBatch);
+  ASSERT_EQ(Req.Batch.size(), 2u);
+  EXPECT_EQ(Req.Batch[0].Suite, "simple");
+  EXPECT_FALSE(Req.Batch[0].HasId);
+  EXPECT_EQ(Req.Batch[1].Suite, "trfd");
+  EXPECT_TRUE(Req.Batch[1].HasId);
+
+  EXPECT_EQ(parseCode(Engine, R"({"op":"analyze-batch"})"), "bad-request");
+  EXPECT_EQ(parseCode(Engine, R"({"op":"analyze-batch","requests":[]})"),
+            "bad-request");
+  EXPECT_EQ(parseCode(Engine,
+                      R"({"op":"analyze-batch","requests":[{"op":"stats"}]})"),
+            "bad-request");
+  EXPECT_EQ(parseCode(Engine, R"({"op":"analyze-batch","requests":[{}]})"),
+            "bad-request");
+}
+
+TEST(ServiceEnvelope, EchoesIdAndOrdersFields) {
+  JsonValue Body = JsonValue::object();
+  Body.set("status", "ok");
+  JsonValue Id("client-7");
+  std::string Line = buildServiceEnvelope(3, &Id, std::move(Body)).dump();
+  EXPECT_EQ(Line,
+            R"({"schema":"ipcp-service-v1","seq":3,"id":"client-7","status":"ok"})");
+  JsonValue NoId = JsonValue::object();
+  NoId.set("status", "ok");
+  EXPECT_EQ(buildServiceEnvelope(0, nullptr, std::move(NoId)).dump(),
+            R"({"schema":"ipcp-service-v1","seq":0,"status":"ok"})");
+}
+
+TEST(ServiceEngineTest, AnalyzeProducesDriverShapedReport) {
+  ServiceEngine Engine(basicConfig());
+  ServiceRequest Req;
+  Req.Source = CalleeSource;
+  Req.Name = "<request>";
+  JsonValue Body = Engine.analyze(Req);
+  EXPECT_EQ(statusOf(Body), "ok");
+  const JsonValue *Report = Body.find("report");
+  ASSERT_NE(Report, nullptr);
+  EXPECT_EQ(Report->find("schema")->asString(), "ipcp-report-v1");
+  ASSERT_NE(Report->find("result"), nullptr);
+  // x=3 and g=2 propagate into callee; g=0 is known at main's entry.
+  EXPECT_EQ(Report->find("result")->find("total_entry_constants")->asInt(), 3);
+}
+
+TEST(ServiceEngineTest, ReportsSourceAndSuiteErrors) {
+  ServiceEngine Engine(basicConfig());
+  ServiceRequest Req;
+  Req.Source = "proc main() { print undeclared_var; }";
+  JsonValue Body = Engine.analyze(Req);
+  EXPECT_EQ(statusOf(Body), "error");
+  EXPECT_EQ(Body.find("error")->find("code")->asString(), "source-error");
+
+  ServiceRequest Unknown;
+  Unknown.Suite = "no-such-program";
+  Body = Engine.analyze(Unknown);
+  EXPECT_EQ(statusOf(Body), "error");
+  EXPECT_EQ(Body.find("error")->find("code")->asString(), "unknown-suite");
+
+  // Without a resolver installed, every suite request fails.
+  ServiceEngine Bare((ServiceEngine::Config()));
+  ServiceRequest Suite;
+  Suite.Suite = "simple";
+  Body = Bare.analyze(Suite);
+  EXPECT_EQ(Body.find("error")->find("code")->asString(), "unknown-suite");
+}
+
+TEST(ServiceEngineTest, FrontendTripDegradesWithResultFreeReport) {
+  ServiceEngine Engine(basicConfig());
+  ServiceRequest Req;
+  Req.Source = CalleeSource;
+  Req.Opts.Limits.MaxTokens = 3;
+  JsonValue Body = Engine.analyze(Req);
+  EXPECT_EQ(statusOf(Body), "degraded");
+  const JsonValue *Report = Body.find("report");
+  ASSERT_NE(Report, nullptr);
+  EXPECT_EQ(Report->find("result"), nullptr);
+  EXPECT_TRUE(Report->find("degraded")->asBool());
+  ASSERT_NE(Report->find("degradation"), nullptr);
+}
+
+TEST(ServiceEngineTest, WarmSessionSkipsAllEvaluations) {
+  ServiceEngine Engine(basicConfig());
+  ServiceRequest Req;
+  Req.Suite = "simple";
+  Req.Name = "simple";
+  Req.Session = "warm-test";
+  JsonValue Cold = Engine.analyze(Req);
+  JsonValue Warm = Engine.analyze(Req);
+  EXPECT_EQ(statusOf(Cold), "ok");
+  EXPECT_EQ(statusOf(Warm), "ok");
+  EXPECT_GT(counter(Cold, "prop_evaluations"), 0u);
+  EXPECT_EQ(counter(Warm, "prop_evaluations"), 0u);
+  EXPECT_GT(counter(Warm, "cache_hits"), 0u);
+  // Results are identical modulo the warm-volatile fields.
+  JsonValue NormCold = *Cold.find("report");
+  JsonValue NormWarm = *Warm.find("report");
+  normalizeReportForDiff(NormCold);
+  normalizeReportForDiff(NormWarm);
+  EXPECT_EQ(NormCold.dump(), NormWarm.dump());
+
+  JsonValue Stats = Engine.statsBody();
+  const JsonValue *S = Stats.find("stats");
+  EXPECT_EQ(S->find("analyze_requests")->asInt(), 2);
+  EXPECT_EQ(S->find("warm_hits")->asInt(), 1);
+  EXPECT_EQ(S->find("sessions_resident")->asInt(), 1);
+}
+
+TEST(ServiceEngineTest, DistinctOptionsNeverShareASession) {
+  ServiceEngine Engine(basicConfig());
+  ServiceRequest Poly;
+  Poly.Suite = Poly.Name = "simple";
+  Poly.Session = "s";
+  ServiceRequest Lit = Poly;
+  Lit.Opts.ForwardKind = JumpFunctionKind::Literal;
+  Engine.analyze(Poly);
+  JsonValue Other = Engine.analyze(Lit);
+  // Different fingerprint => separate (cold) session, not a poisoned hit.
+  EXPECT_EQ(counter(Other, "cache_hits"), 0u);
+  EXPECT_EQ(Engine.residentSessions(), 2u);
+}
+
+TEST(ServiceEngineTest, BatchBodySharesTheSingleRequestPath) {
+  ServiceEngine Engine(basicConfig());
+  ServiceRequest Batch;
+  Batch.Op = ServiceRequest::Kind::AnalyzeBatch;
+  ServiceRequest A;
+  A.Suite = A.Name = "simple";
+  A.ScrubTimings = true;
+  ServiceRequest B;
+  B.Source = "proc main() { print undeclared; }";
+  B.Name = "<request>";
+  B.Id = JsonValue("second");
+  B.HasId = true;
+  Batch.Batch = {A, B};
+
+  JsonValue Body = Engine.analyzeBatch(Batch);
+  EXPECT_EQ(statusOf(Body), "ok");
+  const JsonValue *Responses = Body.find("responses");
+  ASSERT_NE(Responses, nullptr);
+  ASSERT_EQ(Responses->size(), 2u);
+  EXPECT_EQ(Responses->at(0).find("index")->asInt(), 0);
+  EXPECT_EQ(statusOf(Responses->at(0)), "ok");
+  EXPECT_EQ(Responses->at(1).find("id")->asString(), "second");
+  EXPECT_EQ(statusOf(Responses->at(1)), "error");
+  // The item body is exactly what a lone analyze of the same request
+  // produces — index/id aside, the bytes cannot diverge.
+  JsonValue Lone = Engine.analyze(A);
+  JsonValue Item = Responses->at(0);
+  Item.remove("index");
+  EXPECT_EQ(Item.dump(), Lone.dump());
+}
+
+TEST(ServiceEngineTest, ConcurrentTurnstileMatchesSerialBytes) {
+  // A request mix with heavy session sharing: the turnstile must replay
+  // the serial warm/cold order no matter how the pool interleaves.
+  std::vector<ServiceRequest> Requests;
+  const char *Suites[] = {"simple", "trfd", "mdg"};
+  for (int I = 0; I != 12; ++I) {
+    ServiceRequest Req;
+    Req.Suite = Req.Name = Suites[I % 3];
+    Req.Session = I % 2 ? "even" : "odd";
+    Req.ScrubTimings = true;
+    Requests.push_back(std::move(Req));
+  }
+
+  ServiceEngine Serial(basicConfig());
+  std::vector<std::string> Expected;
+  for (const ServiceRequest &Req : Requests)
+    Expected.push_back(Serial.analyze(Req).dump());
+
+  for (unsigned Round = 0; Round != 3; ++Round) {
+    ServiceEngine Conc(basicConfig());
+    std::vector<std::string> Got(Requests.size());
+    ThreadPool Pool(4);
+    for (size_t I = 0; I != Requests.size(); ++I) {
+      // Turns are reserved on this thread in request order — exactly
+      // what the daemon's reader thread does.
+      ServiceEngine::SessionTurn Turn = Conc.reserveTurn(Requests[I]);
+      Pool.submit([&Conc, &Got, &Requests, I, Turn]() mutable {
+        Got[I] = Conc.analyze(Requests[I], std::move(Turn)).dump();
+      });
+    }
+    Pool.wait();
+    for (size_t I = 0; I != Requests.size(); ++I)
+      EXPECT_EQ(Got[I], Expected[I]) << "request " << I << " round " << Round;
+  }
+}
+
+TEST(ServiceEngineTest, EvictionWritesBehindAndReloads) {
+  std::string Dir = ::testing::TempDir() + "ipcp-service-evict";
+  std::filesystem::remove_all(Dir);
+  ServiceEngine::Config Conf = basicConfig();
+  Conf.CacheDir = Dir;
+  Conf.MaxSessions = 1;
+
+  {
+    ServiceEngine Engine(Conf);
+    ServiceRequest A;
+    A.Suite = A.Name = "simple";
+    A.Session = "a";
+    ServiceRequest B = A;
+    B.Session = "b";
+    Engine.analyze(A);
+    Engine.analyze(B); // evicts session a, persisting it
+    JsonValue Stats = Engine.statsBody();
+    const JsonValue *S = Stats.find("stats");
+    EXPECT_EQ(S->find("session_evictions")->asInt(), 1);
+    EXPECT_EQ(S->find("write_behind_saves")->asInt(), 1);
+    EXPECT_EQ(S->find("sessions_resident")->asInt(), 1);
+    // Re-acquiring the evicted session loads the disk tier and is warm.
+    JsonValue Again = Engine.analyze(A);
+    EXPECT_EQ(counter(Again, "prop_evaluations"), 0u);
+  }
+
+  // A fresh engine (daemon restart) warms up from the same files.
+  ServiceEngine Fresh(Conf);
+  ServiceRequest A;
+  A.Suite = A.Name = "simple";
+  A.Session = "a";
+  JsonValue Warm = Fresh.analyze(A);
+  EXPECT_EQ(counter(Warm, "prop_evaluations"), 0u);
+  EXPECT_EQ(Fresh.statsBody().find("stats")->find("disk_loads")->asInt(), 1);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ServiceEngineTest, FlushPersistsAndDropsEverything) {
+  std::string Dir = ::testing::TempDir() + "ipcp-service-flush";
+  std::filesystem::remove_all(Dir);
+  ServiceEngine::Config Conf = basicConfig();
+  Conf.CacheDir = Dir;
+  ServiceEngine Engine(Conf);
+  ServiceRequest Req;
+  Req.Suite = Req.Name = "simple";
+  Req.Session = "s";
+  Engine.analyze(Req);
+  JsonValue Flush = Engine.flushCacheBody();
+  EXPECT_EQ(Flush.find("sessions_flushed")->asInt(), 1);
+  EXPECT_EQ(Flush.find("persisted")->asInt(), 1);
+  EXPECT_EQ(Engine.residentSessions(), 0u);
+  EXPECT_FALSE(std::filesystem::is_empty(Dir));
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(AdmissionGateTest, BoundsInFlightWork) {
+  AdmissionGate Gate(2);
+  EXPECT_TRUE(Gate.tryAcquire());
+  EXPECT_TRUE(Gate.tryAcquire());
+  EXPECT_FALSE(Gate.tryAcquire());
+  EXPECT_EQ(Gate.inFlight(), 2u);
+  Gate.release();
+  EXPECT_TRUE(Gate.tryAcquire());
+  Gate.release(2);
+  // Batch admission is all-or-nothing.
+  EXPECT_FALSE(Gate.tryAcquire(3));
+  EXPECT_TRUE(Gate.tryAcquire(2));
+  // Limit zero admits nothing — the deterministic backpressure config.
+  AdmissionGate Closed(0);
+  EXPECT_FALSE(Closed.tryAcquire());
+}
+
+TEST(OrderedResultQueueTest, DeliversInSequenceOrder) {
+  OrderedResultQueue<int> Queue;
+  Queue.push(2, 20);
+  Queue.push(0, 0);
+  Queue.push(1, 10);
+  Queue.close();
+  int Out = -1;
+  EXPECT_TRUE(Queue.pop(Out));
+  EXPECT_EQ(Out, 0);
+  EXPECT_TRUE(Queue.pop(Out));
+  EXPECT_EQ(Out, 10);
+  EXPECT_TRUE(Queue.pop(Out));
+  EXPECT_EQ(Out, 20);
+  EXPECT_FALSE(Queue.pop(Out));
+}
+
+TEST(OrderedResultQueueTest, ConcurrentProducersOneConsumer) {
+  OrderedResultQueue<uint64_t> Queue;
+  ThreadPool Pool(4);
+  const uint64_t N = 64;
+  for (uint64_t I = 0; I != N; ++I)
+    Pool.submit([&Queue, I] { Queue.push(I, I * 3); });
+  std::vector<uint64_t> Seen;
+  for (uint64_t I = 0; I != N; ++I) {
+    uint64_t Out = 0;
+    EXPECT_TRUE(Queue.pop(Out));
+    Seen.push_back(Out);
+  }
+  Pool.wait();
+  Queue.close();
+  for (uint64_t I = 0; I != N; ++I)
+    EXPECT_EQ(Seen[I], I * 3);
+}
+
+TEST(ServiceWorkloadTest, LogsAreDeterministicAndWellFormed) {
+  ServiceLogConfig Config;
+  Config.Seed = 9;
+  Config.Requests = 10;
+  std::vector<std::string> A = generateServiceLog(Config);
+  std::vector<std::string> B = generateServiceLog(Config);
+  EXPECT_EQ(A, B);
+  ASSERT_GE(A.size(), 3u); // analyses + stats + shutdown
+  EXPECT_NE(A.back().find("shutdown"), std::string::npos);
+
+  // Every generated line parses as a valid request.
+  ServiceEngine Engine(basicConfig());
+  unsigned Analyses = 0;
+  for (const std::string &Line : A) {
+    ServiceRequest Req = parseOk(Engine, Line);
+    if (Req.Op == ServiceRequest::Kind::Analyze)
+      ++Analyses;
+    else if (Req.Op == ServiceRequest::Kind::AnalyzeBatch)
+      Analyses += unsigned(Req.Batch.size());
+  }
+  EXPECT_EQ(Analyses, 10u);
+
+  Config.Seed = 10;
+  EXPECT_NE(generateServiceLog(Config), A);
+}
+
+} // namespace

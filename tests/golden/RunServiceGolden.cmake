@@ -1,0 +1,46 @@
+# Golden service-transcript diff driver (see tests/CMakeLists.txt):
+#
+#   cmake -DSERVERD=<ipcp_serverd> -DSRCDIR=<repo root>
+#         -DREQUESTS=<tests/golden/service_transcript.requests>
+#         -DOUT=<scratch responses> -DGOLDEN=<tests/golden/..._responses>
+#         [-DUPDATE=1] -P RunServiceGolden.cmake
+#
+# Replays the checked-in request transcript through ipcp_serverd on
+# stdin (single worker, scrubbed timings, so every byte of the response
+# stream is deterministic) and byte-compares the response stream against
+# the checked-in golden. The transcript exercises a cold/warm session
+# pair, a batch with an embedded error item, a bad-request rejection, a
+# bad-json rejection, and all three control ops; the daemon must exit 0
+# via the trailing shutdown request. With -DUPDATE=1 the golden is
+# rewritten instead — the `update-golden` build target does that after
+# an intentional wire-format change.
+
+execute_process(
+  COMMAND ${SERVERD} --jobs=1 --scrub-timings
+  WORKING_DIRECTORY ${SRCDIR}
+  INPUT_FILE ${REQUESTS}
+  OUTPUT_FILE ${OUT}
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "ipcp_serverd failed (exit ${RC}) on ${REQUESTS}")
+endif()
+
+if(UPDATE)
+  configure_file(${OUT} ${GOLDEN} COPYONLY)
+  message(STATUS "updated ${GOLDEN}")
+  return()
+endif()
+
+if(NOT EXISTS ${GOLDEN})
+  message(FATAL_ERROR "missing golden file ${GOLDEN}; build the "
+                      "`update-golden` target to create it")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE DIFF)
+if(NOT DIFF EQUAL 0)
+  message(FATAL_ERROR "service responses differ from ${GOLDEN}; inspect "
+                      "${OUT}, and build the `update-golden` target if "
+                      "the change is intentional")
+endif()

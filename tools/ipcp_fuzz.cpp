@@ -8,7 +8,10 @@
 // analysis, propagation, interpreter — on generated and mutated inputs
 // under tight resource budgets, asserting totality: no crash, no hang, no
 // verifier violation, no unsound constant, and degradation reported
-// exactly when a budget tripped.
+// exactly when a budget tripped. The same campaign also feeds generated
+// and mutated service-request lines through the ipcp_serverd engine
+// (docs/SERVICE.md), asserting the wire contract: every input is either
+// rejected with an error code or answered with a status-bearing body.
 //
 // Two entry points share one harness:
 //
@@ -31,6 +34,7 @@
 
 #include "core/Pipeline.h"
 #include "core/Report.h"
+#include "core/ServiceEngine.h"
 #include "core/SummaryCache.h"
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
@@ -39,6 +43,8 @@
 #include "support/FileIO.h"
 #include "workload/Generator.h"
 #include "workload/Oracle.h"
+#include "workload/Programs.h"
+#include "workload/ServiceWorkload.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -170,6 +176,69 @@ bool runOne(const std::string &Source, bool CheckOracle,
   return true;
 }
 
+/// One long-lived engine shared by every service-request input, so the
+/// campaign also exercises warm sessions, LRU eviction, and stat
+/// accounting — not just the request codec.
+ServiceEngine &fuzzServiceEngine() {
+  static ServiceEngine Engine = [] {
+    ServiceEngine::Config Conf;
+    Conf.DefaultLimits = fuzzLimits();
+    Conf.MaxSessions = 4; // small, so eviction happens during the campaign
+    Conf.ScrubTimings = true;
+    Conf.SuiteResolver = [](const std::string &Name, std::string &Out) {
+      const SuiteProgram *Prog = findSuiteProgram(Name);
+      if (!Prog)
+        return false;
+      Out = Prog->Source;
+      return true;
+    };
+    return ServiceEngine(Conf);
+  }();
+  return Engine;
+}
+
+/// One service-protocol pass over \p Line (docs/SERVICE.md): the request
+/// codec must either reject with a code+message or produce a dispatchable
+/// request, and every dispatched body must be an object carrying a
+/// "status" string. Crashes and hangs are, as ever, someone else's to
+/// catch; this asserts the wire contract.
+bool runServiceLine(const std::string &Line, std::string *Failure) {
+  ServiceEngine &Engine = fuzzServiceEngine();
+  ServiceRequest Req;
+  std::string Code, Error;
+  if (!Engine.parseRequestLine(Line, Req, &Code, &Error)) {
+    if (Code.empty() || Error.empty()) {
+      *Failure = "service parse rejection without a code or message";
+      return false;
+    }
+    return true;
+  }
+  JsonValue Body;
+  switch (Req.Op) {
+  case ServiceRequest::Kind::Analyze:
+    Body = Engine.analyze(Req);
+    break;
+  case ServiceRequest::Kind::AnalyzeBatch:
+    Body = Engine.analyzeBatch(Req);
+    break;
+  case ServiceRequest::Kind::Stats:
+    Body = Engine.statsBody();
+    break;
+  case ServiceRequest::Kind::FlushCache:
+    Body = Engine.flushCacheBody();
+    break;
+  case ServiceRequest::Kind::Shutdown:
+    Engine.shutdownFlush();
+    return true;
+  }
+  const JsonValue *Status = Body.find("status");
+  if (!Body.isObject() || !Status || !Status->isString()) {
+    *Failure = "service response body lacks a status string";
+    return false;
+  }
+  return true;
+}
+
 /// Deterministic byte-level mutation: truncations, flips, splices, and
 /// nesting bombs, all drawn from \p Rng.
 std::string mutate(const std::string &Source, std::mt19937_64 &Rng) {
@@ -250,6 +319,12 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
     std::fprintf(stderr, "invariant failure: %s\n", Failure.c_str());
     std::abort();
   }
+  // The same bytes double as a service request line; JSON-shaped inputs
+  // reach the engine, the rest must be rejected with a code + message.
+  if (!runServiceLine(Source, &Failure)) {
+    std::fprintf(stderr, "invariant failure: %s\n", Failure.c_str());
+    std::abort();
+  }
   return 0;
 }
 
@@ -294,6 +369,32 @@ int main(int argc, char **argv) {
                      static_cast<unsigned long long>(Seed), Failure.c_str(),
                      CrashFile.c_str());
         return 1;
+      }
+    }
+    // Same campaign, second surface: a short deterministic service log
+    // plus a mutated copy of each line through the daemon's request
+    // codec and engine (docs/SERVICE.md). Pristine lines exercise warm
+    // sessions and eviction on the shared engine; mutated ones mostly
+    // probe the rejection paths.
+    ServiceLogConfig LogConf;
+    LogConf.Seed = Seed + Run;
+    LogConf.Requests = 2;
+    LogConf.EndWithStats = (Run % 4) == 0;
+    LogConf.EndWithShutdown = (Run % 8) == 0;
+    for (const std::string &Line : generateServiceLog(LogConf)) {
+      std::string Variants[2] = {Line, mutate(Line, Rng)};
+      for (const std::string &Input : Variants) {
+        writeStringToFile(CrashFile, Input, nullptr);
+        std::string Failure;
+        if (!runServiceLine(Input, &Failure)) {
+          std::fprintf(stderr,
+                       "FAIL at run %llu service line (seed %llu): %s\n"
+                       "reproducer written to %s\n",
+                       static_cast<unsigned long long>(Run),
+                       static_cast<unsigned long long>(Seed), Failure.c_str(),
+                       CrashFile.c_str());
+          return 1;
+        }
       }
     }
     if ((Run + 1) % 500 == 0)

@@ -1,0 +1,432 @@
+//===- tools/ipcp_serverd.cpp - batched analysis daemon -------------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Analysis as a service: a long-lived daemon that keeps the summary
+// cache resident and answers newline-delimited JSON requests
+// ("ipcp-service-v1", documented field by field in docs/SERVICE.md):
+//
+//   ipcp_serverd [options]                 serve stdin -> stdout
+//   ipcp_serverd --socket=PATH [options]   serve a unix domain socket
+//
+//   --jobs=N           worker threads (default: hardware concurrency)
+//   --queue-limit=N    max in-flight analyses before `busy` (default 256;
+//                      0 rejects everything — the backpressure tests)
+//   --cache-dir=DIR    write-behind disk tier for session caches
+//   --max-sessions=N   resident session caches before LRU eviction
+//   --scrub-timings    zero wall-clock fields in every response
+//   --limit-parse-depth=N  --limit-tokens=N  --limit-ast-nodes=N
+//   --limit-ir-insts=N     --limit-prop-evals=N --deadline-ms=N
+//                      default per-request budgets; a request's "limits"
+//                      can tighten but never exceed them
+//   --emit-sample-log=N [--sample-seed=S]
+//                      print N generated analyze requests (plus stats and
+//                      shutdown) to stdout and exit — replay fodder for
+//                      the CI smoke job and bench_service
+//   --help
+//
+// Request lines are answered in request order (responses carry "seq");
+// analyses run concurrently on the pool, and a per-session turnstile
+// replays the serial warm/cold order exactly, so the byte stream a
+// concurrent daemon emits is identical to a --jobs=1 run. `stats`,
+// `flush-cache`, and `shutdown` are barriers: they wait for every
+// in-flight analysis before executing.
+//
+// Exit codes: 0 clean (EOF or shutdown request), 1 usage error,
+// 2 socket setup or stdin read failure, 4 a response could not be
+// written.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Report.h"
+#include "core/ServiceEngine.h"
+#include "support/BoundedQueue.h"
+#include "support/LineIO.h"
+#include "support/ThreadPool.h"
+#include "workload/Programs.h"
+#include "workload/ServiceWorkload.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ipcp;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: ipcp_serverd [options]              (serve stdin -> stdout)\n"
+      "       ipcp_serverd --socket=PATH [options]\n"
+      "requests: one JSON object per line; ops analyze, analyze-batch,\n"
+      "          stats, flush-cache, shutdown (see docs/SERVICE.md)\n"
+      "  --jobs=N           worker threads (default: hardware concurrency)\n"
+      "  --queue-limit=N    max in-flight analyses before `busy`\n"
+      "                     (default 256; 0 rejects every analyze)\n"
+      "  --cache-dir=DIR    write-behind disk tier for session caches\n"
+      "  --max-sessions=N   resident session caches before LRU eviction\n"
+      "                     (default 64)\n"
+      "  --scrub-timings    zero wall-clock fields in every response\n"
+      "  --emit-sample-log=N  print N generated requests and exit\n"
+      "  --sample-seed=S      seed for --emit-sample-log (default 1)\n"
+      "  --help\n"
+      "default per-request budgets (0 = unlimited; a request's \"limits\"\n"
+      "object can tighten but never exceed them):\n"
+      "  --limit-parse-depth=N  parser recursion depth (default 512)\n"
+      "  --limit-tokens=N       tokens per source buffer\n"
+      "  --limit-ast-nodes=N    AST nodes the parser may allocate\n"
+      "  --limit-ir-insts=N     IR instructions entering the analysis\n"
+      "  --limit-prop-evals=N   jump-function evaluations per solve\n"
+      "  --deadline-ms=N        wall-clock deadline per request\n"
+      "exit codes: 0 clean shutdown or EOF, 1 usage, 2 socket/stdin\n"
+      "            failure, 4 response write failed\n");
+}
+
+/// Parses the numeric value of --NAME=N flags; exits 1 on malformed
+/// input (same contract as the driver's budget flags).
+uint64_t parseUintValue(const std::string &Arg, size_t PrefixLen) {
+  std::string Text = Arg.substr(PrefixLen);
+  if (Text.empty() ||
+      Text.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr,
+                 "error: malformed value in '%s' (expect a non-negative "
+                 "integer)\n",
+                 Arg.c_str());
+    std::exit(1);
+  }
+  errno = 0;
+  unsigned long long Value = std::strtoull(Text.c_str(), nullptr, 10);
+  if (errno == ERANGE) {
+    std::fprintf(stderr, "error: value out of range in '%s'\n", Arg.c_str());
+    std::exit(1);
+  }
+  return Value;
+}
+
+/// Shared in-flight state of one analyze-batch: items land in their
+/// slots in any order; whoever finishes last assembles the response.
+struct BatchState {
+  std::vector<JsonValue> Items;
+  std::atomic<size_t> Remaining{0};
+  uint64_t Seq = 0;
+  JsonValue Id;
+  bool HasId = false;
+};
+
+/// Everything one serve loop (stdin, or one socket connection) shares
+/// with its pool tasks and emitter thread.
+struct Serve {
+  Serve(ServiceEngine &Engine, ThreadPool &Pool, AdmissionGate &Gate)
+      : Engine(Engine), Pool(Pool), Gate(Gate) {}
+
+  ServiceEngine &Engine;
+  ThreadPool &Pool;
+  AdmissionGate &Gate;
+  OrderedResultQueue<std::string> Results;
+  std::atomic<bool> WriteFailed{false};
+  std::string WriteError;
+};
+
+void pushEnvelope(Serve &S, uint64_t Seq, const JsonValue *Id,
+                  JsonValue Body) {
+  S.Results.push(Seq, buildServiceEnvelope(Seq, Id, std::move(Body)).dump() +
+                          "\n");
+}
+
+JsonValue errorBody(const std::string &Status, const std::string &Code,
+                    const std::string &Message) {
+  JsonValue Body = JsonValue::object();
+  Body.set("status", Status);
+  Body.set("error", serviceErrorObject(Code, Message));
+  return Body;
+}
+
+/// Serves one request stream until EOF or a shutdown request. Returns
+/// true when the client asked for shutdown (the daemon should exit its
+/// accept loop too, not just this connection).
+bool serveStream(int InFd, int OutFd, Serve &S, bool *ReadFailed) {
+  LineReader Reader(InFd);
+  std::thread Emitter([&] {
+    std::string Line;
+    while (S.Results.pop(Line)) {
+      std::string Error;
+      if (!S.WriteFailed.load() && !writeAllToFd(OutFd, Line, &Error)) {
+        S.WriteError = Error;
+        S.WriteFailed.store(true); // keep draining so producers finish
+      }
+    }
+  });
+
+  bool ShutdownRequested = false;
+  uint64_t NextSeq = 0;
+  std::string Line;
+  while (!ShutdownRequested && Reader.readLine(Line)) {
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue; // blank keep-alive lines carry no request
+    uint64_t Seq = NextSeq++;
+    ServiceRequest Req;
+    std::string Code, Error;
+    if (!S.Engine.parseRequestLine(Line, Req, &Code, &Error)) {
+      pushEnvelope(S, Seq, nullptr, errorBody("error", Code, Error));
+      continue;
+    }
+    switch (Req.Op) {
+    case ServiceRequest::Kind::Analyze: {
+      if (!S.Gate.tryAcquire()) {
+        S.Engine.noteBusy();
+        pushEnvelope(S, Seq, Req.HasId ? &Req.Id : nullptr,
+                     errorBody("busy", "busy",
+                               "request queue is full; retry later"));
+        break;
+      }
+      ServiceEngine::SessionTurn Turn = S.Engine.reserveTurn(Req);
+      S.Pool.submit([&S, Seq, Req = std::move(Req), Turn]() mutable {
+        JsonValue Body = S.Engine.analyze(Req, std::move(Turn));
+        pushEnvelope(S, Seq, Req.HasId ? &Req.Id : nullptr, std::move(Body));
+        S.Gate.release();
+      });
+      break;
+    }
+    case ServiceRequest::Kind::AnalyzeBatch: {
+      size_t N = Req.Batch.size();
+      if (!S.Gate.tryAcquire(N)) {
+        S.Engine.noteBusy();
+        pushEnvelope(S, Seq, Req.HasId ? &Req.Id : nullptr,
+                     errorBody("busy", "busy",
+                               "request queue is full; retry later"));
+        break;
+      }
+      S.Engine.noteBatch();
+      auto State = std::make_shared<BatchState>();
+      State->Items.resize(N);
+      State->Remaining.store(N);
+      State->Seq = Seq;
+      State->Id = Req.Id;
+      State->HasId = Req.HasId;
+      // Reserve every item's session turn here, in item order, so the
+      // batch replays the serial warm/cold sequence no matter how the
+      // pool schedules the items.
+      for (size_t I = 0; I != N; ++I) {
+        ServiceEngine::SessionTurn Turn = S.Engine.reserveTurn(Req.Batch[I]);
+        S.Pool.submit([&S, State, I, Item = Req.Batch[I], Turn]() mutable {
+          State->Items[I] =
+              S.Engine.analyzeBatchItem(Item, I, std::move(Turn));
+          S.Gate.release();
+          if (State->Remaining.fetch_sub(1) != 1)
+            return;
+          JsonValue Responses = JsonValue::array();
+          for (JsonValue &R : State->Items)
+            Responses.push(std::move(R));
+          JsonValue Body = JsonValue::object();
+          Body.set("status", "ok");
+          Body.set("responses", std::move(Responses));
+          pushEnvelope(S, State->Seq, State->HasId ? &State->Id : nullptr,
+                       std::move(Body));
+        });
+      }
+      break;
+    }
+    case ServiceRequest::Kind::Stats:
+      // Control operations are barriers: every admitted analysis
+      // finishes first, so the counters are a function of the request
+      // stream, not of scheduling.
+      S.Pool.wait();
+      pushEnvelope(S, Seq, Req.HasId ? &Req.Id : nullptr,
+                   S.Engine.statsBody());
+      break;
+    case ServiceRequest::Kind::FlushCache:
+      S.Pool.wait();
+      pushEnvelope(S, Seq, Req.HasId ? &Req.Id : nullptr,
+                   S.Engine.flushCacheBody());
+      break;
+    case ServiceRequest::Kind::Shutdown: {
+      S.Pool.wait();
+      JsonValue Body = JsonValue::object();
+      Body.set("status", "ok");
+      Body.set("persisted", uint64_t(S.Engine.shutdownFlush()));
+      pushEnvelope(S, Seq, Req.HasId ? &Req.Id : nullptr, std::move(Body));
+      ShutdownRequested = true;
+      break;
+    }
+    }
+  }
+
+  S.Pool.wait();
+  S.Results.close();
+  Emitter.join();
+  if (ReadFailed)
+    *ReadFailed = Reader.readFailed();
+  return ShutdownRequested;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ServiceEngine::Config Conf;
+  std::string SocketPath;
+  unsigned Jobs = ThreadPool::defaultConcurrency();
+  size_t QueueLimit = 256;
+  bool EmitSample = false;
+  ServiceLogConfig SampleConf;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--help") {
+      printUsage();
+      return 0;
+    }
+    if (Arg == "--socket=") {
+      std::fprintf(stderr, "error: --socket needs a path\n");
+      return 1;
+    }
+    if (Arg.rfind("--socket=", 0) == 0) {
+      SocketPath = Arg.substr(9);
+      continue;
+    }
+    if (Arg.rfind("--jobs=", 0) == 0) {
+      Jobs = unsigned(parseUintValue(Arg, 7));
+      if (Jobs == 0) {
+        std::fprintf(stderr, "error: --jobs must be at least 1\n");
+        return 1;
+      }
+      continue;
+    }
+    if (Arg.rfind("--queue-limit=", 0) == 0) {
+      QueueLimit = size_t(parseUintValue(Arg, 14));
+      continue;
+    }
+    if (Arg == "--cache-dir=") {
+      std::fprintf(stderr, "error: --cache-dir needs a directory name\n");
+      return 1;
+    }
+    if (Arg.rfind("--cache-dir=", 0) == 0) {
+      Conf.CacheDir = Arg.substr(12);
+      continue;
+    }
+    if (Arg.rfind("--max-sessions=", 0) == 0) {
+      Conf.MaxSessions = unsigned(parseUintValue(Arg, 15));
+      if (Conf.MaxSessions == 0) {
+        std::fprintf(stderr, "error: --max-sessions must be at least 1\n");
+        return 1;
+      }
+      continue;
+    }
+    if (Arg == "--scrub-timings") {
+      Conf.ScrubTimings = true;
+      continue;
+    }
+    if (Arg.rfind("--limit-parse-depth=", 0) == 0) {
+      uint64_t V = parseUintValue(Arg, 20);
+      if (V == 0 || V > 1u << 20) {
+        std::fprintf(stderr,
+                     "error: --limit-parse-depth must be in [1, 1048576]\n");
+        return 1;
+      }
+      Conf.DefaultLimits.MaxParseDepth = unsigned(V);
+      continue;
+    }
+    if (Arg.rfind("--limit-tokens=", 0) == 0) {
+      Conf.DefaultLimits.MaxTokens = parseUintValue(Arg, 15);
+      continue;
+    }
+    if (Arg.rfind("--limit-ast-nodes=", 0) == 0) {
+      Conf.DefaultLimits.MaxAstNodes = parseUintValue(Arg, 18);
+      continue;
+    }
+    if (Arg.rfind("--limit-ir-insts=", 0) == 0) {
+      Conf.DefaultLimits.MaxIRInstructions = parseUintValue(Arg, 17);
+      continue;
+    }
+    if (Arg.rfind("--limit-prop-evals=", 0) == 0) {
+      Conf.DefaultLimits.MaxPropagationEvals = parseUintValue(Arg, 19);
+      continue;
+    }
+    if (Arg.rfind("--deadline-ms=", 0) == 0) {
+      Conf.DefaultLimits.DeadlineMs = parseUintValue(Arg, 14);
+      continue;
+    }
+    if (Arg.rfind("--emit-sample-log=", 0) == 0) {
+      EmitSample = true;
+      SampleConf.Requests = unsigned(parseUintValue(Arg, 18));
+      continue;
+    }
+    if (Arg.rfind("--sample-seed=", 0) == 0) {
+      SampleConf.Seed = parseUintValue(Arg, 14);
+      continue;
+    }
+    std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+    printUsage();
+    return 1;
+  }
+
+  if (EmitSample) {
+    for (const std::string &Line : generateServiceLog(SampleConf))
+      std::printf("%s\n", Line.c_str());
+    return 0;
+  }
+
+  Conf.SuiteResolver = [](const std::string &Name, std::string &SourceOut) {
+    const SuiteProgram *Prog = findSuiteProgram(Name);
+    if (!Prog)
+      return false;
+    SourceOut = Prog->Source;
+    return true;
+  };
+
+  ServiceEngine Engine(std::move(Conf));
+  ThreadPool Pool(Jobs);
+  AdmissionGate Gate(QueueLimit);
+
+  if (SocketPath.empty()) {
+    Serve S(Engine, Pool, Gate);
+    bool ReadFailed = false;
+    serveStream(0, 1, S, &ReadFailed);
+    if (S.WriteFailed.load()) {
+      std::fprintf(stderr, "error: %s\n", S.WriteError.c_str());
+      return 4;
+    }
+    if (ReadFailed) {
+      std::fprintf(stderr, "error: reading stdin failed\n");
+      return 2;
+    }
+    return 0;
+  }
+
+  std::string Error;
+  int ListenFd = listenUnixSocket(SocketPath, &Error);
+  if (ListenFd < 0) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "ipcp_serverd: listening on %s\n", SocketPath.c_str());
+  bool Shutdown = false;
+  int Exit = 0;
+  while (!Shutdown) {
+    int Conn = acceptUnixConnection(ListenFd, &Error);
+    if (Conn < 0) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      Exit = 2;
+      break;
+    }
+    // Connections are served one at a time (requests inside a
+    // connection still analyze concurrently); the response stream of a
+    // connection is self-contained, with seq restarting at 0.
+    Serve S(Engine, Pool, Gate);
+    Shutdown = serveStream(Conn, Conn, S, nullptr);
+    closeFd(Conn);
+    if (S.WriteFailed.load())
+      std::fprintf(stderr, "warning: client write failed: %s\n",
+                   S.WriteError.c_str());
+  }
+  closeFd(ListenFd);
+  std::remove(SocketPath.c_str());
+  return Exit;
+}

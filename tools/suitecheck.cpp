@@ -24,8 +24,8 @@
 #include <string>
 using namespace ipcp;
 
-static void usage() {
-  std::fprintf(stderr, "usage: suitecheck [--jobs=N] [--stats] "
+static void usage(std::FILE *Out) {
+  std::fprintf(Out, "usage: suitecheck [--jobs=N] [--stats] "
                        "[--trace[=FILE]] [--report-json=FILE]\n"
                        "                  [--cache-dir=DIR] [--no-cache] "
                        "[--scrub-timings]\n"
@@ -45,7 +45,10 @@ int main(int argc, char **argv) {
   unsigned Jobs = ThreadPool::defaultConcurrency();
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "--stats") {
+    if (Arg == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (Arg == "--stats") {
       ShowStats = true;
     } else if (Arg.rfind("--cache-dir=", 0) == 0 && Arg.size() > 12) {
       CacheDir = Arg.substr(12);
@@ -70,7 +73,7 @@ int main(int argc, char **argv) {
       }
       Jobs = unsigned(Value);
     } else {
-      usage();
+      usage(stderr);
       return 1;
     }
   }
