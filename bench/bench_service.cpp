@@ -18,7 +18,8 @@
 //     individual requests.
 //
 // The headline numbers — cold / warm / batched throughput in requests
-// per second plus p99 per-request latency — land in BENCH_service.json
+// per second plus p50/p99/p999 per-request latency — land in
+// BENCH_service.json
 // (when IPCP_BENCH_JSON_DIR is set, see docs/OBSERVABILITY.md) so
 // trajectories can compare them mechanically. Requests go through the
 // real wire codec (ServiceEngine::parseRequestLine), not hand-built
@@ -124,15 +125,18 @@ struct ModeResult {
   uint64_t Programs = 0;
   uint64_t Evaluations = 0;
   double TotalMs = 0;
+  double P50Ms = 0;
   double P99Ms = 0;
+  double P999Ms = 0;
 };
 
-double p99(std::vector<double> Latencies) {
-  if (Latencies.empty())
+/// \p Q in (0, 1]; \p Sorted ascending. Ceil-index convention, so p99 of
+/// 100 samples is the 99th.
+double percentile(const std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
     return 0;
-  std::sort(Latencies.begin(), Latencies.end());
-  size_t Idx = (Latencies.size() * 99 + 99) / 100; // ceil(0.99 * n)
-  return Latencies[std::min(Idx, Latencies.size()) - 1];
+  size_t Idx = size_t(Q * double(Sorted.size()) + 0.999999);
+  return Sorted[std::min(Idx, Sorted.size()) - 1];
 }
 
 /// Runs \p Rounds passes over the request \p Lines, timing each request.
@@ -152,7 +156,10 @@ ModeResult runMode(ServiceEngine &Engine, const std::vector<std::string> &Lines,
       ++R.Requests;
       R.Programs += ProgramsPerRequest;
     }
-  R.P99Ms = p99(std::move(Latencies));
+  std::sort(Latencies.begin(), Latencies.end());
+  R.P50Ms = percentile(Latencies, 0.50);
+  R.P99Ms = percentile(Latencies, 0.99);
+  R.P999Ms = percentile(Latencies, 0.999);
   return R;
 }
 
@@ -166,7 +173,9 @@ JsonValue modeJson(const ModeResult &R) {
                                             : 0.0);
   Obj.set("programs_per_sec", R.TotalMs > 0 ? R.Programs / (R.TotalMs / 1e3)
                                             : 0.0);
+  Obj.set("p50_ms", R.P50Ms);
   Obj.set("p99_ms", R.P99Ms);
+  Obj.set("p999_ms", R.P999Ms);
   return Obj;
 }
 

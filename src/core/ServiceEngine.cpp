@@ -10,6 +10,8 @@
 #include "core/Report.h"
 #include "frontend/Parser.h"
 #include "ir/AstLower.h"
+#include "support/ContentStore.h"
+#include "support/StableHash.h"
 
 #include <algorithm>
 #include <condition_variable>
@@ -187,7 +189,13 @@ bool parseLimitsObject(const JsonValue &Obj, const ResourceLimits &Defaults,
 
 } // namespace
 
-ServiceEngine::ServiceEngine(Config C) : Conf(std::move(C)) {}
+ServiceEngine::ServiceEngine(Config C) : Conf(std::move(C)) {
+  // A cache directory without an injected store means this engine owns a
+  // private content-addressed tier; the sharded service instead passes
+  // one shared store to every shard.
+  if (!Conf.Store && !Conf.CacheDir.empty())
+    Conf.Store = std::make_shared<ContentStore>(Conf.CacheDir);
+}
 
 ServiceEngine::~ServiceEngine() { shutdownFlush(); }
 
@@ -348,11 +356,11 @@ bool ServiceEngine::parseRequestLine(const std::string &Line,
 //===----------------------------------------------------------------------===//
 
 struct ServiceEngine::SessionState {
-  explicit SessionState(const std::string &Dir)
-      : Cache(Dir.empty() ? SummaryCache() : SummaryCache(Dir)) {}
-
+  // Always memory-only: the write-behind tier is the engine's
+  // ContentStore, not the SummaryCache's own file path.
   SummaryCache Cache;
   std::mutex Lock; ///< serializes analyses sharing this session
+  unsigned Bucket = 0; ///< fixed eviction domain, bucketFor(key)
   uint64_t LastUse = 0;
   bool Dirty = false;         ///< committed entries not yet persisted
   bool TriedDiskLoad = false; ///< write-behind tier consulted once
@@ -388,56 +396,99 @@ TurnFinisher::~TurnFinisher() {
 
 } // namespace
 
-ServiceEngine::SessionTurn
-ServiceEngine::acquireSession(const ServiceRequest &Req,
-                              const IPCPOptions &Opts) {
+std::string ServiceEngine::sessionKeyFor(const ServiceRequest &Req) {
   // Distinct options must never share a cache: summaries are only valid
   // under the configuration that produced them, so the fingerprint is
-  // part of the resident key (exactly as it is part of the disk format).
-  std::string Key = Req.Session + '\x1f' + Req.Name + '\x1f' +
-                    SummaryCache::optionsFingerprint(Opts);
+  // part of the resident key (exactly as it is part of the store's
+  // logical names).
+  if (Req.Op != ServiceRequest::Kind::Analyze || Req.Session.empty() ||
+      Req.Complete)
+    return std::string();
+  return Req.Session + '\x1f' + Req.Name + '\x1f' +
+         SummaryCache::optionsFingerprint(Req.Opts);
+}
+
+unsigned ServiceEngine::bucketFor(const std::string &SessionKey) {
+  return unsigned(stableHashBytes(SessionKey) % CacheBuckets);
+}
+
+/// The content store's logical name for a session's summaries: source
+/// name + options fingerprint, with no session component — sessions
+/// analyzing the same program under the same options share one entry,
+/// and any shard resolves any other shard's persisted work.
+static std::string storeLogicalName(const std::string &SourceName,
+                                    const IPCPOptions &Opts) {
+  return SourceName + '\n' + SummaryCache::optionsFingerprint(Opts);
+}
+
+ServiceEngine::SessionTurn
+ServiceEngine::acquireSession(const ServiceRequest &Req) {
+  std::string Key = sessionKeyFor(Req);
   SessionTurn Turn;
+  bool Fresh = false;
   std::vector<std::shared_ptr<SessionState>> Evicted;
   {
     std::lock_guard<std::mutex> Lock(SessionsMutex);
     std::shared_ptr<SessionState> &Slot = Sessions[Key];
-    if (!Slot)
-      Slot = std::make_shared<SessionState>(Conf.CacheDir);
+    if (!Slot) {
+      Slot = std::make_shared<SessionState>();
+      Slot->Bucket = bucketFor(Key);
+      Fresh = true;
+    }
     Slot->LastUse = ++UseCounter;
     Turn.S = Slot;
-    // Issue the ticket while still holding the map lock so the eviction
-    // scan (which also runs under it) always sees this session as busy.
     Turn.Ticket = Turn.S->NextTicket.fetch_add(1);
-    evictOverflowSessions(Evicted);
+    evictOverflowSessions(Turn.S->Bucket, Evicted);
   }
   // Persist evicted sessions outside the map lock: saving can do disk
-  // I/O and must wait for any analysis still running in the session.
+  // I/O and must wait for every turn the session has already been
+  // issued. Draining (rather than skipping busy victims) keeps the
+  // eviction point a function of the request stream, not of whether the
+  // pool happened to finish the victim's work yet.
   for (const std::shared_ptr<SessionState> &E : Evicted) {
-    std::lock_guard<std::mutex> Lock(E->Lock);
+    std::unique_lock<std::mutex> Lock(E->Lock);
+    E->TurnReady.wait(Lock, [&] {
+      return E->NextTicket.load() == E->NowServing.load();
+    });
     ++StatEvictions;
     persistSession(*E);
+  }
+  // Consult the write-behind tier here, on the ordering thread, after
+  // this acquire's evictions persisted: the store is read at a stream-
+  // determined point, so whether a fresh session starts warm never
+  // depends on when the pool schedules its first analysis.
+  if (Fresh && Conf.Store) {
+    Turn.S->TriedDiskLoad = true;
+    std::string Bytes;
+    if (Conf.Store->get(storeLogicalName(Req.Name, Req.Opts), Bytes) &&
+        Turn.S->Cache.loadFromString(Bytes, Req.Opts))
+      ++StatDiskLoads;
   }
   return Turn;
 }
 
 void ServiceEngine::evictOverflowSessions(
-    std::vector<std::shared_ptr<SessionState>> &Out) {
-  // Caller holds SessionsMutex. The just-acquired session has the
-  // highest LastUse, so it is never the LRU victim. A session with
-  // unredeemed turns must stay resident — dropping it would hand later
-  // ticket holders a fresh (cold, zero-ticket) session; if every
-  // session is busy the map temporarily exceeds MaxSessions and the
-  // next acquire retries.
-  while (Sessions.size() > Conf.MaxSessions) {
+    unsigned Bucket, std::vector<std::shared_ptr<SessionState>> &Out) {
+  // Caller holds SessionsMutex. Eviction is scoped to one fixed hash
+  // bucket and is strict LRU within it: LastUse orders acquires, which
+  // follow the request stream, so the set of evictions after any stream
+  // prefix is the same for every shard count and jobs setting. The
+  // just-acquired session has the highest LastUse and is never the
+  // victim while another resident shares its bucket; busy victims are
+  // drained by the caller, not skipped.
+  unsigned Cap = Conf.MaxSessions ? Conf.MaxSessions : 1;
+  for (;;) {
+    size_t Resident = 0;
     auto Victim = Sessions.end();
     for (auto It = Sessions.begin(); It != Sessions.end(); ++It) {
-      if (It->second->NextTicket.load() != It->second->NowServing.load())
+      if (It->second->Bucket != Bucket)
         continue;
+      ++Resident;
       if (Victim == Sessions.end() ||
           It->second->LastUse < Victim->second->LastUse)
         Victim = It;
     }
-    if (Victim == Sessions.end())
+    if (Resident <= Cap)
       return;
     Out.push_back(Victim->second);
     Sessions.erase(Victim);
@@ -445,11 +496,16 @@ void ServiceEngine::evictOverflowSessions(
 }
 
 unsigned ServiceEngine::persistSession(SessionState &S) {
-  // Caller holds S.Lock.
-  if (Conf.CacheDir.empty() || !S.Dirty || !S.HasSaveOpts)
+  // Caller holds S.Lock. The serialized cache goes into the content
+  // store under its bytes' own key; identical caches persisted by other
+  // sessions (or other shards) dedupe to one object.
+  if (!Conf.Store || !S.Dirty || !S.HasSaveOpts)
     return 0;
   std::string Error;
-  if (S.Cache.save(S.SourceName, S.SaveOpts, &Error))
+  if (!Conf.Store
+           ->putNamed(storeLogicalName(S.SourceName, S.SaveOpts),
+                      S.Cache.serialize(S.SaveOpts), &Error)
+           .empty())
     ++StatWriteBehindSaves;
   else
     ++StatWriteBehindFailures;
@@ -477,7 +533,7 @@ ServiceEngine::reserveTurn(const ServiceRequest &Req) {
   if (Req.Op != ServiceRequest::Kind::Analyze || Req.Session.empty() ||
       Req.Complete)
     return SessionTurn();
-  return acquireSession(Req, Req.Opts);
+  return acquireSession(Req);
 }
 
 JsonValue ServiceEngine::analyze(const ServiceRequest &Req, SessionTurn Turn) {
@@ -545,14 +601,11 @@ JsonValue ServiceEngine::analyze(const ServiceRequest &Req, SessionTurn Turn) {
   Guard.checkIRInstructions(M->instructionCount(), "lowering");
   Guard.checkDeadline("lowering");
 
-  if (Session) {
-    if (!Session->TriedDiskLoad && !Conf.CacheDir.empty()) {
-      Session->TriedDiskLoad = true;
-      if (Session->Cache.load(Req.Name, Opts, &Guard))
-        ++StatDiskLoads;
-    }
+  // The write-behind tier was already consulted in acquireSession, on
+  // the ordering thread — doing it here would read the store at a
+  // scheduling-dependent moment and break byte determinism.
+  if (Session)
     Opts.Cache = &Session->Cache;
-  }
 
   std::optional<CompletePropagationResult> CompleteResult;
   std::optional<IPCPResult> SingleResult;
@@ -569,9 +622,12 @@ JsonValue ServiceEngine::analyze(const ServiceRequest &Req, SessionTurn Turn) {
       Session->SaveOpts.Cache = nullptr;
       Session->HasSaveOpts = true;
     }
-    if (SingleResult && SingleResult->UsedCache &&
-        SingleResult->Stats.get("cache_hits") > 0)
-      ++StatCacheWarmHits;
+    if (SingleResult && SingleResult->UsedCache) {
+      StatCacheHits += SingleResult->Stats.get("cache_hits");
+      StatCacheMisses += SingleResult->Stats.get("cache_misses");
+      if (SingleResult->Stats.get("cache_hits") > 0)
+        ++StatCacheWarmHits;
+    }
   }
 
   PipelineStatus FinalStatus = Guard.status();
@@ -631,6 +687,8 @@ JsonValue ServiceEngine::statsBody() {
   Stats.set("sessions_resident", uint64_t(residentSessions()));
   Stats.set("session_evictions", StatEvictions.load());
   Stats.set("warm_hits", StatCacheWarmHits.load());
+  Stats.set("cache_hits", StatCacheHits.load());
+  Stats.set("cache_misses", StatCacheMisses.load());
   Stats.set("write_behind_saves", StatWriteBehindSaves.load());
   Stats.set("write_behind_failures", StatWriteBehindFailures.load());
   Stats.set("disk_loads", StatDiskLoads.load());
@@ -638,6 +696,24 @@ JsonValue ServiceEngine::statsBody() {
   Body.set("status", "ok");
   Body.set("stats", std::move(Stats));
   return Body;
+}
+
+ServiceEngine::CountersSnapshot ServiceEngine::snapshot() const {
+  CountersSnapshot S;
+  S.Analyses = StatAnalyses.load();
+  S.Degraded = StatDegraded.load();
+  S.Errors = StatErrors.load();
+  S.Batches = StatBatches.load();
+  S.Busy = StatBusy.load();
+  S.WarmHits = StatCacheWarmHits.load();
+  S.CacheHits = StatCacheHits.load();
+  S.CacheMisses = StatCacheMisses.load();
+  S.Evictions = StatEvictions.load();
+  S.WriteBehindSaves = StatWriteBehindSaves.load();
+  S.WriteBehindFailures = StatWriteBehindFailures.load();
+  S.DiskLoads = StatDiskLoads.load();
+  S.Resident = residentSessions();
+  return S;
 }
 
 JsonValue ServiceEngine::flushCacheBody() {

@@ -18,10 +18,17 @@
 ///    `session` analyzes through an in-memory SummaryCache (PR-4's
 ///    incremental layer) that stays resident between requests, so repeat
 ///    and edited-program requests are warm without any file round-trip.
-///    Sessions are LRU-evicted beyond Config::MaxSessions; when
-///    Config::CacheDir is set, the disk store is a *write-behind* tier —
-///    sessions persist on eviction, flush-cache, and shutdown, and a new
-///    session first tries to load its disk file;
+///    Sessions are LRU-evicted beyond Config::MaxSessions per fixed
+///    hash bucket (CacheBuckets of them, shard-count-independent, so
+///    eviction points are a function of the request stream alone); when
+///    Config::CacheDir (or Config::Store) is set, a content-addressed
+///    store (support/ContentStore) is the *write-behind* tier — sessions
+///    persist on eviction, flush-cache, and shutdown, and a new session
+///    first tries to resolve its logical name in the store. The logical
+///    name is source name + options fingerprint, deliberately session-
+///    independent, so every worker sharing one store (the sharded
+///    daemon, or a restarted daemon) warm-starts from any worker's
+///    persisted summaries;
 ///
 ///  * per-request ResourceGuard budgets: server-wide default limits
 ///    merged with per-request overrides (the stricter value wins for any
@@ -62,6 +69,8 @@
 
 namespace ipcp {
 
+class ContentStore;
+
 /// One parsed `ipcp-service-v1` request line.
 struct ServiceRequest {
   enum class Kind { Analyze, AnalyzeBatch, Stats, FlushCache, Shutdown };
@@ -100,10 +109,21 @@ struct ServiceRequest {
 class ServiceEngine {
 public:
   struct Config {
-    /// Write-behind disk tier for session caches; empty keeps sessions
-    /// memory-only.
+    /// Root of the content-addressed write-behind tier for session
+    /// caches; empty keeps sessions memory-only (unless Store is set).
     std::string CacheDir;
-    /// Resident session caches before LRU eviction.
+    /// The write-behind store itself. Left null, the engine creates a
+    /// private ContentStore rooted at CacheDir; the sharded service
+    /// injects one shared store into every shard instead, which is what
+    /// lets any worker warm-start any session.
+    std::shared_ptr<ContentStore> Store;
+    /// Resident session caches per cache bucket before LRU eviction.
+    /// There are CacheBuckets fixed buckets (a pure hash of the session
+    /// key), so service-wide residency is bounded by
+    /// MaxSessions * CacheBuckets regardless of shard count — and the
+    /// bucket, not the shard, is the eviction domain, which is what
+    /// keeps eviction (and therefore every response byte) identical
+    /// across shard counts.
     unsigned MaxSessions = 64;
     /// Default per-request budgets. A request's "limits" object
     /// overrides them field by field, except that a budget the server
@@ -149,6 +169,21 @@ public:
   /// cache (no session, or complete propagation).
   SessionTurn reserveTurn(const ServiceRequest &Req);
 
+  /// The resident-session key of an analyze request — session name,
+  /// report name, and options fingerprint. This is also the sharded
+  /// service's routing key: every request with the same key hashes to
+  /// the same shard, so one shard owns each session's turnstile. Empty
+  /// for requests that use no session cache.
+  static std::string sessionKeyFor(const ServiceRequest &Req);
+
+  /// Fixed number of session-cache buckets. A session key's bucket is a
+  /// pure hash, independent of shard count and configuration; the
+  /// sharded service maps whole buckets onto shards, and eviction runs
+  /// per bucket, so which request runs warm never depends on how many
+  /// shards the daemon was started with.
+  static constexpr unsigned CacheBuckets = 16;
+  static unsigned bucketFor(const std::string &SessionKey);
+
   /// Parses one request line. Returns false and fills \p Error (with
   /// \p ErrorCode one of "bad-json", "bad-request") when the line is not
   /// a well-formed request; \p Req is then unspecified.
@@ -186,6 +221,25 @@ public:
   /// The "stats" response body: request/session/cache counters.
   JsonValue statsBody();
 
+  /// Point-in-time copy of every counter statsBody() reports, for
+  /// aggregation across shards (core/ShardedService).
+  struct CountersSnapshot {
+    uint64_t Analyses = 0;
+    uint64_t Degraded = 0;
+    uint64_t Errors = 0;
+    uint64_t Batches = 0;
+    uint64_t Busy = 0;
+    uint64_t WarmHits = 0;
+    uint64_t CacheHits = 0;
+    uint64_t CacheMisses = 0;
+    uint64_t Evictions = 0;
+    uint64_t WriteBehindSaves = 0;
+    uint64_t WriteBehindFailures = 0;
+    uint64_t DiskLoads = 0;
+    uint64_t Resident = 0;
+  };
+  CountersSnapshot snapshot() const;
+
   /// The "flush-cache" response body: persists every dirty session to
   /// the write-behind tier (when configured) and drops all resident
   /// sessions.
@@ -204,9 +258,9 @@ public:
   const Config &config() const { return Conf; }
 
 private:
-  SessionTurn acquireSession(const ServiceRequest &Req,
-                             const IPCPOptions &Opts);
-  void evictOverflowSessions(std::vector<std::shared_ptr<SessionState>> &Out);
+  SessionTurn acquireSession(const ServiceRequest &Req);
+  void evictOverflowSessions(unsigned Bucket,
+                             std::vector<std::shared_ptr<SessionState>> &Out);
   unsigned persistSession(SessionState &S);
 
   Config Conf;
@@ -221,6 +275,8 @@ private:
   std::atomic<uint64_t> StatBatches{0};
   std::atomic<uint64_t> StatBusy{0};
   std::atomic<uint64_t> StatCacheWarmHits{0};
+  std::atomic<uint64_t> StatCacheHits{0};
+  std::atomic<uint64_t> StatCacheMisses{0};
   std::atomic<uint64_t> StatEvictions{0};
   std::atomic<uint64_t> StatWriteBehindSaves{0};
   std::atomic<uint64_t> StatWriteBehindFailures{0};

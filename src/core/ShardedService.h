@@ -1,0 +1,162 @@
+//===- core/ShardedService.h - Sharded worker pool service ------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-worker layer between the daemon's accept loop and the
+/// per-shard ServiceEngines (docs/SCALING.md). One reader thread feeds
+/// request lines into submitLine(); the service routes each request to
+/// a shard, runs it on that shard's pool, and delivers responses in
+/// global sequence order through a per-stream reorder queue:
+///
+///  * routing is by session key: every request with the same (session,
+///    name, options-fingerprint) key hashes — via support/StableHash —
+///    to the same shard, so exactly one shard owns each session's
+///    turnstile and the per-session warm/cold order is identical to a
+///    single-worker run. Cache-less requests round-robin (their
+///    response bytes are shard-independent);
+///
+///  * every shard owns its in-memory summary caches, but all shards
+///    share one content-addressed store (support/ContentStore) as the
+///    write-behind tier, so a session evicted by shard A warm-starts on
+///    shard B — and warm-starts byte-identically, because the embedded
+///    report's cache counters come from the run's own adoption, not
+///    from where the summaries were loaded;
+///
+///  * admission control is global: one AdmissionGate bounds in-flight
+///    analyses across all shards (`busy` beyond the limit), and the
+///    per-stream response queue is bounded, so a slow reader of the
+///    response stream backpressures the workers instead of growing an
+///    unbounded reorder buffer. Under overload, memory is bounded by
+///    queue-limit + result-buffer, never by the request backlog;
+///
+///  * control ops (stats, flush-cache, shutdown) are barriers across
+///    every shard, exactly as they are barriers across the single pool
+///    today.
+///
+/// With Shards=1 the service is behaviorally identical to the previous
+/// single-engine daemon: same bytes, same counters, same turnstile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_CORE_SHARDEDSERVICE_H
+#define IPCP_CORE_SHARDEDSERVICE_H
+
+#include "core/ServiceEngine.h"
+#include "support/BoundedQueue.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ipcp {
+
+class ContentStore;
+class ThreadPool;
+
+/// A pool of ServiceEngine shards behind one dispatch entry point.
+class ShardedService {
+public:
+  struct Config {
+    /// Worker shards; each owns an engine and a slice of the threads.
+    unsigned Shards = 1;
+    /// Total worker threads across shards (0 = hardware concurrency);
+    /// each shard gets max(1, Jobs / Shards).
+    unsigned Jobs = 0;
+    /// Global in-flight analysis bound before `busy` (0 rejects every
+    /// analyze — the backpressure tests).
+    size_t QueueLimit = 256;
+    /// Buffered out-of-order responses per stream before producers
+    /// block (0 = unbounded). The next-in-order response is always
+    /// accepted, so this throttles without deadlocking.
+    size_t ResultBuffer = 1024;
+    /// Per-shard engine configuration. MaxSessions is per cache bucket
+    /// (ServiceEngine::CacheBuckets fixed buckets service-wide, each
+    /// owned wholly by one shard, so eviction is shard-count-
+    /// independent); a non-empty CacheDir becomes ONE content-addressed
+    /// store shared by every shard (Engine.Store is overwritten).
+    ServiceEngine::Config Engine;
+  };
+
+  explicit ShardedService(Config C);
+  ~ShardedService();
+
+  ShardedService(const ShardedService &) = delete;
+  ShardedService &operator=(const ShardedService &) = delete;
+
+  /// One response stream (one connection, or one in-process driver).
+  /// Sequence numbers restart at 0 per stream; responses come out of
+  /// popResponse in sequence order, each a full line with trailing
+  /// newline. Engines and session caches persist across streams.
+  class Stream {
+    friend class ShardedService;
+    explicit Stream(size_t MaxBuffered) : Results(MaxBuffered) {}
+    OrderedResultQueue<std::string> Results;
+    uint64_t NextSeq = 0;
+
+  public:
+    /// Blocks for the next in-order response; false when the stream is
+    /// finished and drained.
+    bool popResponse(std::string &Out) { return Results.pop(Out); }
+
+    /// High-water mark of buffered out-of-order responses.
+    size_t peakBuffered() const { return Results.peakBuffered(); }
+  };
+
+  /// Opens a response stream. One reader thread per stream; a consumer
+  /// thread drains popResponse concurrently.
+  std::unique_ptr<Stream> openStream();
+
+  /// Handles one request line on the reader thread: parse, admission,
+  /// session-turn reservation, shard routing, pool submission. Control
+  /// ops run inline after an all-shard barrier. Returns true when the
+  /// line was a shutdown request (stop reading; then finishStream).
+  bool submitLine(Stream &St, const std::string &Line);
+
+  /// Drains every shard pool and closes the stream's response queue;
+  /// call after EOF or shutdown, before joining the consumer.
+  void finishStream(Stream &St);
+
+  /// Persists every dirty session across all shards (daemon exit path
+  /// when the stream ends without a shutdown request).
+  unsigned shutdownFlush();
+
+  unsigned shards() const { return unsigned(Workers.size()); }
+  size_t residentSessions() const;
+
+  /// Direct access for tests and the engine-direct bench paths.
+  ServiceEngine &engine(unsigned Shard);
+  const std::shared_ptr<ContentStore> &store() const { return Store; }
+
+  /// The routing function: which shard owns \p SessionKey (a
+  /// ServiceEngine::sessionKeyFor result, non-empty).
+  static unsigned shardIndexFor(const std::string &SessionKey,
+                                unsigned ShardCount);
+
+private:
+  struct Worker;
+  struct BatchState;
+
+  void submitToShard(unsigned Shard, std::function<void()> Task);
+  unsigned routeShard(const ServiceRequest &Req);
+  void drainAll();
+  JsonValue statsBody();
+  void pushEnvelope(Stream &St, uint64_t Seq, const JsonValue *Id,
+                    JsonValue Body);
+
+  Config Conf;
+  std::shared_ptr<ContentStore> Store;
+  AdmissionGate Gate;
+  std::vector<std::unique_ptr<Worker>> Workers;
+  uint64_t RoundRobin = 0; ///< reader-thread only: cache-less routing
+  std::atomic<uint64_t> StatBatches{0};
+  std::atomic<uint64_t> StatBusy{0};
+};
+
+} // namespace ipcp
+
+#endif // IPCP_CORE_SHARDEDSERVICE_H

@@ -74,16 +74,41 @@ private:
 
 /// Reorder buffer: push(Seq, Value) from any thread, pop() delivers
 /// values in ascending Seq order (0, 1, 2, ...) to one consumer.
+///
+/// The buffer is bounded: a push that would grow it past \p MaxBuffered
+/// out-of-order entries blocks the producing worker until the consumer
+/// drains, so a slow reader of the response stream exerts backpressure
+/// on the workers instead of growing an unbounded reorder map. The
+/// next-in-order result is always admitted regardless of the bound —
+/// otherwise a full buffer of later results could deadlock waiting for
+/// the one entry that would let the consumer advance.
 template <typename T> class OrderedResultQueue {
 public:
+  /// \p MaxBuffered caps buffered results; 0 means unbounded.
+  explicit OrderedResultQueue(size_t MaxBuffered = 0)
+      : MaxBuffered(MaxBuffered) {}
+
   /// Publishes the result for \p Seq. Every sequence number must be
-  /// pushed exactly once.
+  /// pushed exactly once. May block while the buffer is full (see class
+  /// comment); never blocks for the in-order sequence number.
   void push(uint64_t Seq, T Value) {
     {
-      std::lock_guard<std::mutex> Lock(Mutex);
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Available.wait(Lock, [&] {
+        return MaxBuffered == 0 || Seq == Next || Ready.size() < MaxBuffered ||
+               Closed;
+      });
       Ready.emplace(Seq, std::move(Value));
+      if (Ready.size() > PeakBuffered)
+        PeakBuffered = Ready.size();
     }
     Available.notify_all();
+  }
+
+  /// High-water mark of buffered (not yet consumed) results.
+  size_t peakBuffered() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return PeakBuffered;
   }
 
   /// Blocks until the next-in-order result exists (or the queue is
@@ -99,6 +124,8 @@ public:
     Out = std::move(It->second);
     Ready.erase(It);
     ++Next;
+    Lock.unlock();
+    Available.notify_all();
     return true;
   }
 
@@ -113,9 +140,11 @@ public:
   }
 
 private:
-  std::mutex Mutex;
+  mutable std::mutex Mutex;
   std::condition_variable Available;
   std::map<uint64_t, T> Ready;
+  size_t MaxBuffered;
+  size_t PeakBuffered = 0;
   uint64_t Next = 0;
   bool Closed = false;
 };

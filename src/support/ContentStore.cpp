@@ -1,0 +1,184 @@
+//===- support/ContentStore.cpp - Content-addressed blob store ------------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ContentStore.h"
+#include "support/StableHash.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace ipcp {
+
+namespace {
+
+bool ensureDir(const std::string &Path) {
+  struct stat St;
+  if (::stat(Path.c_str(), &St) == 0)
+    return S_ISDIR(St.st_mode);
+  return ::mkdir(Path.c_str(), 0755) == 0 || errno == EEXIST;
+}
+
+bool fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISREG(St.st_mode);
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+// Write-to-temp then rename: readers on any thread or process see either
+// nothing or the complete file, never a prefix. The temp name carries a
+// process-unique serial so concurrent writers of the same object cannot
+// collide on the temp file either.
+bool atomicWrite(const std::string &Path, const std::string &Bytes,
+                 std::string *Error) {
+  static std::atomic<uint64_t> Serial{0};
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid()) + "." +
+                    std::to_string(Serial.fetch_add(1));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      if (Error)
+        *Error = "cannot open " + Tmp + " for writing";
+      return false;
+    }
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    Out.flush();
+    if (!Out) {
+      if (Error)
+        *Error = "short write to " + Tmp;
+      std::remove(Tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    if (Error)
+      *Error = std::string("rename failed: ") + std::strerror(errno);
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+ContentStore::ContentStore(std::string RootDir) : Root(std::move(RootDir)) {}
+
+std::string ContentStore::contentKey(const std::string &Bytes) {
+  return stableHashHex(stableHashBytes(Bytes));
+}
+
+std::string ContentStore::objectPath(const std::string &Key) const {
+  return Root + "/objects/" + Key + ".blob";
+}
+
+std::string ContentStore::refPath(const std::string &LogicalName) const {
+  return Root + "/refs/" + stableHashHex(stableHashBytes(LogicalName)) +
+         ".ref";
+}
+
+std::string ContentStore::put(const std::string &Bytes, std::string *Error) {
+  std::string Key = contentKey(Bytes);
+  std::string Path = objectPath(Key);
+  if (fileExists(Path)) {
+    StatDedupHits.fetch_add(1, std::memory_order_relaxed);
+    return Key;
+  }
+  if (!ensureDir(Root) || !ensureDir(Root + "/objects")) {
+    StatErrors.fetch_add(1, std::memory_order_relaxed);
+    if (Error)
+      *Error = "cannot create object directory under " + Root;
+    return std::string();
+  }
+  if (!atomicWrite(Path, Bytes, Error)) {
+    StatErrors.fetch_add(1, std::memory_order_relaxed);
+    return std::string();
+  }
+  StatObjectsWritten.fetch_add(1, std::memory_order_relaxed);
+  return Key;
+}
+
+bool ContentStore::bind(const std::string &LogicalName, const std::string &Key,
+                        std::string *Error) {
+  if (!ensureDir(Root) || !ensureDir(Root + "/refs")) {
+    StatErrors.fetch_add(1, std::memory_order_relaxed);
+    if (Error)
+      *Error = "cannot create refs directory under " + Root;
+    return false;
+  }
+  if (!atomicWrite(refPath(LogicalName), Key + "\n", Error)) {
+    StatErrors.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+std::string ContentStore::putNamed(const std::string &LogicalName,
+                                   const std::string &Bytes,
+                                   std::string *Error) {
+  std::string Key = put(Bytes, Error);
+  if (Key.empty())
+    return Key;
+  if (!bind(LogicalName, Key, Error))
+    return std::string();
+  return Key;
+}
+
+bool ContentStore::get(const std::string &LogicalName, std::string &BytesOut) {
+  std::string Ref;
+  if (!readFile(refPath(LogicalName), Ref)) {
+    StatMisses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  while (!Ref.empty() && (Ref.back() == '\n' || Ref.back() == '\r'))
+    Ref.pop_back();
+  std::string Bytes;
+  if (Ref.empty() || !readFile(objectPath(Ref), Bytes)) {
+    StatMisses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (contentKey(Bytes) != Ref) {
+    StatIntegrityFailures.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  StatLoads.fetch_add(1, std::memory_order_relaxed);
+  BytesOut = std::move(Bytes);
+  return true;
+}
+
+bool ContentStore::contains(const std::string &LogicalName) {
+  std::string Ref;
+  if (!readFile(refPath(LogicalName), Ref))
+    return false;
+  while (!Ref.empty() && (Ref.back() == '\n' || Ref.back() == '\r'))
+    Ref.pop_back();
+  return !Ref.empty() && fileExists(objectPath(Ref));
+}
+
+ContentStore::Stats ContentStore::stats() const {
+  Stats S;
+  S.ObjectsWritten = StatObjectsWritten.load(std::memory_order_relaxed);
+  S.DedupHits = StatDedupHits.load(std::memory_order_relaxed);
+  S.Loads = StatLoads.load(std::memory_order_relaxed);
+  S.Misses = StatMisses.load(std::memory_order_relaxed);
+  S.IntegrityFailures = StatIntegrityFailures.load(std::memory_order_relaxed);
+  S.Errors = StatErrors.load(std::memory_order_relaxed);
+  return S;
+}
+
+} // namespace ipcp

@@ -1,0 +1,107 @@
+//===- support/ContentStore.h - Content-addressed blob store ----*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The content-addressed disk tier behind the sharded analysis service
+/// (docs/SCALING.md). Two maps, both plain files:
+///
+///  * `objects/<key>.blob` — immutable blobs named by the StableHash of
+///    their bytes (`contentKey`). Writing the same bytes twice is a
+///    dedup hit, not a second file: identical session caches persisted
+///    by different shards (or different sessions analyzing the same
+///    program under the same options) collapse to one object. Objects
+///    are written once via temp-file + rename, so readers never see a
+///    partial blob, and a reread is verified against its own name —
+///    the store detects bit rot instead of serving it.
+///
+///  * `refs/<hash-of-name>.ref` — a mutable pointer from a logical name
+///    (for the service: source name + options fingerprint, deliberately
+///    session- and shard-independent) to the current object key. Rebinds
+///    are atomic renames, so a crash leaves either the old or the new
+///    pointer, never a torn one.
+///
+/// The split is what makes the tier shared: any worker resolves any
+/// logical name to the same object, so a session evicted by shard A
+/// warm-starts on shard B (or in a restarted daemon) with zero
+/// jump-function evaluations. Thread-safe; all operations are also safe
+/// across processes sharing the directory (atomic renames only).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_CONTENTSTORE_H
+#define IPCP_SUPPORT_CONTENTSTORE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ipcp {
+
+/// Content-addressed blob store with named references.
+class ContentStore {
+public:
+  /// Uses \p Root as the store directory; created lazily on first put.
+  explicit ContentStore(std::string Root);
+
+  ContentStore(const ContentStore &) = delete;
+  ContentStore &operator=(const ContentStore &) = delete;
+
+  /// Stores \p Bytes under its content key and returns the key. An
+  /// object that already exists is not rewritten (a dedup hit). On I/O
+  /// failure returns an empty string and fills \p Error.
+  std::string put(const std::string &Bytes, std::string *Error = nullptr);
+
+  /// Atomically points \p LogicalName at object \p Key.
+  bool bind(const std::string &LogicalName, const std::string &Key,
+            std::string *Error = nullptr);
+
+  /// put + bind in one call; returns the key or "".
+  std::string putNamed(const std::string &LogicalName,
+                       const std::string &Bytes,
+                       std::string *Error = nullptr);
+
+  /// Resolves \p LogicalName and loads its object into \p BytesOut,
+  /// verifying the bytes against the content key. Returns false for an
+  /// unknown name, a dangling ref, or an integrity failure (counted).
+  bool get(const std::string &LogicalName, std::string &BytesOut);
+
+  /// True when \p LogicalName currently resolves to an object.
+  bool contains(const std::string &LogicalName);
+
+  /// Lifetime counters, all monotone. `DedupHits` counts puts that found
+  /// their object already present; `IntegrityFailures` counts loads
+  /// whose bytes did not hash back to their name.
+  struct Stats {
+    uint64_t ObjectsWritten = 0;
+    uint64_t DedupHits = 0;
+    uint64_t Loads = 0;
+    uint64_t Misses = 0;
+    uint64_t IntegrityFailures = 0;
+    uint64_t Errors = 0;
+  };
+  Stats stats() const;
+
+  const std::string &root() const { return Root; }
+  std::string objectPath(const std::string &Key) const;
+  std::string refPath(const std::string &LogicalName) const;
+
+  /// The content key of \p Bytes: the hex StableHash (FNV-1a 64) of the
+  /// byte string — the same primitive that keys the summary cache.
+  static std::string contentKey(const std::string &Bytes);
+
+private:
+  std::string Root;
+  std::atomic<uint64_t> StatObjectsWritten{0};
+  std::atomic<uint64_t> StatDedupHits{0};
+  std::atomic<uint64_t> StatLoads{0};
+  std::atomic<uint64_t> StatMisses{0};
+  std::atomic<uint64_t> StatIntegrityFailures{0};
+  std::atomic<uint64_t> StatErrors{0};
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_CONTENTSTORE_H

@@ -96,6 +96,36 @@ int ipcp::listenUnixSocket(const std::string &Path, std::string *Error) {
   return Fd;
 }
 
+int ipcp::connectUnixSocket(const std::string &Path, std::string *Error) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof Addr);
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof Addr.sun_path) {
+    if (Error)
+      *Error = "socket path too long: " + Path;
+    return -1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("cannot create socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int RC;
+  do
+    RC = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr);
+  while (RC < 0 && errno == EINTR);
+  if (RC < 0) {
+    if (Error)
+      *Error = "cannot connect to '" + Path + "': " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
 int ipcp::acceptUnixConnection(int ListenFd, std::string *Error) {
   int Fd;
   do

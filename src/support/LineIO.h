@@ -73,6 +73,11 @@ int listenUnixSocket(const std::string &Path, std::string *Error = nullptr);
 /// Returns the connection fd, or -1 with \p Error filled.
 int acceptUnixConnection(int ListenFd, std::string *Error = nullptr);
 
+/// Connects to a unix domain socket at \p Path (the client side of
+/// listenUnixSocket; used by ipcp_loadgen --connect). Returns the
+/// connection fd, or -1 with \p Error filled.
+int connectUnixSocket(const std::string &Path, std::string *Error = nullptr);
+
 /// close(2) wrapper so callers outside support/ need no <unistd.h>.
 void closeFd(int Fd);
 

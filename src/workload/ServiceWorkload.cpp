@@ -6,39 +6,56 @@
 
 #include "workload/ServiceWorkload.h"
 
-#include "support/Json.h"
 #include "workload/Programs.h"
 
 using namespace ipcp;
 
-namespace {
+// The same xorshift mix the program generator uses; seeded identically,
+// a log is a pure function of its config. Draws happen in a fixed order
+// (and the session draw only when SessionCount > 1), so the historical
+// single-session byte stream is preserved exactly.
+uint64_t ServiceLogStream::rngNext() {
+  RngState ^= RngState << 13;
+  RngState ^= RngState >> 7;
+  RngState ^= RngState << 17;
+  return RngState;
+}
 
-/// The same xorshift mix the program generator uses; seeded identically,
-/// a log is a pure function of its config.
-struct Rng {
-  uint64_t State;
-  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
-  uint64_t next() {
-    State ^= State << 13;
-    State ^= State >> 7;
-    State ^= State << 17;
-    return State;
-  }
-  unsigned below(unsigned N) { return unsigned(next() % N); }
-  bool percent(unsigned Chance) { return below(100) < Chance; }
-};
+unsigned ServiceLogStream::rngBelow(unsigned N) {
+  return unsigned(rngNext() % N);
+}
+
+bool ServiceLogStream::rngPercent(unsigned Chance) {
+  return rngBelow(100) < Chance;
+}
+
+ServiceLogStream::ServiceLogStream(ServiceLogConfig C)
+    : Config(std::move(C)) {
+  if (Config.Suites.empty())
+    for (const SuiteProgram &P : benchmarkSuite())
+      Programs.push_back(P.Name);
+  else
+    Programs = Config.Suites;
+  RngState = Config.Seed ? Config.Seed : 0x9e3779b97f4a7c15ull;
+  ProgIndex = rngBelow(unsigned(Programs.size()));
+  KindIndex = rngBelow(4);
+}
 
 /// One analyze request object (not yet wrapped in a batch).
-JsonValue makeAnalyze(const ServiceLogConfig &Config, unsigned Id,
-                      const std::string &Suite, unsigned KindIndex) {
+JsonValue ServiceLogStream::makeAnalyze(unsigned Id) {
   static const char *const Kinds[] = {"literal", "intra", "pass-through",
                                       "polynomial"};
   JsonValue Req = JsonValue::object();
   Req.set("op", "analyze");
   Req.set("id", "r" + std::to_string(Id));
-  Req.set("suite", Suite);
-  if (!Config.Session.empty())
-    Req.set("session", Config.Session);
+  Req.set("suite", Programs[ProgIndex]);
+  if (!Config.Session.empty()) {
+    if (Config.SessionCount <= 1)
+      Req.set("session", Config.Session);
+    else
+      Req.set("session", Config.Session + "-" +
+                             std::to_string(rngBelow(Config.SessionCount)));
+  }
   JsonValue Options = JsonValue::object();
   Options.set("forward_jf", Kinds[KindIndex % 4]);
   Req.set("options", std::move(Options));
@@ -46,61 +63,63 @@ JsonValue makeAnalyze(const ServiceLogConfig &Config, unsigned Id,
   return Req;
 }
 
-} // namespace
-
-std::vector<std::string>
-ipcp::generateServiceLog(const ServiceLogConfig &Config) {
-  const std::vector<SuiteProgram> &Suite = benchmarkSuite();
-  Rng R(Config.Seed);
-  std::vector<std::string> Lines;
-
-  unsigned Emitted = 0;
-  unsigned ProgIndex = R.below(unsigned(Suite.size()));
-  unsigned KindIndex = R.below(4);
-  while (Emitted < Config.Requests) {
+bool ServiceLogStream::next(std::string &LineOut) {
+  if (Emitted < Config.Requests) {
     // Repeating the previous (program, options) pair inside one session
     // is what makes the request warm; otherwise pick fresh axes.
-    if (Emitted && !R.percent(Config.RepeatChance)) {
-      ProgIndex = R.below(unsigned(Suite.size()));
-      KindIndex = R.below(4);
+    if (Emitted && !rngPercent(Config.RepeatChance)) {
+      ProgIndex = rngBelow(unsigned(Programs.size()));
+      KindIndex = rngBelow(4);
     }
     unsigned Left = Config.Requests - Emitted;
-    if (Left >= 2 && R.percent(Config.BatchChance)) {
-      unsigned Size = 2 + R.below(Left < 4 ? Left - 1 : 3);
+    if (Left >= 2 && rngPercent(Config.BatchChance)) {
+      unsigned Size = 2 + rngBelow(Left < 4 ? Left - 1 : 3);
       JsonValue Batch = JsonValue::object();
       Batch.set("op", "analyze-batch");
       Batch.set("id", "b" + std::to_string(Emitted));
       JsonValue Items = JsonValue::array();
       for (unsigned I = 0; I != Size; ++I) {
-        Items.push(makeAnalyze(Config, Emitted + I,
-                               Suite[ProgIndex].Name, KindIndex));
-        if (!R.percent(Config.RepeatChance)) {
-          ProgIndex = R.below(unsigned(Suite.size()));
-          KindIndex = R.below(4);
+        Items.push(makeAnalyze(Emitted + I));
+        if (!rngPercent(Config.RepeatChance)) {
+          ProgIndex = rngBelow(unsigned(Programs.size()));
+          KindIndex = rngBelow(4);
         }
       }
       Batch.set("requests", std::move(Items));
-      Lines.push_back(Batch.dump());
+      LineOut = Batch.dump();
       Emitted += Size;
-      continue;
+      return true;
     }
-    Lines.push_back(
-        makeAnalyze(Config, Emitted, Suite[ProgIndex].Name, KindIndex)
-            .dump());
+    LineOut = makeAnalyze(Emitted).dump();
     ++Emitted;
+    return true;
   }
 
-  if (Config.EndWithStats) {
+  if (Config.EndWithStats && !StatsEmitted) {
+    StatsEmitted = true;
     JsonValue Stats = JsonValue::object();
     Stats.set("op", "stats");
     Stats.set("id", "stats");
-    Lines.push_back(Stats.dump());
+    LineOut = Stats.dump();
+    return true;
   }
-  if (Config.EndWithShutdown) {
+  if (Config.EndWithShutdown && !ShutdownEmitted) {
+    ShutdownEmitted = true;
     JsonValue Bye = JsonValue::object();
     Bye.set("op", "shutdown");
     Bye.set("id", "bye");
-    Lines.push_back(Bye.dump());
+    LineOut = Bye.dump();
+    return true;
   }
+  return false;
+}
+
+std::vector<std::string>
+ipcp::generateServiceLog(const ServiceLogConfig &Config) {
+  ServiceLogStream Stream(Config);
+  std::vector<std::string> Lines;
+  std::string Line;
+  while (Stream.next(Line))
+    Lines.push_back(Line);
   return Lines;
 }

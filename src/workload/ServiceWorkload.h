@@ -24,6 +24,8 @@
 #ifndef IPCP_WORKLOAD_SERVICEWORKLOAD_H
 #define IPCP_WORKLOAD_SERVICEWORKLOAD_H
 
+#include "support/Json.h"
+
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -38,6 +40,16 @@ struct ServiceLogConfig {
   /// Session key prefix; requests reusing a (session, program, options)
   /// triple run warm. Empty disables sessions (every request cold).
   std::string Session = "replay";
+  /// Distinct sessions: 1 uses the prefix verbatim (and the exact
+  /// historical request bytes); above 1 each analyze request draws a
+  /// session "<prefix>-<i>", i in [0, SessionCount) — the knob that
+  /// spreads a load run across many shard-routable sessions.
+  unsigned SessionCount = 1;
+  /// Restrict generation to these suite program names (empty = the whole
+  /// benchmark suite). Smaller programs make million-request replays
+  /// cheap enough to be a latency benchmark rather than an endurance
+  /// run.
+  std::vector<std::string> Suites;
   /// Percent (0..100) of requests that repeat the previous program in
   /// the same session — the warm-hit knob.
   unsigned RepeatChance = 50;
@@ -50,9 +62,45 @@ struct ServiceLogConfig {
   bool EndWithShutdown = true;
 };
 
+/// Streaming form of the generator: one request line per next() call,
+/// without materializing the whole log — ipcp_loadgen replays millions
+/// of requests through this at a few hundred bytes of state. Identical
+/// config produces an identical line sequence, and for SessionCount == 1
+/// with no Suites restriction the bytes match generateServiceLog's
+/// historical output exactly.
+class ServiceLogStream {
+public:
+  explicit ServiceLogStream(ServiceLogConfig Config);
+
+  /// Produces the next request line (no trailing newline). Returns
+  /// false when the log is exhausted (after the optional stats and
+  /// shutdown trailer requests).
+  bool next(std::string &LineOut);
+
+  /// Analyze requests this stream will emit in total (batch items each
+  /// count as one; the stats/shutdown trailers do not).
+  unsigned totalAnalyzeRequests() const { return Config.Requests; }
+
+private:
+  uint64_t rngNext();
+  unsigned rngBelow(unsigned N);
+  bool rngPercent(unsigned Chance);
+  JsonValue makeAnalyze(unsigned Id);
+
+  ServiceLogConfig Config;
+  std::vector<std::string> Programs;
+  uint64_t RngState;
+  unsigned Emitted = 0;
+  unsigned ProgIndex = 0;
+  unsigned KindIndex = 0;
+  bool StatsEmitted = false;
+  bool ShutdownEmitted = false;
+};
+
 /// Produces one request per line (no trailing newline per element).
 /// Every analyze request carries "scrub_timings": true and an "id" of
-/// the form "r<n>", so replays are byte-diffable.
+/// the form "r<n>", so replays are byte-diffable. Materialized wrapper
+/// around ServiceLogStream for small logs.
 std::vector<std::string> generateServiceLog(const ServiceLogConfig &Config);
 
 } // namespace ipcp

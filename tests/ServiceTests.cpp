@@ -381,7 +381,14 @@ TEST(ServiceEngineTest, EvictionWritesBehindAndReloads) {
     A.Suite = A.Name = "simple";
     A.Session = "a";
     ServiceRequest B = A;
-    B.Session = "b";
+    // Eviction is per cache bucket, so B must land in A's bucket to
+    // contend for the single resident slot.
+    for (int I = 0;; ++I) {
+      B.Session = "b" + std::to_string(I);
+      if (ServiceEngine::bucketFor(ServiceEngine::sessionKeyFor(B)) ==
+          ServiceEngine::bucketFor(ServiceEngine::sessionKeyFor(A)))
+        break;
+    }
     Engine.analyze(A);
     Engine.analyze(B); // evicts session a, persisting it
     JsonValue Stats = Engine.statsBody();

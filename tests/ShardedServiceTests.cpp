@@ -1,0 +1,368 @@
+//===- tests/ShardedServiceTests.cpp - sharded service layer tests --------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The multi-worker layer (docs/SCALING.md): shard routing and session
+// affinity, the shared content-addressed store that lets any worker
+// warm-start any session, the bounded reorder buffer, overload
+// backpressure, and the headline contract — the response stream is
+// byte-identical across shard counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ServiceEngine.h"
+#include "core/ShardedService.h"
+#include "support/BoundedQueue.h"
+#include "support/ContentStore.h"
+#include "workload/Programs.h"
+#include "workload/ServiceWorkload.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace ipcp;
+
+namespace {
+
+ServiceEngine::Config engineConfig() {
+  ServiceEngine::Config Conf;
+  Conf.ScrubTimings = true;
+  Conf.SuiteResolver = [](const std::string &Name, std::string &Out) {
+    const SuiteProgram *Prog = findSuiteProgram(Name);
+    if (!Prog)
+      return false;
+    Out = Prog->Source;
+    return true;
+  };
+  return Conf;
+}
+
+ShardedService::Config serviceConfig(unsigned Shards) {
+  ShardedService::Config Conf;
+  Conf.Shards = Shards;
+  Conf.Jobs = 4;
+  Conf.Engine = engineConfig();
+  return Conf;
+}
+
+/// Replays \p Lines through one stream the way the daemon does: a
+/// consumer thread drains responses while the caller submits.
+std::vector<std::string> runLines(ShardedService &Svc,
+                                  const std::vector<std::string> &Lines) {
+  std::unique_ptr<ShardedService::Stream> St = Svc.openStream();
+  std::vector<std::string> Out;
+  std::thread Consumer([&] {
+    std::string Response;
+    while (St->popResponse(Response))
+      Out.push_back(Response);
+  });
+  for (const std::string &Line : Lines)
+    if (Svc.submitLine(*St, Line))
+      break;
+  Svc.finishStream(*St);
+  Consumer.join();
+  return Out;
+}
+
+uint64_t reportCounter(const JsonValue &Body, const char *Name) {
+  const JsonValue *Report = Body.find("report");
+  if (!Report)
+    return ~0ull;
+  const JsonValue *Result = Report->find("result");
+  if (!Result)
+    return ~0ull;
+  const JsonValue *Counters = Result->find("counters");
+  if (!Counters)
+    return ~0ull;
+  const JsonValue *C = Counters->find(Name);
+  return C ? uint64_t(C->asInt()) : 0;
+}
+
+TEST(ContentStoreTest, RoundTripDedupAndRebind) {
+  std::string Dir = ::testing::TempDir() + "ipcp-content-store";
+  std::filesystem::remove_all(Dir);
+  ContentStore Store(Dir);
+
+  std::string Key = Store.put("hello summaries");
+  ASSERT_FALSE(Key.empty());
+  EXPECT_EQ(Key, ContentStore::contentKey("hello summaries"));
+  // Same bytes again: the object already exists, no second write.
+  EXPECT_EQ(Store.put("hello summaries"), Key);
+  EXPECT_EQ(Store.stats().ObjectsWritten, 1u);
+  EXPECT_EQ(Store.stats().DedupHits, 1u);
+
+  EXPECT_TRUE(Store.bind("prog\nopts", Key));
+  std::string Bytes;
+  ASSERT_TRUE(Store.get("prog\nopts", Bytes));
+  EXPECT_EQ(Bytes, "hello summaries");
+  EXPECT_TRUE(Store.contains("prog\nopts"));
+
+  // Rebinding moves the name to the new object; the old object remains.
+  std::string Key2 = Store.putNamed("prog\nopts", "v2 bytes");
+  ASSERT_FALSE(Key2.empty());
+  ASSERT_TRUE(Store.get("prog\nopts", Bytes));
+  EXPECT_EQ(Bytes, "v2 bytes");
+  EXPECT_TRUE(std::filesystem::exists(Store.objectPath(Key)));
+
+  // Unknown names are misses, not errors.
+  EXPECT_FALSE(Store.get("no-such-name", Bytes));
+  EXPECT_FALSE(Store.contains("no-such-name"));
+  EXPECT_GE(Store.stats().Misses, 1u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ContentStoreTest, DetectsCorruptObjects) {
+  std::string Dir = ::testing::TempDir() + "ipcp-content-store-rot";
+  std::filesystem::remove_all(Dir);
+  ContentStore Store(Dir);
+  std::string Key = Store.putNamed("name", "precious bytes");
+  ASSERT_FALSE(Key.empty());
+
+  // Flip the blob on disk; the read must fail verification, not return
+  // the rotten bytes.
+  {
+    std::ofstream Out(Store.objectPath(Key), std::ios::binary);
+    Out << "precious bytez";
+  }
+  std::string Bytes;
+  EXPECT_FALSE(Store.get("name", Bytes));
+  EXPECT_EQ(Store.stats().IntegrityFailures, 1u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(OrderedResultQueueTest, BoundBlocksOutOfOrderButNeverInOrder) {
+  OrderedResultQueue<std::string> Q(/*MaxBuffered=*/1);
+  // One out-of-order entry fits the bound...
+  Q.push(1, "b");
+  // ...a second would block, but the in-order entry is always admitted.
+  Q.push(0, "a");
+  std::thread Blocked([&] { Q.push(2, "c"); });
+  std::string Out;
+  ASSERT_TRUE(Q.pop(Out));
+  EXPECT_EQ(Out, "a");
+  ASSERT_TRUE(Q.pop(Out));
+  EXPECT_EQ(Out, "b");
+  Blocked.join(); // the pops freed the buffer
+  ASSERT_TRUE(Q.pop(Out));
+  EXPECT_EQ(Out, "c");
+  Q.close();
+  EXPECT_FALSE(Q.pop(Out));
+  EXPECT_LE(Q.peakBuffered(), 2u);
+}
+
+TEST(ShardRoutingTest, SessionAffinityIsStableAndCoversShards) {
+  // Property: the shard of a request is a pure function of its session
+  // key — same key, same shard, on every call and at every request —
+  // and enough distinct sessions reach every shard.
+  const unsigned Shards = 4;
+  std::set<unsigned> Hit;
+  for (int I = 0; I != 200; ++I) {
+    ServiceRequest Req;
+    Req.Suite = Req.Name = "simple";
+    Req.Session = "sess-" + std::to_string(I);
+    std::string Key = ServiceEngine::sessionKeyFor(Req);
+    ASSERT_FALSE(Key.empty());
+    unsigned Shard = ShardedService::shardIndexFor(Key, Shards);
+    ASSERT_LT(Shard, Shards);
+    EXPECT_EQ(Shard, ShardedService::shardIndexFor(Key, Shards));
+    EXPECT_EQ(0u, ShardedService::shardIndexFor(Key, 1));
+    Hit.insert(Shard);
+  }
+  EXPECT_EQ(Hit.size(), Shards);
+
+  // Requests that use no session cache have no routing key.
+  ServiceRequest Cold;
+  Cold.Suite = Cold.Name = "simple";
+  EXPECT_TRUE(ServiceEngine::sessionKeyFor(Cold).empty());
+  ServiceRequest Complete;
+  Complete.Suite = Complete.Name = "simple";
+  Complete.Session = "s";
+  Complete.Complete = true;
+  EXPECT_TRUE(ServiceEngine::sessionKeyFor(Complete).empty());
+}
+
+TEST(ShardedServiceTest, CrossShardWarmStartFromSharedStore) {
+  // Worker A analyzes and persists; worker B — a different engine with
+  // its own resident cache but the same content-addressed store — must
+  // warm-start the same program with zero jump-function evaluations.
+  std::string Dir = ::testing::TempDir() + "ipcp-cross-shard-warm";
+  std::filesystem::remove_all(Dir);
+  auto Store = std::make_shared<ContentStore>(Dir);
+
+  ServiceEngine::Config ConfA = engineConfig();
+  ConfA.Store = Store;
+  ServiceEngine A(ConfA);
+  ServiceRequest Req;
+  Req.Suite = Req.Name = "simple";
+  Req.Session = "on-shard-a";
+  JsonValue Cold = A.analyze(Req);
+  EXPECT_GT(reportCounter(Cold, "prop_evaluations"), 0u);
+  EXPECT_EQ(A.shutdownFlush(), 1u);
+
+  ServiceEngine::Config ConfB = engineConfig();
+  ConfB.Store = Store;
+  ServiceEngine B(ConfB);
+  Req.Session = "on-shard-b"; // different session, same logical name
+  JsonValue Warm = B.analyze(Req);
+  EXPECT_EQ(reportCounter(Warm, "prop_evaluations"), 0u);
+  EXPECT_EQ(B.snapshot().DiskLoads, 1u);
+  EXPECT_GE(Store->stats().Loads, 1u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(ShardedServiceTest, ResponsesIdenticalAcrossShardCounts) {
+  ServiceLogConfig Log;
+  Log.Seed = 17;
+  Log.Requests = 60;
+  Log.SessionCount = 5;
+  Log.Suites = {"simple", "qcd"};
+  Log.EndWithStats = false;
+  Log.EndWithShutdown = false;
+  std::vector<std::string> Lines = generateServiceLog(Log);
+
+  ShardedService One(serviceConfig(1));
+  ShardedService Three(serviceConfig(3));
+  std::vector<std::string> A = runLines(One, Lines);
+  std::vector<std::string> B = runLines(Three, Lines);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    EXPECT_EQ(A[I], B[I]) << "response " << I << " diverged across shards";
+}
+
+TEST(ShardedServiceTest, EvictionPointsAreShardCountInvariant) {
+  // Force heavy eviction (one resident session per cache bucket): the
+  // warm/cold sequence — and with it every response byte — must still
+  // be identical whether one shard holds every bucket or several shards
+  // split them, both memory-only and with a shared write-behind store.
+  ServiceLogConfig Log;
+  Log.Seed = 23;
+  Log.Requests = 80;
+  Log.SessionCount = 12;
+  Log.Suites = {"simple", "qcd"};
+  Log.EndWithStats = false;
+  Log.EndWithShutdown = false;
+  std::vector<std::string> Lines = generateServiceLog(Log);
+
+  auto Run = [&](unsigned Shards, unsigned Jobs, const std::string &Dir) {
+    ShardedService::Config Conf = serviceConfig(Shards);
+    Conf.Jobs = Jobs;
+    Conf.Engine.MaxSessions = 1;
+    Conf.Engine.CacheDir = Dir;
+    ShardedService Svc(Conf);
+    std::vector<std::string> Out = runLines(Svc, Lines);
+    Svc.shutdownFlush();
+    return Out;
+  };
+
+  std::vector<std::string> A = Run(1, 2, "");
+  std::vector<std::string> B = Run(3, 4, "");
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    EXPECT_EQ(A[I], B[I]) << "memory-only response " << I
+                          << " diverged across shards under eviction";
+
+  std::string D1 = ::testing::TempDir() + "ipcp-evict-inv-1";
+  std::string D4 = ::testing::TempDir() + "ipcp-evict-inv-4";
+  std::filesystem::remove_all(D1);
+  std::filesystem::remove_all(D4);
+  std::vector<std::string> C = Run(1, 4, D1);
+  std::vector<std::string> D = Run(4, 2, D4);
+  ASSERT_EQ(C.size(), D.size());
+  for (size_t I = 0; I != C.size(); ++I)
+    EXPECT_EQ(C[I], D[I]) << "store-backed response " << I
+                          << " diverged across shards under eviction";
+  std::filesystem::remove_all(D1);
+  std::filesystem::remove_all(D4);
+}
+
+TEST(ShardedServiceTest, OverloadAnswersEveryLineInOrderWithBoundedBusy) {
+  // Queue limit zero: every analyze is rejected `busy`, deterministically
+  // and in submission order, and nothing leaks or reorders.
+  ShardedService::Config Conf = serviceConfig(2);
+  Conf.QueueLimit = 0;
+  ShardedService Svc(Conf);
+
+  std::vector<std::string> Lines;
+  for (int I = 0; I != 40; ++I)
+    Lines.push_back(R"({"op":"analyze","id":"r)" + std::to_string(I) +
+                    R"(","suite":"simple","session":"s)" +
+                    std::to_string(I % 4) + R"("})");
+  std::vector<std::string> Out = runLines(Svc, Lines);
+  ASSERT_EQ(Out.size(), Lines.size());
+  for (size_t I = 0; I != Out.size(); ++I) {
+    EXPECT_NE(Out[I].find("\"status\":\"busy\""), std::string::npos);
+    EXPECT_NE(Out[I].find("\"id\":\"r" + std::to_string(I) + "\""),
+              std::string::npos)
+        << "response " << I << " out of order";
+  }
+
+  // The stats barrier reports the rejections and per-shard breakdown.
+  std::vector<std::string> Stats =
+      runLines(Svc, {R"({"op":"stats","id":"s"})"});
+  ASSERT_EQ(Stats.size(), 1u);
+  EXPECT_NE(Stats[0].find("\"busy_rejections\":40"), std::string::npos);
+  EXPECT_NE(Stats[0].find("\"shards\":["), std::string::npos);
+}
+
+TEST(ShardedServiceTest, StatsAggregateAcrossShards) {
+  ShardedService Svc(serviceConfig(3));
+  std::vector<std::string> Lines;
+  for (int I = 0; I != 12; ++I)
+    Lines.push_back(R"({"op":"analyze","id":"r)" + std::to_string(I) +
+                    R"(","suite":"simple","session":"s)" +
+                    std::to_string(I) + R"("})");
+  Lines.push_back(R"({"op":"stats","id":"st"})");
+  std::vector<std::string> Out = runLines(Svc, Lines);
+  ASSERT_EQ(Out.size(), 13u);
+
+  std::string Error;
+  std::optional<JsonValue> Parsed = JsonValue::parse(Out.back(), &Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  JsonValue &Stats = *Parsed;
+  const JsonValue *Body = Stats.find("stats");
+  ASSERT_NE(Body, nullptr);
+  EXPECT_EQ(Body->find("analyze_requests")->asInt(), 12);
+  const JsonValue *PerShard = Body->find("shards");
+  ASSERT_NE(PerShard, nullptr);
+  ASSERT_EQ(PerShard->size(), 3u);
+  int64_t Sum = 0;
+  for (size_t I = 0; I != PerShard->size(); ++I)
+    Sum += PerShard->at(I).find("analyze_requests")->asInt();
+  EXPECT_EQ(Sum, 12);
+  EXPECT_EQ(int64_t(Svc.residentSessions()), 12);
+}
+
+TEST(ServiceWorkloadTest, StreamMatchesMaterializedLog) {
+  ServiceLogConfig Log;
+  Log.Seed = 5;
+  Log.Requests = 30;
+  Log.SessionCount = 4;
+  std::vector<std::string> Whole = generateServiceLog(Log);
+  ServiceLogStream Stream(Log);
+  std::vector<std::string> Streamed;
+  std::string Line;
+  while (Stream.next(Line))
+    Streamed.push_back(Line);
+  EXPECT_EQ(Whole, Streamed);
+  EXPECT_EQ(Stream.totalAnalyzeRequests(), 30u);
+
+  // Multi-session logs actually spread across sessions.
+  std::set<std::string> Sessions;
+  for (const std::string &L : Whole) {
+    size_t Pos = L.find("\"session\":\"");
+    if (Pos != std::string::npos) {
+      size_t End = L.find('"', Pos + 11);
+      Sessions.insert(L.substr(Pos + 11, End - Pos - 11));
+    }
+  }
+  EXPECT_GT(Sessions.size(), 1u);
+}
+
+} // namespace

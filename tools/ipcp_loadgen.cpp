@@ -1,0 +1,594 @@
+//===- tools/ipcp_loadgen.cpp - million-request service load harness ------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Replays generated `ipcp-service-v1` request logs (workload/
+// ServiceWorkload) against the sharded analysis service at scale —
+// millions of requests, configurable concurrency, open-loop arrival
+// rates — and reports latency percentiles and saturation curves
+// (docs/SCALING.md explains how to read them):
+//
+//   ipcp_loadgen [options]                  drive an in-process service
+//   ipcp_loadgen --connect=SOCKET [options] drive a running ipcp_serverd
+//
+// workload shape:
+//   --requests=N        analyze requests per run (default 1000)
+//   --seed=S            workload seed (default 1)
+//   --sessions=N        distinct sessions drawn per request (default 8)
+//   --repeat-chance=P   percent repeating the previous program (default 70)
+//   --batch-chance=P    percent folded into analyze-batch (default 10)
+//   --programs=a,b,c    restrict to these suite programs (default: all)
+//
+// service shape (in-process mode; mirrors ipcp_serverd):
+//   --shards=N --jobs=N --queue-limit=N --result-buffer=N
+//   --max-sessions=N --cache-dir=DIR --scrub-timings
+//
+// load shape:
+//   --concurrency=W     closed-loop: at most W request lines in flight
+//                       (default 32)
+//   --rate=R            open-loop: R requests/sec arrivals; latency is
+//                       measured from the scheduled arrival, so queueing
+//                       delay is charged honestly (no coordinated
+//                       omission). 0 = closed-loop (default)
+//   --saturation=K      sweep K open-loop steps from 0.5x to 1.25x of a
+//                       calibrated max throughput, printing a curve
+//   --overload          flood mode: submit as fast as possible and
+//                       assert bounded busy backpressure (exit 1 when
+//                       the bounds fail)
+//   --capture=FILE      append every response line to FILE (byte-compare
+//                       fodder for the cross-shard determinism checks)
+//   --help
+//
+// Results go to stdout and — when IPCP_BENCH_JSON_DIR is set — into
+// BENCH_service.json via bench/BenchReport.h: p50/p99/p999 latency, a
+// saturation curve, and the overload verdict.
+//
+// Exit codes: 0 ok, 1 usage error or failed overload/latency invariant,
+// 2 socket failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../bench/BenchReport.h"
+#include "core/ShardedService.h"
+#include "support/LineIO.h"
+#include "workload/Programs.h"
+#include "workload/ServiceWorkload.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ipcp;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: ipcp_loadgen [options]              (drive an in-process "
+      "service)\n"
+      "       ipcp_loadgen --connect=SOCKET [options]\n"
+      "workload shape:\n"
+      "  --requests=N       analyze requests per run (default 1000)\n"
+      "  --seed=S           workload seed (default 1)\n"
+      "  --sessions=N       distinct sessions (default 8)\n"
+      "  --repeat-chance=P  percent repeating the previous program\n"
+      "                     (default 70)\n"
+      "  --batch-chance=P   percent folded into analyze-batch (default 10)\n"
+      "  --programs=a,b,c   restrict to these suite programs (default all)\n"
+      "service shape (in-process mode):\n"
+      "  --shards=N --jobs=N --queue-limit=N --result-buffer=N\n"
+      "  --max-sessions=N --cache-dir=DIR --scrub-timings\n"
+      "load shape:\n"
+      "  --concurrency=W    closed-loop in-flight request lines "
+      "(default 32)\n"
+      "  --rate=R           open-loop arrivals per second (0 = closed "
+      "loop)\n"
+      "  --saturation=K     K-step saturation sweep (0 = off)\n"
+      "  --overload         flood; assert bounded busy backpressure\n"
+      "  --capture=FILE     append every response line to FILE\n"
+      "  --help\n"
+      "exit codes: 0 ok, 1 usage or failed invariant, 2 socket failure\n");
+}
+
+uint64_t parseUintValue(const std::string &Arg, size_t PrefixLen) {
+  std::string Text = Arg.substr(PrefixLen);
+  if (Text.empty() ||
+      Text.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr,
+                 "error: malformed value in '%s' (expect a non-negative "
+                 "integer)\n",
+                 Arg.c_str());
+    std::exit(1);
+  }
+  errno = 0;
+  unsigned long long Value = std::strtoull(Text.c_str(), nullptr, 10);
+  if (errno == ERANGE) {
+    std::fprintf(stderr, "error: value out of range in '%s'\n", Arg.c_str());
+    std::exit(1);
+  }
+  return Value;
+}
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t nsSince(Clock::time_point T0) {
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - T0)
+                      .count());
+}
+
+/// Where request lines go and response lines come from; one per run.
+struct Backend {
+  virtual ~Backend() = default;
+  virtual void submit(const std::string &Line) = 0;
+  /// In-order response lines; false once the run is finished and
+  /// drained.
+  virtual bool pop(std::string &Out) = 0;
+  /// Called on the submitting thread after the last submit.
+  virtual void endSubmit() = 0;
+  virtual uint64_t peakBuffered() { return 0; }
+};
+
+/// Runs against a ShardedService in this process (the default).
+struct InProcessBackend final : Backend {
+  ShardedService &Svc;
+  std::unique_ptr<ShardedService::Stream> St;
+  explicit InProcessBackend(ShardedService &Svc)
+      : Svc(Svc), St(Svc.openStream()) {}
+  void submit(const std::string &Line) override { Svc.submitLine(*St, Line); }
+  bool pop(std::string &Out) override { return St->popResponse(Out); }
+  void endSubmit() override { Svc.finishStream(*St); }
+  uint64_t peakBuffered() override { return St->peakBuffered(); }
+};
+
+/// Runs against an external ipcp_serverd over its unix socket. The
+/// daemon answers every request line exactly once and in order, so the
+/// reader stops when it has one response per submitted line.
+struct SocketBackend final : Backend {
+  int Fd;
+  LineReader Reader;
+  std::atomic<uint64_t> Submitted{0};
+  std::atomic<bool> Done{false};
+  uint64_t Popped = 0;
+  explicit SocketBackend(int Fd) : Fd(Fd), Reader(Fd) {}
+  void submit(const std::string &Line) override {
+    std::string Error;
+    if (!writeAllToFd(Fd, Line + "\n", &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      std::exit(2);
+    }
+    Submitted.fetch_add(1);
+  }
+  bool pop(std::string &Out) override {
+    while (Popped == Submitted.load()) {
+      if (Done.load() && Popped == Submitted.load())
+        return false;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    std::string Line;
+    if (!Reader.readLine(Line))
+      return false;
+    Out = Line + "\n";
+    ++Popped;
+    return true;
+  }
+  void endSubmit() override { Done.store(true); }
+};
+
+struct RunResult {
+  uint64_t AnalyzeRequests = 0;
+  uint64_t ResponseLines = 0;
+  uint64_t Busy = 0;
+  uint64_t PeakBuffered = 0;
+  double WallMs = 0;
+  double P50Ms = 0, P99Ms = 0, P999Ms = 0;
+  double AchievedRps = 0;
+};
+
+double percentile(std::vector<double> &Sorted, double Q) {
+  if (Sorted.empty())
+    return 0;
+  size_t Idx = size_t(Q * double(Sorted.size()) + 0.999999);
+  return Sorted[std::min(Idx, Sorted.size()) - 1];
+}
+
+/// One measured replay: streams the workload into the backend — paced by
+/// a closed-loop window or an open-loop arrival schedule — while a
+/// collector thread times the in-order response stream. Latency is
+/// submit-to-delivery (closed loop) or scheduled-arrival-to-delivery
+/// (open loop, which charges queueing delay to the service instead of
+/// silently omitting it).
+RunResult runOnce(Backend &B, const ServiceLogConfig &Workload,
+                  double RateRps, uint64_t Window, std::FILE *Capture) {
+  RunResult R;
+  R.AnalyzeRequests = Workload.Requests;
+  ServiceLogStream Stream(Workload);
+
+  // One slot per request line; batching folds requests into fewer
+  // lines, so Requests + trailers is an upper bound and the vector
+  // never reallocates under the collector's feet.
+  std::vector<uint64_t> StartNs(size_t(Workload.Requests) + 8, 0);
+
+  std::mutex WindowMutex;
+  std::condition_variable WindowFree;
+  uint64_t Outstanding = 0;
+
+  std::vector<double> LatMs;
+  LatMs.reserve(StartNs.size());
+  Clock::time_point T0 = Clock::now();
+
+  std::thread Collector([&] {
+    std::string Line;
+    uint64_t Seq = 0;
+    while (B.pop(Line)) {
+      uint64_t Now = nsSince(T0);
+      LatMs.push_back(double(Now - StartNs[Seq]) / 1e6);
+      if (Line.find("\"status\":\"busy\"") != std::string::npos)
+        ++R.Busy;
+      if (Capture)
+        std::fwrite(Line.data(), 1, Line.size(), Capture);
+      ++Seq;
+      {
+        std::lock_guard<std::mutex> Lock(WindowMutex);
+        if (Outstanding)
+          --Outstanding;
+      }
+      WindowFree.notify_one();
+    }
+    R.ResponseLines = Seq;
+  });
+
+  std::string Line;
+  uint64_t Seq = 0;
+  while (Stream.next(Line)) {
+    if (RateRps > 0) {
+      uint64_t Scheduled = uint64_t(double(Seq) * 1e9 / RateRps);
+      while (nsSince(T0) < Scheduled)
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            std::min<uint64_t>((Scheduled - nsSince(T0)) / 1000 + 1, 1000)));
+      StartNs[Seq] = Scheduled;
+    } else {
+      std::unique_lock<std::mutex> Lock(WindowMutex);
+      WindowFree.wait(Lock, [&] { return Outstanding < Window; });
+      ++Outstanding;
+      Lock.unlock();
+      StartNs[Seq] = nsSince(T0);
+    }
+    B.submit(Line);
+    ++Seq;
+  }
+  B.endSubmit();
+  Collector.join();
+
+  R.WallMs = double(nsSince(T0)) / 1e6;
+  R.PeakBuffered = B.peakBuffered();
+  std::sort(LatMs.begin(), LatMs.end());
+  R.P50Ms = percentile(LatMs, 0.50);
+  R.P99Ms = percentile(LatMs, 0.99);
+  R.P999Ms = percentile(LatMs, 0.999);
+  R.AchievedRps =
+      R.WallMs > 0 ? double(R.AnalyzeRequests) / (R.WallMs / 1e3) : 0;
+  return R;
+}
+
+JsonValue runJson(const RunResult &R) {
+  JsonValue Obj = JsonValue::object();
+  Obj.set("analyze_requests", R.AnalyzeRequests);
+  Obj.set("response_lines", R.ResponseLines);
+  Obj.set("busy", R.Busy);
+  Obj.set("wall_ms", R.WallMs);
+  Obj.set("requests_per_sec", R.AchievedRps);
+  Obj.set("peak_result_buffer", R.PeakBuffered);
+  JsonValue Lat = JsonValue::object();
+  Lat.set("p50_ms", R.P50Ms);
+  Lat.set("p99_ms", R.P99Ms);
+  Lat.set("p999_ms", R.P999Ms);
+  Obj.set("latency", std::move(Lat));
+  return Obj;
+}
+
+void printRun(const char *Name, const RunResult &R) {
+  std::printf("  %-12s %9llu req  %10.1f req/s  p50 %8.3f ms  "
+              "p99 %8.3f ms  p999 %8.3f ms  busy %llu\n",
+              Name, (unsigned long long)R.AnalyzeRequests, R.AchievedRps,
+              R.P50Ms, R.P99Ms, R.P999Ms, (unsigned long long)R.Busy);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  ShardedService::Config Service;
+  Service.Jobs = 0;
+  ServiceLogConfig Workload;
+  Workload.Session = "load";
+  Workload.SessionCount = 8;
+  Workload.Requests = 1000;
+  Workload.RepeatChance = 70;
+  Workload.BatchChance = 10;
+  Workload.EndWithStats = false;
+  Workload.EndWithShutdown = false;
+  uint64_t Concurrency = 32;
+  double RateRps = 0;
+  unsigned SaturationSteps = 0;
+  bool Overload = false;
+  std::string CapturePath, ConnectPath;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--help") {
+      printUsage();
+      return 0;
+    }
+    if (Arg.rfind("--requests=", 0) == 0) {
+      Workload.Requests = unsigned(parseUintValue(Arg, 11));
+      continue;
+    }
+    if (Arg.rfind("--seed=", 0) == 0) {
+      Workload.Seed = parseUintValue(Arg, 7);
+      continue;
+    }
+    if (Arg.rfind("--sessions=", 0) == 0) {
+      Workload.SessionCount = unsigned(parseUintValue(Arg, 11));
+      if (Workload.SessionCount == 0) {
+        std::fprintf(stderr, "error: --sessions must be at least 1\n");
+        return 1;
+      }
+      continue;
+    }
+    if (Arg.rfind("--repeat-chance=", 0) == 0) {
+      Workload.RepeatChance = unsigned(parseUintValue(Arg, 16));
+      continue;
+    }
+    if (Arg.rfind("--batch-chance=", 0) == 0) {
+      Workload.BatchChance = unsigned(parseUintValue(Arg, 15));
+      continue;
+    }
+    if (Arg.rfind("--programs=", 0) == 0) {
+      std::string List = Arg.substr(11);
+      size_t Pos = 0;
+      while (Pos <= List.size()) {
+        size_t Comma = List.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = List.size();
+        std::string Name = List.substr(Pos, Comma - Pos);
+        if (!Name.empty()) {
+          if (!findSuiteProgram(Name)) {
+            std::fprintf(stderr, "error: unknown suite program '%s'\n",
+                         Name.c_str());
+            return 1;
+          }
+          Workload.Suites.push_back(Name);
+        }
+        Pos = Comma + 1;
+      }
+      if (Workload.Suites.empty()) {
+        std::fprintf(stderr, "error: --programs needs at least one name\n");
+        return 1;
+      }
+      continue;
+    }
+    if (Arg.rfind("--shards=", 0) == 0) {
+      Service.Shards = unsigned(parseUintValue(Arg, 9));
+      if (Service.Shards == 0) {
+        std::fprintf(stderr, "error: --shards must be at least 1\n");
+        return 1;
+      }
+      continue;
+    }
+    if (Arg.rfind("--jobs=", 0) == 0) {
+      Service.Jobs = unsigned(parseUintValue(Arg, 7));
+      continue;
+    }
+    if (Arg.rfind("--queue-limit=", 0) == 0) {
+      Service.QueueLimit = size_t(parseUintValue(Arg, 14));
+      continue;
+    }
+    if (Arg.rfind("--result-buffer=", 0) == 0) {
+      Service.ResultBuffer = size_t(parseUintValue(Arg, 16));
+      continue;
+    }
+    if (Arg.rfind("--max-sessions=", 0) == 0) {
+      Service.Engine.MaxSessions = unsigned(parseUintValue(Arg, 15));
+      if (Service.Engine.MaxSessions == 0) {
+        std::fprintf(stderr, "error: --max-sessions must be at least 1\n");
+        return 1;
+      }
+      continue;
+    }
+    if (Arg.rfind("--cache-dir=", 0) == 0) {
+      Service.Engine.CacheDir = Arg.substr(12);
+      if (Service.Engine.CacheDir.empty()) {
+        std::fprintf(stderr, "error: --cache-dir needs a directory name\n");
+        return 1;
+      }
+      continue;
+    }
+    if (Arg == "--scrub-timings") {
+      Service.Engine.ScrubTimings = true;
+      continue;
+    }
+    if (Arg.rfind("--concurrency=", 0) == 0) {
+      Concurrency = parseUintValue(Arg, 14);
+      if (Concurrency == 0) {
+        std::fprintf(stderr, "error: --concurrency must be at least 1\n");
+        return 1;
+      }
+      continue;
+    }
+    if (Arg.rfind("--rate=", 0) == 0) {
+      RateRps = double(parseUintValue(Arg, 7));
+      continue;
+    }
+    if (Arg.rfind("--saturation=", 0) == 0) {
+      SaturationSteps = unsigned(parseUintValue(Arg, 13));
+      continue;
+    }
+    if (Arg == "--overload") {
+      Overload = true;
+      continue;
+    }
+    if (Arg.rfind("--capture=", 0) == 0) {
+      CapturePath = Arg.substr(10);
+      continue;
+    }
+    if (Arg.rfind("--connect=", 0) == 0) {
+      ConnectPath = Arg.substr(10);
+      continue;
+    }
+    std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+    printUsage();
+    return 1;
+  }
+
+  std::FILE *Capture = nullptr;
+  if (!CapturePath.empty()) {
+    Capture = std::fopen(CapturePath.c_str(), "wb");
+    if (!Capture) {
+      std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                   CapturePath.c_str());
+      return 1;
+    }
+  }
+
+  // Build the backend: a connected socket, or an in-process service.
+  std::unique_ptr<ShardedService> Svc;
+  int SockFd = -1;
+  if (!ConnectPath.empty()) {
+    std::string Error;
+    SockFd = connectUnixSocket(ConnectPath, &Error);
+    if (SockFd < 0) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+  } else {
+    Service.Engine.SuiteResolver = [](const std::string &Name,
+                                      std::string &SourceOut) {
+      const SuiteProgram *Prog = findSuiteProgram(Name);
+      if (!Prog)
+        return false;
+      SourceOut = Prog->Source;
+      return true;
+    };
+    Svc = std::make_unique<ShardedService>(Service);
+  }
+  auto makeBackend = [&]() -> std::unique_ptr<Backend> {
+    if (SockFd >= 0)
+      return std::make_unique<SocketBackend>(SockFd);
+    return std::make_unique<InProcessBackend>(*Svc);
+  };
+
+  std::printf("ipcp_loadgen: %u requests, %u sessions, shards=%u, "
+              "queue-limit=%zu%s\n",
+              Workload.Requests, Workload.SessionCount,
+              SockFd >= 0 ? 0 : Service.Shards, Service.QueueLimit,
+              SockFd >= 0 ? " (external daemon)" : "");
+
+  JsonValue Doc = JsonValue::object();
+  JsonValue ConfJson = JsonValue::object();
+  ConfJson.set("requests", uint64_t(Workload.Requests));
+  ConfJson.set("sessions", uint64_t(Workload.SessionCount));
+  ConfJson.set("seed", Workload.Seed);
+  ConfJson.set("repeat_chance", uint64_t(Workload.RepeatChance));
+  ConfJson.set("batch_chance", uint64_t(Workload.BatchChance));
+  ConfJson.set("shards", uint64_t(SockFd >= 0 ? 0 : Service.Shards));
+  ConfJson.set("queue_limit", uint64_t(Service.QueueLimit));
+  ConfJson.set("result_buffer", uint64_t(Service.ResultBuffer));
+  ConfJson.set("concurrency", Concurrency);
+  ConfJson.set("rate_rps", RateRps);
+  ConfJson.set("external_daemon", SockFd >= 0);
+  Doc.set("config", std::move(ConfJson));
+
+  bool Ok = true;
+
+  if (Overload) {
+    // Flood: no pacing window, so arrivals outrun the admission gate
+    // and the service must answer every line — mostly with `busy` —
+    // while the reorder buffer stays within its bound.
+    std::unique_ptr<Backend> B = makeBackend();
+    RunResult R =
+        runOnce(*B, Workload, 0, uint64_t(1) << 40, Capture);
+    printRun("overload", R);
+    uint64_t BufferBound = Service.ResultBuffer ? Service.ResultBuffer + 1 : 0;
+    bool AllAnswered = R.ResponseLines > 0;
+    bool SawBusy = R.Busy > 0;
+    bool Bounded = BufferBound == 0 || R.PeakBuffered <= BufferBound;
+    if (!AllAnswered)
+      std::fprintf(stderr, "overload: FAILED - no responses\n");
+    if (!SawBusy)
+      std::fprintf(stderr,
+                   "overload: FAILED - flood produced no busy responses "
+                   "(queue-limit too high?)\n");
+    if (!Bounded)
+      std::fprintf(stderr,
+                   "overload: FAILED - reorder buffer peak %llu exceeds "
+                   "bound %llu\n",
+                   (unsigned long long)R.PeakBuffered,
+                   (unsigned long long)BufferBound);
+    Ok = AllAnswered && SawBusy && Bounded;
+    std::printf("  overload invariants: %s (busy %llu, peak buffer %llu)\n",
+                Ok ? "ok" : "FAILED", (unsigned long long)R.Busy,
+                (unsigned long long)R.PeakBuffered);
+    JsonValue OJson = runJson(R);
+    OJson.set("bounded", Bounded);
+    OJson.set("saw_busy", SawBusy);
+    Doc.set("overload", std::move(OJson));
+  } else if (SaturationSteps > 0) {
+    // Calibrate closed-loop, then sweep open-loop arrival rates around
+    // the measured maximum; the curve's knee is the capacity number
+    // docs/SCALING.md plans against.
+    std::unique_ptr<Backend> Cal = makeBackend();
+    RunResult Max = runOnce(*Cal, Workload, 0, Concurrency, nullptr);
+    printRun("calibrate", Max);
+    Doc.set("calibration", runJson(Max));
+    JsonValue Curve = JsonValue::array();
+    for (unsigned I = 0; I != SaturationSteps; ++I) {
+      double Fraction =
+          SaturationSteps == 1
+              ? 1.0
+              : 0.5 + 0.75 * double(I) / double(SaturationSteps - 1);
+      double Target = std::max(1.0, Max.AchievedRps * Fraction);
+      std::unique_ptr<Backend> B = makeBackend();
+      RunResult R = runOnce(*B, Workload, Target, Concurrency, nullptr);
+      char Name[32];
+      std::snprintf(Name, sizeof Name, "%.2fx", Fraction);
+      printRun(Name, R);
+      JsonValue Step = runJson(R);
+      Step.set("fraction", Fraction);
+      Step.set("target_rps", Target);
+      Curve.push(std::move(Step));
+    }
+    Doc.set("saturation", std::move(Curve));
+  } else {
+    std::unique_ptr<Backend> B = makeBackend();
+    RunResult R = runOnce(*B, Workload, RateRps, Concurrency, Capture);
+    printRun(RateRps > 0 ? "open-loop" : "closed-loop", R);
+    Ok = R.ResponseLines > 0;
+    Doc.set("load", runJson(R));
+  }
+
+  if (Capture)
+    std::fclose(Capture);
+  if (Svc) {
+    // Persist dirty sessions so a later run (or another shard count)
+    // can warm-start from the shared store.
+    Svc->shutdownFlush();
+  }
+  if (SockFd >= 0)
+    closeFd(SockFd);
+
+  Doc.set("ok", Ok);
+  benchReport("service", std::move(Doc));
+  return Ok ? 0 : 1;
+}

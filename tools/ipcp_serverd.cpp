@@ -1,22 +1,32 @@
-//===- tools/ipcp_serverd.cpp - batched analysis daemon -------------------===//
+//===- tools/ipcp_serverd.cpp - sharded batched analysis daemon -----------===//
 //
 // Part of the ipcp project.
 //
 //===----------------------------------------------------------------------===//
 //
-// Analysis as a service: a long-lived daemon that keeps the summary
-// cache resident and answers newline-delimited JSON requests
-// ("ipcp-service-v1", documented field by field in docs/SERVICE.md):
+// Analysis as a service: a long-lived daemon that keeps summary caches
+// resident across a pool of worker shards and answers newline-delimited
+// JSON requests ("ipcp-service-v1", documented field by field in
+// docs/SERVICE.md; the sharding design in docs/SCALING.md):
 //
 //   ipcp_serverd [options]                 serve stdin -> stdout
 //   ipcp_serverd --socket=PATH [options]   serve a unix domain socket
 //
-//   --jobs=N           worker threads (default: hardware concurrency)
+//   --shards=N         worker shards; sessions hash to shards, each
+//                      shard owns its resident caches (default 1)
+//   --jobs=N           worker threads across all shards (default:
+//                      hardware concurrency; each shard gets at least 1)
 //   --queue-limit=N    max in-flight analyses before `busy` (default 256;
 //                      0 rejects everything — the backpressure tests)
-//   --cache-dir=DIR    write-behind disk tier for session caches
-//   --max-sessions=N   resident session caches before LRU eviction
-//   --scrub-timings    zero wall-clock fields in every response
+//   --result-buffer=N  max buffered out-of-order responses before
+//                      workers block on the emitter (default 1024;
+//                      0 = unbounded)
+//   --cache-dir=DIR    content-addressed write-behind tier shared by
+//                      every shard
+//   --max-sessions=N   resident session caches per cache bucket (16
+//                      fixed buckets service-wide) before LRU eviction
+//   --scrub-timings    zero wall-clock fields in every response (and the
+//                      timing-dependent queue gauges in stats)
 //   --limit-parse-depth=N  --limit-tokens=N  --limit-ast-nodes=N
 //   --limit-ir-insts=N     --limit-prop-evals=N --deadline-ms=N
 //                      default per-request budgets; a request's "limits"
@@ -28,11 +38,12 @@
 //   --help
 //
 // Request lines are answered in request order (responses carry "seq");
-// analyses run concurrently on the pool, and a per-session turnstile
-// replays the serial warm/cold order exactly, so the byte stream a
-// concurrent daemon emits is identical to a --jobs=1 run. `stats`,
+// analyses run concurrently on the shard pools, and a per-session
+// turnstile replays the serial warm/cold order exactly, so the byte
+// stream a concurrent daemon emits is identical to a --jobs=1 run — and,
+// stats bodies aside, identical across --shards values too. `stats`,
 // `flush-cache`, and `shutdown` are barriers: they wait for every
-// in-flight analysis before executing.
+// in-flight analysis on every shard before executing.
 //
 // Exit codes: 0 clean (EOF or shutdown request), 1 usage error,
 // 2 socket setup or stdin read failure, 4 a response could not be
@@ -40,11 +51,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Report.h"
-#include "core/ServiceEngine.h"
-#include "support/BoundedQueue.h"
+#include "core/ShardedService.h"
 #include "support/LineIO.h"
-#include "support/ThreadPool.h"
 #include "workload/Programs.h"
 #include "workload/ServiceWorkload.h"
 
@@ -56,7 +64,6 @@
 #include <memory>
 #include <string>
 #include <thread>
-#include <vector>
 
 using namespace ipcp;
 
@@ -68,11 +75,18 @@ void printUsage() {
       "       ipcp_serverd --socket=PATH [options]\n"
       "requests: one JSON object per line; ops analyze, analyze-batch,\n"
       "          stats, flush-cache, shutdown (see docs/SERVICE.md)\n"
-      "  --jobs=N           worker threads (default: hardware concurrency)\n"
+      "  --shards=N         worker shards; sessions hash to shards\n"
+      "                     (default 1; see docs/SCALING.md)\n"
+      "  --jobs=N           worker threads across all shards (default:\n"
+      "                     hardware concurrency)\n"
       "  --queue-limit=N    max in-flight analyses before `busy`\n"
       "                     (default 256; 0 rejects every analyze)\n"
-      "  --cache-dir=DIR    write-behind disk tier for session caches\n"
-      "  --max-sessions=N   resident session caches before LRU eviction\n"
+      "  --result-buffer=N  max buffered out-of-order responses before\n"
+      "                     workers block (default 1024; 0 = unbounded)\n"
+      "  --cache-dir=DIR    content-addressed write-behind tier shared\n"
+      "                     by every shard\n"
+      "  --max-sessions=N   resident session caches per cache bucket\n"
+      "                     (16 fixed buckets) before LRU eviction\n"
       "                     (default 64)\n"
       "  --scrub-timings    zero wall-clock fields in every response\n"
       "  --emit-sample-log=N  print N generated requests and exit\n"
@@ -111,169 +125,47 @@ uint64_t parseUintValue(const std::string &Arg, size_t PrefixLen) {
   return Value;
 }
 
-/// Shared in-flight state of one analyze-batch: items land in their
-/// slots in any order; whoever finishes last assembles the response.
-struct BatchState {
-  std::vector<JsonValue> Items;
-  std::atomic<size_t> Remaining{0};
-  uint64_t Seq = 0;
-  JsonValue Id;
-  bool HasId = false;
-};
-
-/// Everything one serve loop (stdin, or one socket connection) shares
-/// with its pool tasks and emitter thread.
-struct Serve {
-  Serve(ServiceEngine &Engine, ThreadPool &Pool, AdmissionGate &Gate)
-      : Engine(Engine), Pool(Pool), Gate(Gate) {}
-
-  ServiceEngine &Engine;
-  ThreadPool &Pool;
-  AdmissionGate &Gate;
-  OrderedResultQueue<std::string> Results;
-  std::atomic<bool> WriteFailed{false};
-  std::string WriteError;
-};
-
-void pushEnvelope(Serve &S, uint64_t Seq, const JsonValue *Id,
-                  JsonValue Body) {
-  S.Results.push(Seq, buildServiceEnvelope(Seq, Id, std::move(Body)).dump() +
-                          "\n");
-}
-
-JsonValue errorBody(const std::string &Status, const std::string &Code,
-                    const std::string &Message) {
-  JsonValue Body = JsonValue::object();
-  Body.set("status", Status);
-  Body.set("error", serviceErrorObject(Code, Message));
-  return Body;
-}
-
-/// Serves one request stream until EOF or a shutdown request. Returns
-/// true when the client asked for shutdown (the daemon should exit its
-/// accept loop too, not just this connection).
-bool serveStream(int InFd, int OutFd, Serve &S, bool *ReadFailed) {
-  LineReader Reader(InFd);
+/// Serves one request stream until EOF or a shutdown request: a reader
+/// loop feeding the sharded service, and an emitter thread writing the
+/// in-order response stream. Returns true when the client asked for
+/// shutdown (the daemon should exit its accept loop too, not just this
+/// connection).
+bool serveStream(int InFd, int OutFd, ShardedService &Service,
+                 bool *ReadFailed, bool &WriteFailed,
+                 std::string &WriteError) {
+  std::unique_ptr<ShardedService::Stream> St = Service.openStream();
+  std::atomic<bool> WriteFailedFlag{false};
   std::thread Emitter([&] {
     std::string Line;
-    while (S.Results.pop(Line)) {
+    while (St->popResponse(Line)) {
       std::string Error;
-      if (!S.WriteFailed.load() && !writeAllToFd(OutFd, Line, &Error)) {
-        S.WriteError = Error;
-        S.WriteFailed.store(true); // keep draining so producers finish
+      if (!WriteFailedFlag.load() && !writeAllToFd(OutFd, Line, &Error)) {
+        WriteError = Error;
+        WriteFailedFlag.store(true); // keep draining so producers finish
       }
     }
   });
 
+  LineReader Reader(InFd);
   bool ShutdownRequested = false;
-  uint64_t NextSeq = 0;
   std::string Line;
-  while (!ShutdownRequested && Reader.readLine(Line)) {
-    if (Line.find_first_not_of(" \t\r") == std::string::npos)
-      continue; // blank keep-alive lines carry no request
-    uint64_t Seq = NextSeq++;
-    ServiceRequest Req;
-    std::string Code, Error;
-    if (!S.Engine.parseRequestLine(Line, Req, &Code, &Error)) {
-      pushEnvelope(S, Seq, nullptr, errorBody("error", Code, Error));
-      continue;
-    }
-    switch (Req.Op) {
-    case ServiceRequest::Kind::Analyze: {
-      if (!S.Gate.tryAcquire()) {
-        S.Engine.noteBusy();
-        pushEnvelope(S, Seq, Req.HasId ? &Req.Id : nullptr,
-                     errorBody("busy", "busy",
-                               "request queue is full; retry later"));
-        break;
-      }
-      ServiceEngine::SessionTurn Turn = S.Engine.reserveTurn(Req);
-      S.Pool.submit([&S, Seq, Req = std::move(Req), Turn]() mutable {
-        JsonValue Body = S.Engine.analyze(Req, std::move(Turn));
-        pushEnvelope(S, Seq, Req.HasId ? &Req.Id : nullptr, std::move(Body));
-        S.Gate.release();
-      });
-      break;
-    }
-    case ServiceRequest::Kind::AnalyzeBatch: {
-      size_t N = Req.Batch.size();
-      if (!S.Gate.tryAcquire(N)) {
-        S.Engine.noteBusy();
-        pushEnvelope(S, Seq, Req.HasId ? &Req.Id : nullptr,
-                     errorBody("busy", "busy",
-                               "request queue is full; retry later"));
-        break;
-      }
-      S.Engine.noteBatch();
-      auto State = std::make_shared<BatchState>();
-      State->Items.resize(N);
-      State->Remaining.store(N);
-      State->Seq = Seq;
-      State->Id = Req.Id;
-      State->HasId = Req.HasId;
-      // Reserve every item's session turn here, in item order, so the
-      // batch replays the serial warm/cold sequence no matter how the
-      // pool schedules the items.
-      for (size_t I = 0; I != N; ++I) {
-        ServiceEngine::SessionTurn Turn = S.Engine.reserveTurn(Req.Batch[I]);
-        S.Pool.submit([&S, State, I, Item = Req.Batch[I], Turn]() mutable {
-          State->Items[I] =
-              S.Engine.analyzeBatchItem(Item, I, std::move(Turn));
-          S.Gate.release();
-          if (State->Remaining.fetch_sub(1) != 1)
-            return;
-          JsonValue Responses = JsonValue::array();
-          for (JsonValue &R : State->Items)
-            Responses.push(std::move(R));
-          JsonValue Body = JsonValue::object();
-          Body.set("status", "ok");
-          Body.set("responses", std::move(Responses));
-          pushEnvelope(S, State->Seq, State->HasId ? &State->Id : nullptr,
-                       std::move(Body));
-        });
-      }
-      break;
-    }
-    case ServiceRequest::Kind::Stats:
-      // Control operations are barriers: every admitted analysis
-      // finishes first, so the counters are a function of the request
-      // stream, not of scheduling.
-      S.Pool.wait();
-      pushEnvelope(S, Seq, Req.HasId ? &Req.Id : nullptr,
-                   S.Engine.statsBody());
-      break;
-    case ServiceRequest::Kind::FlushCache:
-      S.Pool.wait();
-      pushEnvelope(S, Seq, Req.HasId ? &Req.Id : nullptr,
-                   S.Engine.flushCacheBody());
-      break;
-    case ServiceRequest::Kind::Shutdown: {
-      S.Pool.wait();
-      JsonValue Body = JsonValue::object();
-      Body.set("status", "ok");
-      Body.set("persisted", uint64_t(S.Engine.shutdownFlush()));
-      pushEnvelope(S, Seq, Req.HasId ? &Req.Id : nullptr, std::move(Body));
-      ShutdownRequested = true;
-      break;
-    }
-    }
-  }
+  while (!ShutdownRequested && Reader.readLine(Line))
+    ShutdownRequested = Service.submitLine(*St, Line);
 
-  S.Pool.wait();
-  S.Results.close();
+  Service.finishStream(*St);
   Emitter.join();
   if (ReadFailed)
     *ReadFailed = Reader.readFailed();
+  WriteFailed = WriteFailedFlag.load();
   return ShutdownRequested;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  ServiceEngine::Config Conf;
+  ShardedService::Config Conf;
+  Conf.Jobs = 0; // hardware concurrency
   std::string SocketPath;
-  unsigned Jobs = ThreadPool::defaultConcurrency();
-  size_t QueueLimit = 256;
   bool EmitSample = false;
   ServiceLogConfig SampleConf;
 
@@ -291,16 +183,28 @@ int main(int argc, char **argv) {
       SocketPath = Arg.substr(9);
       continue;
     }
+    if (Arg.rfind("--shards=", 0) == 0) {
+      Conf.Shards = unsigned(parseUintValue(Arg, 9));
+      if (Conf.Shards == 0) {
+        std::fprintf(stderr, "error: --shards must be at least 1\n");
+        return 1;
+      }
+      continue;
+    }
     if (Arg.rfind("--jobs=", 0) == 0) {
-      Jobs = unsigned(parseUintValue(Arg, 7));
-      if (Jobs == 0) {
+      Conf.Jobs = unsigned(parseUintValue(Arg, 7));
+      if (Conf.Jobs == 0) {
         std::fprintf(stderr, "error: --jobs must be at least 1\n");
         return 1;
       }
       continue;
     }
     if (Arg.rfind("--queue-limit=", 0) == 0) {
-      QueueLimit = size_t(parseUintValue(Arg, 14));
+      Conf.QueueLimit = size_t(parseUintValue(Arg, 14));
+      continue;
+    }
+    if (Arg.rfind("--result-buffer=", 0) == 0) {
+      Conf.ResultBuffer = size_t(parseUintValue(Arg, 16));
       continue;
     }
     if (Arg == "--cache-dir=") {
@@ -308,19 +212,19 @@ int main(int argc, char **argv) {
       return 1;
     }
     if (Arg.rfind("--cache-dir=", 0) == 0) {
-      Conf.CacheDir = Arg.substr(12);
+      Conf.Engine.CacheDir = Arg.substr(12);
       continue;
     }
     if (Arg.rfind("--max-sessions=", 0) == 0) {
-      Conf.MaxSessions = unsigned(parseUintValue(Arg, 15));
-      if (Conf.MaxSessions == 0) {
+      Conf.Engine.MaxSessions = unsigned(parseUintValue(Arg, 15));
+      if (Conf.Engine.MaxSessions == 0) {
         std::fprintf(stderr, "error: --max-sessions must be at least 1\n");
         return 1;
       }
       continue;
     }
     if (Arg == "--scrub-timings") {
-      Conf.ScrubTimings = true;
+      Conf.Engine.ScrubTimings = true;
       continue;
     }
     if (Arg.rfind("--limit-parse-depth=", 0) == 0) {
@@ -330,27 +234,27 @@ int main(int argc, char **argv) {
                      "error: --limit-parse-depth must be in [1, 1048576]\n");
         return 1;
       }
-      Conf.DefaultLimits.MaxParseDepth = unsigned(V);
+      Conf.Engine.DefaultLimits.MaxParseDepth = unsigned(V);
       continue;
     }
     if (Arg.rfind("--limit-tokens=", 0) == 0) {
-      Conf.DefaultLimits.MaxTokens = parseUintValue(Arg, 15);
+      Conf.Engine.DefaultLimits.MaxTokens = parseUintValue(Arg, 15);
       continue;
     }
     if (Arg.rfind("--limit-ast-nodes=", 0) == 0) {
-      Conf.DefaultLimits.MaxAstNodes = parseUintValue(Arg, 18);
+      Conf.Engine.DefaultLimits.MaxAstNodes = parseUintValue(Arg, 18);
       continue;
     }
     if (Arg.rfind("--limit-ir-insts=", 0) == 0) {
-      Conf.DefaultLimits.MaxIRInstructions = parseUintValue(Arg, 17);
+      Conf.Engine.DefaultLimits.MaxIRInstructions = parseUintValue(Arg, 17);
       continue;
     }
     if (Arg.rfind("--limit-prop-evals=", 0) == 0) {
-      Conf.DefaultLimits.MaxPropagationEvals = parseUintValue(Arg, 19);
+      Conf.Engine.DefaultLimits.MaxPropagationEvals = parseUintValue(Arg, 19);
       continue;
     }
     if (Arg.rfind("--deadline-ms=", 0) == 0) {
-      Conf.DefaultLimits.DeadlineMs = parseUintValue(Arg, 14);
+      Conf.Engine.DefaultLimits.DeadlineMs = parseUintValue(Arg, 14);
       continue;
     }
     if (Arg.rfind("--emit-sample-log=", 0) == 0) {
@@ -373,7 +277,8 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  Conf.SuiteResolver = [](const std::string &Name, std::string &SourceOut) {
+  Conf.Engine.SuiteResolver = [](const std::string &Name,
+                                 std::string &SourceOut) {
     const SuiteProgram *Prog = findSuiteProgram(Name);
     if (!Prog)
       return false;
@@ -381,16 +286,14 @@ int main(int argc, char **argv) {
     return true;
   };
 
-  ServiceEngine Engine(std::move(Conf));
-  ThreadPool Pool(Jobs);
-  AdmissionGate Gate(QueueLimit);
+  ShardedService Service(std::move(Conf));
 
   if (SocketPath.empty()) {
-    Serve S(Engine, Pool, Gate);
-    bool ReadFailed = false;
-    serveStream(0, 1, S, &ReadFailed);
-    if (S.WriteFailed.load()) {
-      std::fprintf(stderr, "error: %s\n", S.WriteError.c_str());
+    bool ReadFailed = false, WriteFailed = false;
+    std::string WriteError;
+    serveStream(0, 1, Service, &ReadFailed, WriteFailed, WriteError);
+    if (WriteFailed) {
+      std::fprintf(stderr, "error: %s\n", WriteError.c_str());
       return 4;
     }
     if (ReadFailed) {
@@ -417,14 +320,17 @@ int main(int argc, char **argv) {
       break;
     }
     // Connections are served one at a time (requests inside a
-    // connection still analyze concurrently); the response stream of a
-    // connection is self-contained, with seq restarting at 0.
-    Serve S(Engine, Pool, Gate);
-    Shutdown = serveStream(Conn, Conn, S, nullptr);
+    // connection still analyze concurrently across the shards); the
+    // response stream of a connection is self-contained, with seq
+    // restarting at 0. Session caches persist across connections.
+    bool WriteFailed = false;
+    std::string WriteError;
+    Shutdown = serveStream(Conn, Conn, Service, nullptr, WriteFailed,
+                           WriteError);
     closeFd(Conn);
-    if (S.WriteFailed.load())
+    if (WriteFailed)
       std::fprintf(stderr, "warning: client write failed: %s\n",
-                   S.WriteError.c_str());
+                   WriteError.c_str());
   }
   closeFd(ListenFd);
   std::remove(SocketPath.c_str());
