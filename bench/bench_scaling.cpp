@@ -220,6 +220,39 @@ int main(int argc, char **argv) {
   Doc.set("scc_strictly_fewer", StrictlyFewer);
   benchReport("scaling", std::move(Doc));
 
+  // Delta against the committed pre-rewrite baseline. Timings should
+  // improve; the deterministic work counters must not move at all (the
+  // data-oriented rewrite changes layout, not the algorithm).
+  if (std::optional<JsonValue> Base = benchBaseline("scaling")) {
+    const JsonValue *BaseThreads = Base->find("threads");
+    if (BaseThreads && BaseThreads->isArray() && BaseThreads->size() > 0) {
+      std::printf("vs committed baseline (bench/baselines):\n");
+      const JsonValue *BaseMs = BaseThreads->at(0).find("suite_ms");
+      if (BaseMs)
+        printBaselineDelta("suite jobs=1", BaseMs->asDouble(), SequentialMs,
+                           "ms");
+    }
+    bool CountersStable = true;
+    if (const JsonValue *BaseSched = Base->find("schedules"))
+      for (const char *Sched : {"scc", "fifo"})
+        if (const JsonValue *BS = BaseSched->find(Sched)) {
+          const StatisticSet &Now =
+              std::string(Sched) == "scc" ? SCC : FIFO;
+          for (const char *Key :
+               {"prop_visits", "prop_evaluations", "prop_revisits"})
+            if (const JsonValue *BV = BS->find(Key))
+              if (uint64_t(BV->asInt()) != Now.get(Key)) {
+                std::printf("  COUNTER DRIFT %s/%s: baseline %lld now "
+                            "%llu\n",
+                            Sched, Key, (long long)BV->asInt(),
+                            (unsigned long long)Now.get(Key));
+                CountersStable = false;
+              }
+        }
+    std::printf("  deterministic counters vs baseline: %s\n\n",
+                CountersStable ? "unchanged" : "CHANGED");
+  }
+
   // Incremental re-analysis: populate a per-program summary cache from a
   // pristine run, edit one leaf procedure, and compare the warm rerun
   // against an identical cold run. Three claims, each per program:

@@ -16,41 +16,45 @@ using namespace ipcp;
 
 CallGraph::CallGraph(const Module &M) {
   ScopedTraceSpan BuildSpan("callgraph");
+  size_t NumProcs = M.procedures().size();
+  Order.reserve(NumProcs);
+  Sites.resize(NumProcs);
+  Callees.resize(NumProcs);
+  Callers.resize(NumProcs);
+  Recursive.assign(NumProcs, 0);
   for (const std::unique_ptr<Procedure> &P : M.procedures()) {
-    ProcIndex[P.get()] = unsigned(Order.size());
+    assert(P->getModuleIndex() == Order.size() &&
+           "module procedure indices out of sync");
     Order.push_back(P.get());
     std::vector<CallInst *> Calls = P->callSites();
-    std::vector<Procedure *> &CalleeList = Callees[P.get()];
+    std::vector<Procedure *> &CalleeList = Callees[P->getModuleIndex()];
     for (CallInst *Call : Calls) {
       Procedure *Q = Call->getCallee();
       if (std::find(CalleeList.begin(), CalleeList.end(), Q) ==
           CalleeList.end())
         CalleeList.push_back(Q);
-      std::vector<Procedure *> &CallerList = Callers[Q];
+      std::vector<Procedure *> &CallerList = Callers[Q->getModuleIndex()];
       if (std::find(CallerList.begin(), CallerList.end(), P.get()) ==
           CallerList.end())
         CallerList.push_back(P.get());
       if (Q == P.get())
-        Recursive.insert(P.get());
+        Recursive[P->getModuleIndex()] = 1;
     }
-    Sites[P.get()] = std::move(Calls);
+    Sites[P->getModuleIndex()] = std::move(Calls);
   }
   computeSCCs();
 }
 
 const std::vector<CallInst *> &CallGraph::callSitesIn(Procedure *P) const {
-  auto It = Sites.find(P);
-  return It == Sites.end() ? NoSites : It->second;
+  return Sites[procIndex(P)];
 }
 
 const std::vector<Procedure *> &CallGraph::callees(Procedure *P) const {
-  auto It = Callees.find(P);
-  return It == Callees.end() ? NoProcs : It->second;
+  return Callees[procIndex(P)];
 }
 
 const std::vector<Procedure *> &CallGraph::callers(Procedure *P) const {
-  auto It = Callers.find(P);
-  return It == Callers.end() ? NoProcs : It->second;
+  return Callers[procIndex(P)];
 }
 
 void CallGraph::computeSCCs() {
@@ -62,9 +66,13 @@ void CallGraph::computeSCCs() {
     bool OnStack = false;
     bool Visited = false;
   };
-  std::unordered_map<Procedure *, NodeState> State;
+  std::vector<NodeState> State(Order.size());
   std::vector<Procedure *> Stack;
   unsigned NextIndex = 0;
+  SCCIndex.assign(Order.size(), 0);
+  auto StateOf = [&](Procedure *P) -> NodeState & {
+    return State[P->getModuleIndex()];
+  };
 
   struct Frame {
     Procedure *P;
@@ -72,12 +80,12 @@ void CallGraph::computeSCCs() {
   };
 
   for (Procedure *Root : Order) {
-    if (State[Root].Visited)
+    if (StateOf(Root).Visited)
       continue;
     std::vector<Frame> Frames{{Root, 0}};
-    State[Root].Visited = true;
-    State[Root].Index = State[Root].LowLink = NextIndex++;
-    State[Root].OnStack = true;
+    StateOf(Root).Visited = true;
+    StateOf(Root).Index = StateOf(Root).LowLink = NextIndex++;
+    StateOf(Root).OnStack = true;
     Stack.push_back(Root);
 
     while (!Frames.empty()) {
@@ -85,7 +93,7 @@ void CallGraph::computeSCCs() {
       const std::vector<Procedure *> &Succ = callees(F.P);
       if (F.NextCallee < Succ.size()) {
         Procedure *Q = Succ[F.NextCallee++];
-        NodeState &QS = State[Q];
+        NodeState &QS = StateOf(Q);
         if (!QS.Visited) {
           QS.Visited = true;
           QS.Index = QS.LowLink = NextIndex++;
@@ -93,36 +101,36 @@ void CallGraph::computeSCCs() {
           Stack.push_back(Q);
           Frames.push_back({Q, 0});
         } else if (QS.OnStack) {
-          State[F.P].LowLink = std::min(State[F.P].LowLink, QS.Index);
+          StateOf(F.P).LowLink = std::min(StateOf(F.P).LowLink, QS.Index);
         }
         continue;
       }
 
       // Finished with F.P: close its SCC if it is a root.
-      NodeState &PS = State[F.P];
+      NodeState &PS = StateOf(F.P);
       if (PS.LowLink == PS.Index) {
         std::vector<Procedure *> Component;
         while (true) {
           Procedure *Q = Stack.back();
           Stack.pop_back();
-          State[Q].OnStack = false;
+          StateOf(Q).OnStack = false;
           Component.push_back(Q);
           if (Q == F.P)
             break;
         }
         if (Component.size() > 1)
           for (Procedure *Q : Component)
-            Recursive.insert(Q);
+            Recursive[Q->getModuleIndex()] = 1;
         for (Procedure *Q : Component)
-          SCCIndex[Q] = unsigned(SCCs.size());
+          SCCIndex[Q->getModuleIndex()] = unsigned(SCCs.size());
         SCCs.push_back(std::move(Component));
       }
       Procedure *Done = F.P;
       Frames.pop_back();
       if (!Frames.empty()) {
-        NodeState &ParentState = State[Frames.back().P];
+        NodeState &ParentState = StateOf(Frames.back().P);
         ParentState.LowLink =
-            std::min(ParentState.LowLink, State[Done].LowLink);
+            std::min(ParentState.LowLink, StateOf(Done).LowLink);
       }
     }
   }

@@ -47,25 +47,24 @@ public:
 
   /// True when \p P participates in recursion (its SCC has >1 member or a
   /// direct self-call).
-  bool isRecursive(Procedure *P) const { return Recursive.count(P) != 0; }
+  bool isRecursive(Procedure *P) const {
+    return Recursive[procIndex(P)] != 0;
+  }
 
   /// Dense module-order index of \p P in [0, procedures().size()). The
   /// SCC-scheduled propagator uses it to key per-procedure vectors.
   unsigned procIndex(Procedure *P) const {
-    auto It = ProcIndex.find(P);
-    assert(It != ProcIndex.end() && "procedure not in call graph");
-    return It->second;
+    assert(P->getModuleIndex() < Order.size() &&
+           Order[P->getModuleIndex()] == P &&
+           "procedure not in call graph");
+    return P->getModuleIndex();
   }
 
   /// Index of \p P's component within sccsBottomUp(). Cross-component
   /// edges always point from a larger to a smaller index (callees finish
   /// first under Tarjan), which is what makes one top-down sweep over the
   /// condensation converge.
-  unsigned sccIndex(Procedure *P) const {
-    auto It = SCCIndex.find(P);
-    assert(It != SCCIndex.end() && "procedure not in call graph");
-    return It->second;
-  }
+  unsigned sccIndex(Procedure *P) const { return SCCIndex[procIndex(P)]; }
 
   /// Procedures reachable from \p Entry (inclusive); empty when Entry is
   /// null.
@@ -76,16 +75,14 @@ public:
 private:
   void computeSCCs();
 
+  // Side tables are flat vectors over procIndex (== module order).
   std::vector<Procedure *> Order; // module order
-  std::unordered_map<Procedure *, unsigned> ProcIndex;
-  std::unordered_map<Procedure *, unsigned> SCCIndex;
-  std::unordered_map<Procedure *, std::vector<CallInst *>> Sites;
-  std::unordered_map<Procedure *, std::vector<Procedure *>> Callees;
-  std::unordered_map<Procedure *, std::vector<Procedure *>> Callers;
+  std::vector<unsigned> SCCIndex;
+  std::vector<std::vector<CallInst *>> Sites;
+  std::vector<std::vector<Procedure *>> Callees;
+  std::vector<std::vector<Procedure *>> Callers;
   std::vector<std::vector<Procedure *>> SCCs;
-  std::unordered_set<Procedure *> Recursive;
-  std::vector<CallInst *> NoSites;
-  std::vector<Procedure *> NoProcs;
+  std::vector<char> Recursive;
 };
 
 } // namespace ipcp

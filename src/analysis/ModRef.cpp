@@ -16,24 +16,24 @@ bool ModRefInfo::formalMayBeModified(const Procedure *P,
                                      unsigned Index) const {
   if (WorstCase)
     return true;
-  auto It = FormalMod.find(P);
-  if (It == FormalMod.end())
+  uint32_t PI = P->getModuleIndex();
+  if (PI >= FormalMod.size())
     return false;
-  return Index < It->second.size() && It->second[Index];
+  return Index < FormalMod[PI].size() && FormalMod[PI][Index];
 }
 
 const VariableSet &ModRefInfo::modifiedGlobals(const Procedure *P) const {
   if (WorstCase)
     return AllScalarGlobals;
-  auto It = GlobalMod.find(P);
-  return It == GlobalMod.end() ? EmptySet : It->second;
+  uint32_t PI = P->getModuleIndex();
+  return PI >= GlobalMod.size() ? EmptySet : GlobalMod[PI];
 }
 
 const VariableSet &ModRefInfo::extendedGlobals(const Procedure *P) const {
   if (WorstCase)
     return AllScalarGlobals;
-  auto It = ExtGlobals.find(P);
-  return It == ExtGlobals.end() ? EmptySet : It->second;
+  uint32_t PI = P->getModuleIndex();
+  return PI >= ExtGlobals.size() ? EmptySet : ExtGlobals[PI];
 }
 
 std::vector<Variable *> ModRefInfo::callKills(const CallInst *Call) const {
@@ -63,11 +63,15 @@ ModRefInfo ModRefInfo::compute(const Module &M, const CallGraph &CG) {
   ScopedTraceSpan ComputeSpan("modref");
 
   // Direct (local) effects first.
+  size_t NumProcs = M.procedures().size();
+  Info.FormalMod.resize(NumProcs);
+  Info.GlobalMod.resize(NumProcs);
+  Info.ExtGlobals.resize(NumProcs);
   for (const std::unique_ptr<Procedure> &P : M.procedures()) {
-    std::vector<bool> &Mods = Info.FormalMod[P.get()];
+    std::vector<bool> &Mods = Info.FormalMod[P->getModuleIndex()];
     Mods.assign(P->getNumFormals(), false);
-    VariableSet &GMod = Info.GlobalMod[P.get()];
-    VariableSet &Ext = Info.ExtGlobals[P.get()];
+    VariableSet &GMod = Info.GlobalMod[P->getModuleIndex()];
+    VariableSet &Ext = Info.ExtGlobals[P->getModuleIndex()];
     for (const std::unique_ptr<BasicBlock> &BB : P->blocks()) {
       for (const std::unique_ptr<Instruction> &Inst : BB->instructions()) {
         if (const auto *Store = dyn_cast<StoreInst>(Inst.get())) {
@@ -94,14 +98,15 @@ ModRefInfo ModRefInfo::compute(const Module &M, const CallGraph &CG) {
   while (!Work.empty()) {
     Procedure *P = Work.pop();
     bool Changed = false;
-    std::vector<bool> &Mods = Info.FormalMod[P];
-    VariableSet &GMod = Info.GlobalMod[P];
-    VariableSet &Ext = Info.ExtGlobals[P];
+    std::vector<bool> &Mods = Info.FormalMod[P->getModuleIndex()];
+    VariableSet &GMod = Info.GlobalMod[P->getModuleIndex()];
+    VariableSet &Ext = Info.ExtGlobals[P->getModuleIndex()];
 
     for (const CallInst *Call : CG.callSitesIn(P)) {
       const Procedure *Q = Call->getCallee();
       // Bind callee formal side effects to caller locations.
-      const std::vector<bool> &CalleeMods = Info.FormalMod[Q];
+      const std::vector<bool> &CalleeMods =
+          Info.FormalMod[Q->getModuleIndex()];
       for (unsigned I = 0, E = Call->getNumActuals(); I != E; ++I) {
         if (I >= CalleeMods.size() || !CalleeMods[I])
           continue;
@@ -117,12 +122,12 @@ ModRefInfo ModRefInfo::compute(const Module &M, const CallGraph &CG) {
         }
       }
       // Globals are shared: callee effects apply directly.
-      for (Variable *G : Info.GlobalMod[Q])
+      for (Variable *G : Info.GlobalMod[Q->getModuleIndex()])
         if (GMod.insert(G).second) {
           Ext.insert(G);
           Changed = true;
         }
-      for (Variable *G : Info.ExtGlobals[Q])
+      for (Variable *G : Info.ExtGlobals[Q->getModuleIndex()])
         if (Ext.insert(G).second)
           Changed = true;
     }

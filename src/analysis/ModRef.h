@@ -64,9 +64,10 @@ private:
 
   bool WorstCase = false;
   VariableSet AllScalarGlobals;
-  std::unordered_map<const Procedure *, std::vector<bool>> FormalMod;
-  std::unordered_map<const Procedure *, VariableSet> GlobalMod;
-  std::unordered_map<const Procedure *, VariableSet> ExtGlobals;
+  // Summaries are flat vectors over Procedure::getModuleIndex().
+  std::vector<std::vector<bool>> FormalMod;
+  std::vector<VariableSet> GlobalMod;
+  std::vector<VariableSet> ExtGlobals;
   VariableSet EmptySet;
 };
 

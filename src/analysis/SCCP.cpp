@@ -10,26 +10,28 @@
 #include "support/Trace.h"
 
 #include <cassert>
-#include <deque>
 
 using namespace ipcp;
 
 LatticeValue SCCPResult::valueOf(const Value *V) const {
+  if (const auto *Inst = dyn_cast<Instruction>(V)) {
+    assert(Inst->getLocalIdx() < InstValues.size() &&
+           "instruction outside the analyzed procedure");
+    return InstValues[Inst->getLocalIdx()];
+  }
   if (const auto *C = dyn_cast<ConstantInt>(V))
     return LatticeValue::constant(C->getValue());
   if (const auto *Entry = dyn_cast<EntryValue>(V)) {
     auto It = EntrySeeds.find(Entry->getVariable());
     return It == EntrySeeds.end() ? LatticeValue::bottom() : It->second;
   }
-  if (isa<UndefValue>(V))
-    return LatticeValue::bottom(); // defensive: undef is never constant
-  auto It = Values.find(V);
-  return It == Values.end() ? LatticeValue::top() : It->second;
+  assert(isa<UndefValue>(V) && "unexpected value kind");
+  return LatticeValue::bottom(); // defensive: undef is never constant
 }
 
 unsigned SCCPResult::constantValueCount() const {
   unsigned Count = 0;
-  for (const auto &[V, LV] : Values)
+  for (LatticeValue LV : InstValues)
     if (LV.isConstant())
       ++Count;
   return Count;
@@ -37,80 +39,104 @@ unsigned SCCPResult::constantValueCount() const {
 
 namespace {
 
-/// One SCCP fixpoint computation. The friend function runSCCP hands the
-/// result's internal containers to this solver.
+/// One SCCP fixpoint computation, writing straight into the result's
+/// dense tables. Def-use chains are a CSR adjacency over local
+/// instruction indices; worklists are plain index vectors (duplicates
+/// allowed, exactly like the previous deque formulation — each pop
+/// re-checks executability and monotonicity).
 class SCCPSolverImpl {
 public:
   SCCPSolverImpl(const Procedure &P, const SCCPOptions &Options,
-                 const SCCPResult &R,
-                 std::unordered_map<const Value *, LatticeValue> &Values,
-                 std::unordered_set<const BasicBlock *> &ExecBlocks,
-                 SCCPResult::EdgeSet &ExecEdges)
-      : P(P), Options(Options), R(R), Values(Values), ExecBlocks(ExecBlocks),
-        ExecEdges(ExecEdges) {}
+                 const SCCPResult &R, std::vector<LatticeValue> &InstValues,
+                 std::vector<char> &ExecBlocks,
+                 std::vector<std::array<char, 2>> &ExecEdges)
+      : P(P), Stream(P.instStream()), Options(Options), R(R),
+        InstValues(InstValues), ExecBlocks(ExecBlocks), ExecEdges(ExecEdges) {
+  }
 
   void solve();
 
 private:
   void buildUses();
   void markBlockExecutable(const BasicBlock *BB);
-  void markEdgeExecutable(const BasicBlock *From, const BasicBlock *To);
+  void markEdgeExecutable(const BasicBlock *From, unsigned Slot);
   void setValue(const Instruction *Inst, LatticeValue NewVal);
   LatticeValue evaluate(const Instruction *Inst);
 
   const Procedure &P;
+  const Procedure::InstStream &Stream;
   const SCCPOptions &Options;
   const SCCPResult &R;
-  std::unordered_map<const Value *, LatticeValue> &Values;
-  std::unordered_set<const BasicBlock *> &ExecBlocks;
-  SCCPResult::EdgeSet &ExecEdges;
+  std::vector<LatticeValue> &InstValues;
+  std::vector<char> &ExecBlocks;
+  std::vector<std::array<char, 2>> &ExecEdges;
 
-  /// def -> instructions whose lattice value depends on it (operand users
-  /// plus the CallOuts of a call whose actuals it feeds).
-  std::unordered_map<const Value *, std::vector<const Instruction *>> Uses;
+  /// CSR def-use chains: users of instruction i live in
+  /// UseList[UseOffsets[i] .. UseOffsets[i+1]).
+  std::vector<uint32_t> UseOffsets;
+  std::vector<uint32_t> UseList;
 
-  std::deque<const Instruction *> InstWork;
-  std::deque<std::pair<const BasicBlock *, const BasicBlock *>> EdgeWork;
+  std::vector<uint32_t> InstWork; ///< local instruction indices (LIFO)
+  std::vector<uint32_t> EdgeWork; ///< (block pos << 1) | successor slot
 };
 
 } // namespace
 
 void SCCPSolverImpl::buildUses() {
-  for (const std::unique_ptr<BasicBlock> &BB : P.blocks()) {
-    for (const std::unique_ptr<Instruction> &Inst : BB->instructions()) {
-      for (const Value *Op : Inst->operands())
+  size_t N = Stream.size();
+  UseOffsets.assign(N + 1, 0);
+
+  // Pass 1: count uses per definition; pass 2: fill the CSR list. A
+  // CallOut's value is a function of the call's actual values (the return
+  // jump function is evaluated over them), so it registers as a user of
+  // each instruction-valued actual.
+  auto ForEachDep = [&](const Instruction *Inst, auto Fn) {
+    for (const Value *Op : Inst->operands())
+      if (Op && Op->isInstruction())
+        Fn(static_cast<const Instruction *>(Op));
+    if (const auto *Out = dyn_cast<CallOutInst>(Inst))
+      for (const Value *Op : Out->getCall()->operands())
         if (Op && Op->isInstruction())
-          Uses[Op].push_back(Inst.get());
-      // A CallOut's value is a function of the call's actual values (the
-      // return jump function is evaluated over them), so register it as a
-      // user of each instruction-valued actual.
-      if (const auto *Out = dyn_cast<CallOutInst>(Inst.get())) {
-        const CallInst *Call = Out->getCall();
-        for (const Value *Op : Call->operands())
-          if (Op && Op->isInstruction())
-            Uses[Op].push_back(Out);
-      }
-    }
-  }
+          Fn(static_cast<const Instruction *>(Op));
+  };
+
+  for (const Instruction *Inst : Stream.Insts)
+    ForEachDep(Inst, [&](const Instruction *Def) {
+      ++UseOffsets[Def->getLocalIdx() + 1];
+    });
+  for (size_t I = 0; I != N; ++I)
+    UseOffsets[I + 1] += UseOffsets[I];
+
+  UseList.resize(UseOffsets[N]);
+  std::vector<uint32_t> Cursor(UseOffsets.begin(), UseOffsets.end() - 1);
+  for (const Instruction *Inst : Stream.Insts)
+    ForEachDep(Inst, [&](const Instruction *Def) {
+      UseList[Cursor[Def->getLocalIdx()]++] = Inst->getLocalIdx();
+    });
 }
 
 void SCCPSolverImpl::markBlockExecutable(const BasicBlock *BB) {
-  if (!ExecBlocks.insert(BB).second)
+  if (ExecBlocks[BB->getDensePos()])
     return;
-  for (const std::unique_ptr<Instruction> &Inst : BB->instructions())
-    InstWork.push_back(Inst.get());
+  ExecBlocks[BB->getDensePos()] = 1;
+  const Procedure::InstStream::Span &Span = Stream.Spans[BB->getDensePos()];
+  for (uint32_t I = Span.Begin; I != Span.End; ++I)
+    InstWork.push_back(I);
 }
 
 void SCCPSolverImpl::markEdgeExecutable(const BasicBlock *From,
-                                        const BasicBlock *To) {
-  if (!ExecEdges.insert({From, To}).second)
+                                        unsigned Slot) {
+  if (ExecEdges[From->getDensePos()][Slot])
     return;
-  if (ExecBlocks.count(To)) {
+  ExecEdges[From->getDensePos()][Slot] = 1;
+  const BasicBlock *To = From->getSuccessor(Slot);
+  if (ExecBlocks[To->getDensePos()]) {
     // Only the phis can change when an additional edge becomes live.
-    for (const std::unique_ptr<Instruction> &Inst : To->instructions()) {
-      if (!isa<PhiInst>(Inst.get()))
+    const Procedure::InstStream::Span &Span = Stream.Spans[To->getDensePos()];
+    for (uint32_t I = Span.Begin; I != Span.End; ++I) {
+      if (!isa<PhiInst>(Stream.Insts[I]))
         break;
-      InstWork.push_back(Inst.get());
+      InstWork.push_back(I);
     }
     return;
   }
@@ -118,16 +144,15 @@ void SCCPSolverImpl::markEdgeExecutable(const BasicBlock *From,
 }
 
 void SCCPSolverImpl::setValue(const Instruction *Inst, LatticeValue NewVal) {
-  LatticeValue Old = R.valueOf(Inst);
+  LatticeValue &Cell = InstValues[Inst->getLocalIdx()];
   // Monotonicity: only ever lower.
-  LatticeValue Lowered = meet(Old, NewVal);
-  if (Lowered == Old)
+  LatticeValue Lowered = meet(Cell, NewVal);
+  if (Lowered == Cell)
     return;
-  Values[Inst] = Lowered;
-  auto It = Uses.find(Inst);
-  if (It != Uses.end())
-    for (const Instruction *User : It->second)
-      InstWork.push_back(User);
+  Cell = Lowered;
+  uint32_t Idx = Inst->getLocalIdx();
+  for (uint32_t U = UseOffsets[Idx], E = UseOffsets[Idx + 1]; U != E; ++U)
+    InstWork.push_back(UseList[U]);
 }
 
 LatticeValue SCCPSolverImpl::evaluate(const Instruction *Inst) {
@@ -194,16 +219,21 @@ void SCCPSolverImpl::solve() {
   buildUses();
   markBlockExecutable(P.getEntryBlock());
 
+  auto PushEdge = [&](const BasicBlock *From, const BasicBlock *To) {
+    unsigned Slot = From->getSuccessor(0) == To ? 0 : 1;
+    EdgeWork.push_back((From->getDensePos() << 1) | Slot);
+  };
+
   while (!InstWork.empty() || !EdgeWork.empty()) {
     while (!EdgeWork.empty()) {
-      auto [From, To] = EdgeWork.front();
-      EdgeWork.pop_front();
-      markEdgeExecutable(From, To);
+      uint32_t Enc = EdgeWork.back();
+      EdgeWork.pop_back();
+      markEdgeExecutable(P.blocks()[Enc >> 1].get(), Enc & 1);
     }
     if (InstWork.empty())
       break;
-    const Instruction *Inst = InstWork.front();
-    InstWork.pop_front();
+    const Instruction *Inst = Stream.Insts[InstWork.back()];
+    InstWork.pop_back();
     if (!R.isExecutable(Inst->getParent()))
       continue;
 
@@ -213,7 +243,7 @@ void SCCPSolverImpl::solve() {
     }
 
     if (const auto *Br = dyn_cast<BranchInst>(Inst)) {
-      EdgeWork.push_back({Inst->getParent(), Br->getTarget()});
+      PushEdge(Inst->getParent(), Br->getTarget());
       continue;
     }
     if (const auto *CBr = dyn_cast<CondBranchInst>(Inst)) {
@@ -224,10 +254,10 @@ void SCCPSolverImpl::solve() {
         const BasicBlock *Taken = Cond.getConstant() != 0
                                       ? CBr->getTrueTarget()
                                       : CBr->getFalseTarget();
-        EdgeWork.push_back({Inst->getParent(), Taken});
+        PushEdge(Inst->getParent(), Taken);
       } else {
-        EdgeWork.push_back({Inst->getParent(), CBr->getTrueTarget()});
-        EdgeWork.push_back({Inst->getParent(), CBr->getFalseTarget()});
+        PushEdge(Inst->getParent(), CBr->getTrueTarget());
+        PushEdge(Inst->getParent(), CBr->getFalseTarget());
       }
       continue;
     }
@@ -239,8 +269,12 @@ SCCPResult ipcp::runSCCP(const Procedure &P, const SCCPOptions &Options) {
   ScopedTraceSpan SolveSpan("sccp", P.getName());
   SCCPResult Result;
   Result.EntrySeeds = Options.EntrySeeds;
-  SCCPSolverImpl Solver(P, Options, Result, Result.Values, Result.ExecBlocks,
-                        Result.ExecEdges);
+  const Procedure::InstStream &Stream = P.instStream();
+  Result.InstValues.assign(Stream.size(), LatticeValue::top());
+  Result.ExecBlocks.assign(Stream.numBlocks(), 0);
+  Result.ExecEdges.assign(Stream.numBlocks(), {0, 0});
+  SCCPSolverImpl Solver(P, Options, Result, Result.InstValues,
+                        Result.ExecBlocks, Result.ExecEdges);
   Solver.solve();
   return Result;
 }

@@ -23,6 +23,13 @@
 /// non-executable, which is also how dead code is detected for the
 /// "complete propagation" experiment.
 ///
+/// The solver is data-oriented: lattice cells live in one flat vector
+/// indexed by the procedure's flat instruction stream
+/// (Instruction::getLocalIdx()), executable-block and executable-edge
+/// flags are bitmaps over dense block positions, and def-use chains are a
+/// CSR adjacency built in two passes. The result stays valid as long as
+/// the procedure's stream does (no instruction/block mutation).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPCP_ANALYSIS_SCCP_H
@@ -31,9 +38,10 @@
 #include "core/Lattice.h"
 #include "ir/Module.h"
 
+#include <array>
 #include <functional>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 namespace ipcp {
 
@@ -54,42 +62,33 @@ struct SCCPOptions {
 class SCCPResult {
 public:
   /// Lattice value of \p V at fixpoint. Values in never-executed blocks
-  /// report top.
+  /// report top. Instructions must belong to the analyzed procedure.
   LatticeValue valueOf(const Value *V) const;
 
   /// Whether any path from the entry can reach \p BB.
   bool isExecutable(const BasicBlock *BB) const {
-    return ExecBlocks.count(BB) != 0;
+    return ExecBlocks[BB->getDensePos()] != 0;
   }
 
   /// Whether the CFG edge \p From -> \p To can ever be taken.
   bool isExecutableEdge(const BasicBlock *From, const BasicBlock *To) const {
-    return ExecEdges.count({From, To}) != 0;
+    const std::array<char, 2> &Slots = ExecEdges[From->getDensePos()];
+    for (unsigned I = 0, E = From->getNumSuccessors(); I != E; ++I)
+      if (Slots[I] && From->getSuccessor(I) == To)
+        return true;
+    return false;
   }
 
   /// Number of lattice cells that ended as constants (for statistics).
   unsigned constantValueCount() const;
 
-  /// Hash for CFG edges (exposed for the solver implementation).
-  struct EdgeHash {
-    size_t operator()(
-        const std::pair<const BasicBlock *, const BasicBlock *> &E) const {
-      return std::hash<const void *>()(E.first) * 31 ^
-             std::hash<const void *>()(E.second);
-    }
-  };
-
-  using EdgeSet =
-      std::unordered_set<std::pair<const BasicBlock *, const BasicBlock *>,
-                         EdgeHash>;
-
 private:
   friend SCCPResult runSCCP(const Procedure &P, const SCCPOptions &Options);
 
-  std::unordered_map<const Value *, LatticeValue> Values;
+  std::vector<LatticeValue> InstValues;    ///< by Instruction::getLocalIdx()
+  std::vector<char> ExecBlocks;            ///< by dense block pos
+  std::vector<std::array<char, 2>> ExecEdges; ///< by (block pos, succ slot)
   std::unordered_map<Variable *, LatticeValue> EntrySeeds;
-  std::unordered_set<const BasicBlock *> ExecBlocks;
-  EdgeSet ExecEdges;
 };
 
 /// Runs SCCP on \p P (must be in SSA form).

@@ -8,18 +8,19 @@
 
 #include "ir/Dominators.h"
 #include "support/Casting.h"
-#include "support/Worklist.h"
 
 #include <algorithm>
-
 #include <cassert>
-#include <unordered_set>
 
 using namespace ipcp;
 
 namespace {
 
-/// One SSA construction run.
+/// One SSA construction run. Promoted variables get dense indices
+/// (position in SSAResult::PromotedVars), definition stacks live in a
+/// flat vector-of-vectors over those indices, and load replacements are a
+/// flat table over the procedure's instruction stream — the pointer-keyed
+/// hash maps this replaces were a top-3 entry in the pipeline profile.
 class SSABuilder {
 public:
   SSABuilder(Procedure &P, const ModRefInfo &MRI) : P(P), MRI(MRI) {}
@@ -28,30 +29,43 @@ public:
 
 private:
   void collectPromotedVars();
-  void insertPhis(const DominatorTree &DT, const DominanceFrontier &DF);
+  void insertPhis(const DominanceFrontier &DF);
   void rename(const DominatorTree &DT);
-  void renameBlock(BasicBlock *BB, const DominatorTree &DT,
-                   std::vector<std::pair<Variable *, Value *>> &Popped);
+  void renameBlock(BasicBlock *BB,
+                   std::vector<std::pair<uint32_t, Value *>> &Popped);
 
-  Value *currentDef(Variable *Var) {
-    auto It = Defs.find(Var);
-    assert(It != Defs.end() && !It->second.empty() &&
-           "promoted variable without a reaching definition");
-    return It->second.back();
+  /// Dense index of a promoted variable, or -1 when not promoted.
+  int32_t indexOf(const Variable *Var) const {
+    auto It = VarIdx.find(Var);
+    return It == VarIdx.end() ? -1 : int32_t(It->second);
   }
 
-  void pushDef(Variable *Var, Value *V,
-               std::vector<std::pair<Variable *, Value *>> &Popped) {
-    Defs[Var].push_back(V);
-    Popped.push_back({Var, V});
+  Value *currentDef(uint32_t Idx) {
+    assert(!Defs[Idx].empty() &&
+           "promoted variable without a reaching definition");
+    return Defs[Idx].back();
+  }
+
+  void pushDef(uint32_t Idx, Value *V,
+               std::vector<std::pair<uint32_t, Value *>> &Popped) {
+    Defs[Idx].push_back(V);
+    Popped.push_back({Idx, V});
+  }
+
+  /// The SSA value replacing an erased load operand, if any.
+  Value *replacementFor(Value *V) const {
+    auto *Inst = dyn_cast_or_null<Instruction>(V);
+    if (!Inst || Inst->getLocalIdx() >= Replacements.size())
+      return nullptr; // includes call-outs inserted during renaming
+    return Replacements[Inst->getLocalIdx()];
   }
 
   Procedure &P;
   const ModRefInfo &MRI;
   SSAResult Result;
-  std::unordered_set<Variable *> Promoted;
-  std::unordered_map<Variable *, std::vector<Value *>> Defs;
-  std::unordered_map<Instruction *, Value *> Replacements;
+  std::unordered_map<const Variable *, uint32_t> VarIdx;
+  std::vector<std::vector<Value *>> Defs;  ///< by promoted-var index
+  std::vector<Value *> Replacements;       ///< by pre-rename local index
   std::vector<Instruction *> ToErase;
 };
 
@@ -59,7 +73,8 @@ private:
 
 void SSABuilder::collectPromotedVars() {
   auto Add = [&](Variable *Var) {
-    if (Var->isScalar() && Promoted.insert(Var).second)
+    if (Var->isScalar() &&
+        VarIdx.emplace(Var, uint32_t(Result.PromotedVars.size())).second)
       Result.PromotedVars.push_back(Var);
   };
   for (Variable *F : P.formals())
@@ -70,51 +85,63 @@ void SSABuilder::collectPromotedVars() {
     Add(G);
 }
 
-void SSABuilder::insertPhis(const DominatorTree &DT,
-                            const DominanceFrontier &DF) {
-  for (Variable *Var : Result.PromotedVars) {
-    // Definition sites: entry (implicit), stores, and killing calls.
-    std::vector<BasicBlock *> DefBlocks{P.getEntryBlock()};
-    for (const std::unique_ptr<BasicBlock> &BB : P.blocks()) {
-      for (const std::unique_ptr<Instruction> &Inst : BB->instructions()) {
-        if (const auto *Store = dyn_cast<StoreInst>(Inst.get())) {
-          if (Store->getVariable() == Var) {
-            DefBlocks.push_back(BB.get());
-            break;
-          }
-        } else if (const auto *Call = dyn_cast<CallInst>(Inst.get())) {
-          std::vector<Variable *> Kills = MRI.callKills(Call);
-          if (std::find(Kills.begin(), Kills.end(), Var) != Kills.end()) {
-            DefBlocks.push_back(BB.get());
-            break;
-          }
-        }
-      }
-    }
+void SSABuilder::insertPhis(const DominanceFrontier &DF) {
+  size_t NumVars = Result.PromotedVars.size();
+  size_t NumBlocks = P.blocks().size();
 
-    // Iterated dominance frontier.
-    Worklist<BasicBlock *> Work;
-    for (BasicBlock *BB : DefBlocks)
-      Work.insert(BB);
-    std::unordered_set<BasicBlock *> HasPhi;
+  // Definition sites per variable: entry (implicit), stores, and killing
+  // calls — gathered in a single walk (the previous per-variable scan
+  // re-derived every call's kill set once per promoted variable).
+  std::vector<std::vector<BasicBlock *>> DefBlocks(NumVars);
+  for (uint32_t I = 0; I != NumVars; ++I)
+    DefBlocks[I].push_back(P.getEntryBlock());
+  auto NoteDef = [&](const Variable *Var, BasicBlock *BB) {
+    int32_t Idx = indexOf(Var);
+    if (Idx >= 0 && DefBlocks[Idx].back() != BB)
+      DefBlocks[Idx].push_back(BB);
+  };
+  for (const std::unique_ptr<BasicBlock> &BB : P.blocks()) {
+    for (const std::unique_ptr<Instruction> &Inst : BB->instructions()) {
+      if (const auto *Store = dyn_cast<StoreInst>(Inst.get()))
+        NoteDef(Store->getVariable(), BB.get());
+      else if (const auto *Call = dyn_cast<CallInst>(Inst.get()))
+        for (Variable *Killed : MRI.callKills(Call))
+          NoteDef(Killed, BB.get());
+    }
+  }
+
+  // Iterated dominance frontier per variable. The HasPhi / queued marks
+  // are generation-stamped by variable index so the flat tables are
+  // allocated once.
+  std::vector<uint32_t> HasPhi(NumBlocks, ~0u);
+  std::vector<uint32_t> Queued(NumBlocks, ~0u);
+  std::vector<BasicBlock *> Work;
+  for (uint32_t VI = 0; VI != NumVars; ++VI) {
+    Variable *Var = Result.PromotedVars[VI];
+    Work.assign(DefBlocks[VI].begin(), DefBlocks[VI].end());
+    for (BasicBlock *BB : Work)
+      Queued[BB->getDensePos()] = VI;
     while (!Work.empty()) {
-      BasicBlock *BB = Work.pop();
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
       for (BasicBlock *Frontier : DF.frontier(BB)) {
-        if (!HasPhi.insert(Frontier).second)
+        if (HasPhi[Frontier->getDensePos()] == VI)
           continue;
+        HasPhi[Frontier->getDensePos()] = VI;
         auto Phi = std::make_unique<PhiInst>(P.getModule()->nextInstId(),
                                              SourceLoc(), Var);
         Frontier->insertAtTop(std::move(Phi), /*AfterPhis=*/false);
-        Work.insert(Frontier);
+        if (Queued[Frontier->getDensePos()] != VI) {
+          Queued[Frontier->getDensePos()] = VI;
+          Work.push_back(Frontier);
+        }
       }
     }
   }
-  (void)DT;
 }
 
 void SSABuilder::renameBlock(
-    BasicBlock *BB, const DominatorTree &DT,
-    std::vector<std::pair<Variable *, Value *>> &Popped) {
+    BasicBlock *BB, std::vector<std::pair<uint32_t, Value *>> &Popped) {
   // Snapshot: CallOut insertion appends to the live list.
   std::vector<Instruction *> Insts;
   Insts.reserve(BB->instructions().size());
@@ -125,32 +152,32 @@ void SSABuilder::renameBlock(
     // Rewrite operands that name replaced loads. Dominator-tree pre-order
     // guarantees the replacement is already known.
     if (!isa<PhiInst>(Inst))
-      for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I) {
-        auto It = Replacements.find(
-            dyn_cast_or_null<Instruction>(Inst->getOperand(I)));
-        if (It != Replacements.end())
-          Inst->setOperand(I, It->second);
-      }
+      for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I)
+        if (Value *New = replacementFor(Inst->getOperand(I)))
+          Inst->setOperand(I, New);
 
     if (auto *Phi = dyn_cast<PhiInst>(Inst)) {
-      if (Promoted.count(Phi->getVariable()))
-        pushDef(Phi->getVariable(), Phi, Popped);
+      int32_t Idx = indexOf(Phi->getVariable());
+      if (Idx >= 0)
+        pushDef(Idx, Phi, Popped);
       continue;
     }
     if (auto *Load = dyn_cast<LoadInst>(Inst)) {
-      if (!Promoted.count(Load->getVariable()))
+      int32_t Idx = indexOf(Load->getVariable());
+      if (Idx < 0)
         continue;
-      Value *Def = currentDef(Load->getVariable());
-      Replacements[Load] = Def;
+      Value *Def = currentDef(Idx);
+      Replacements[Load->getLocalIdx()] = Def;
       Result.Loads.push_back(
           {Load->getId(), BB, Def, Load->getLoc(), Load->getVariable()});
       ToErase.push_back(Load);
       continue;
     }
     if (auto *Store = dyn_cast<StoreInst>(Inst)) {
-      if (!Promoted.count(Store->getVariable()))
+      int32_t Idx = indexOf(Store->getVariable());
+      if (Idx < 0)
         continue;
-      pushDef(Store->getVariable(), Store->getValueOperand(), Popped);
+      pushDef(Idx, Store->getValueOperand(), Popped);
       ToErase.push_back(Store);
       continue;
     }
@@ -159,57 +186,61 @@ void SSABuilder::renameBlock(
       // effects (CallOuts) are pushed.
       std::unordered_map<Variable *, Value *> &AtCall =
           Result.CallInValues[Call];
-      for (Variable *Var : Result.PromotedVars)
-        AtCall[Var] = currentDef(Var);
+      for (uint32_t VI = 0, E = Result.PromotedVars.size(); VI != E; ++VI)
+        AtCall[Result.PromotedVars[VI]] = currentDef(VI);
 
       Instruction *InsertPoint = Call;
       for (Variable *Killed : MRI.callKills(Call)) {
-        if (!Promoted.count(Killed))
+        int32_t Idx = indexOf(Killed);
+        if (Idx < 0)
           continue;
         auto Out = std::make_unique<CallOutInst>(
             P.getModule()->nextInstId(), Call->getLoc(), Call, Killed);
         CallOutInst *Raw = cast<CallOutInst>(
             BB->insertAfter(InsertPoint, std::move(Out)));
         InsertPoint = Raw;
-        pushDef(Killed, Raw, Popped);
+        pushDef(Idx, Raw, Popped);
       }
       continue;
     }
   }
 
   // Feed phi operands of successors.
-  for (BasicBlock *Succ : BB->successors()) {
+  for (unsigned SI = 0, SE = BB->getNumSuccessors(); SI != SE; ++SI) {
+    BasicBlock *Succ = BB->getSuccessor(SI);
     for (const std::unique_ptr<Instruction> &Inst : Succ->instructions()) {
       auto *Phi = dyn_cast<PhiInst>(Inst.get());
       if (!Phi)
         break;
-      Phi->addIncoming(currentDef(Phi->getVariable()), BB);
+      Phi->addIncoming(currentDef(indexOf(Phi->getVariable())), BB);
     }
   }
 
   if (BB == P.getExitBlock())
-    for (Variable *Var : Result.PromotedVars)
-      Result.ExitValues[Var] = currentDef(Var);
-
-  (void)DT;
+    for (uint32_t VI = 0, E = Result.PromotedVars.size(); VI != E; ++VI)
+      Result.ExitValues[Result.PromotedVars[VI]] = currentDef(VI);
 }
 
 void SSABuilder::rename(const DominatorTree &DT) {
+  // The stream now includes the freshly inserted phis; its indices key
+  // the replacement table until the erased loads are dropped at the end.
+  Replacements.assign(P.instStream().size(), nullptr);
+
   // Initialize reaching definitions at entry.
-  std::vector<std::pair<Variable *, Value *>> EntryDefs;
-  for (Variable *Var : Result.PromotedVars) {
+  Defs.resize(Result.PromotedVars.size());
+  for (uint32_t VI = 0, E = Result.PromotedVars.size(); VI != E; ++VI) {
+    Variable *Var = Result.PromotedVars[VI];
     Value *Init = Var->isLocal()
                       ? static_cast<Value *>(P.getModule()->getUndef())
                       : static_cast<Value *>(P.getEntryValue(Var));
-    Defs[Var].push_back(Init);
+    Defs[VI].push_back(Init);
   }
-  (void)EntryDefs;
 
   // Iterative pre-order walk of the dominator tree with scoped def stacks.
   struct Frame {
     BasicBlock *BB;
     size_t NextChild = 0;
-    std::vector<std::pair<Variable *, Value *>> Pushed;
+    std::vector<std::pair<uint32_t, Value *>> Pushed;
     bool Entered = false;
   };
   std::vector<Frame> Stack;
@@ -218,7 +249,7 @@ void SSABuilder::rename(const DominatorTree &DT) {
     Frame &F = Stack.back();
     if (!F.Entered) {
       F.Entered = true;
-      renameBlock(F.BB, DT, F.Pushed);
+      renameBlock(F.BB, F.Pushed);
     }
     const std::vector<BasicBlock *> &Kids = DT.children(F.BB);
     if (F.NextChild < Kids.size()) {
@@ -245,7 +276,7 @@ SSAResult SSABuilder::run() {
   collectPromotedVars();
   auto DT = std::make_shared<DominatorTree>(P);
   DominanceFrontier DF(P, *DT);
-  insertPhis(*DT, DF);
+  insertPhis(DF);
   rename(*DT);
   Result.DomTree = std::move(DT);
   return std::move(Result);

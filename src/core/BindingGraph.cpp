@@ -8,25 +8,30 @@
 
 #include "support/Trace.h"
 
-#include <deque>
+#include <algorithm>
 
 using namespace ipcp;
 
 namespace {
 
-/// One jump-function edge bundle: evaluate JF in Caller's environment and
-/// meet the result into (Callee, Var).
+/// One jump-function edge bundle: evaluate JF in the caller's environment
+/// and meet the result into the target slot. Stored structure-of-arrays
+/// friendly: both endpoints are pre-resolved dense indices, so the solver
+/// loop never touches a hash map.
 struct BindingEdge {
-  Procedure *Caller;
-  Procedure *Callee;
-  Variable *Var;
+  uint32_t CallerPI;   ///< CallGraph::procIndex of the caller
+  uint32_t TargetSlot; ///< dense (callee, variable) slot
   const JumpFunction *JF;
 };
 
-/// The binding multigraph solver. ConstantsMap's private VAL is reached
-/// through the public env()/valueOf() queries plus a local shadow map we
-/// merge at the end — avoiding a second friend declaration keeps the
-/// ConstantsMap interface minimal.
+/// The binding multigraph solver. Every (procedure, extended formal) pair
+/// gets one dense slot: formals positionally, then the procedure's
+/// extended globals in ID order, procedures laid out back-to-back in
+/// procIndex order. VAL is one flat vector over those slots, the
+/// dependency index is a CSR adjacency from slots to edge indices, and
+/// the worklist is a FIFO over slots with a pending bitmap — the same
+/// iteration order as the map-and-deque formulation this replaces, so the
+/// work counters are unchanged.
 class BindingGraphSolver {
 public:
   BindingGraphSolver(const CallGraph &CG, const ModRefInfo &MRI,
@@ -39,18 +44,36 @@ public:
   ConstantsMap solve();
 
 private:
-  using PairKey = std::pair<const Procedure *, const Variable *>;
-  struct PairHash {
-    size_t operator()(const PairKey &Key) const {
-      return std::hash<const void *>()(Key.first) * 31 ^
-             std::hash<const void *>()(Key.second);
-    }
+  /// Slot layout of one procedure within the flat numbering.
+  struct ProcSlots {
+    uint32_t Base = 0; ///< first slot of this procedure
+    uint32_t FormalCount = 0;
+    std::vector<Variable *> Globals; ///< ID-ordered
   };
 
+  void numberSlots();
   void buildEdges();
-  LatticeValue valueOf(const Procedure *P, const Variable *Var) const;
-  /// Meets NewVal into (Q, Var); enqueues the pair when it lowered.
-  void lower(Procedure *Q, Variable *Var, LatticeValue NewVal);
+
+  /// Dense slot of (P's procIndex \p PI, \p Var), or ~0u when the
+  /// variable is outside P's extended-formal numbering (its value is
+  /// top everywhere, matching the old missing-map-entry semantics).
+  uint32_t slotOf(uint32_t PI, const Variable *Var) const {
+    const ProcSlots &S = Slots[PI];
+    if (Var->isFormal()) {
+      unsigned I = Var->getFormalIndex();
+      return I < S.FormalCount ? S.Base + I : ~0u;
+    }
+    auto It = std::lower_bound(S.Globals.begin(), S.Globals.end(), Var,
+                               [](const Variable *A, const Variable *B) {
+                                 return A->getId() < B->getId();
+                               });
+    if (It == S.Globals.end() || *It != Var)
+      return ~0u;
+    return S.Base + S.FormalCount + uint32_t(It - S.Globals.begin());
+  }
+
+  /// Meets NewVal into a slot; enqueues it when it lowered.
+  void lower(uint32_t Slot, LatticeValue NewVal);
   void evaluateEdge(const BindingEdge &Edge);
 
   const CallGraph &CG;
@@ -60,40 +83,49 @@ private:
   PropagatorStats *Stats;
   ResourceGuard *Guard;
 
+  std::vector<ProcSlots> Slots; ///< by procIndex
+  uint32_t TotalSlots = 0;
+  std::vector<LatticeValue> VAL; ///< by dense slot
+
   std::vector<BindingEdge> Edges;
-  /// (caller, support var) -> indices into Edges to re-evaluate when the
-  /// pair lowers.
-  std::unordered_map<PairKey, std::vector<size_t>, PairHash> Dependents;
-  std::unordered_map<const Procedure *, LatticeEnv> VAL;
-  std::deque<PairKey> Work;
-  std::unordered_map<PairKey, bool, PairHash> Pending;
+  /// CSR dependency index: edges to re-evaluate when slot s lowers live
+  /// in DepList[DepOffsets[s] .. DepOffsets[s+1]), in edge order.
+  std::vector<uint32_t> DepOffsets;
+  std::vector<uint32_t> DepList;
+
+  std::vector<uint32_t> Work; ///< FIFO of slots
+  size_t Head = 0;
+  std::vector<char> Pending; ///< by dense slot
 };
 
 } // namespace
 
-LatticeValue BindingGraphSolver::valueOf(const Procedure *P,
-                                         const Variable *Var) const {
-  auto ProcIt = VAL.find(P);
-  if (ProcIt == VAL.end())
-    return LatticeValue::top();
-  auto It = ProcIt->second.find(const_cast<Variable *>(Var));
-  return It == ProcIt->second.end() ? LatticeValue::top() : It->second;
+void BindingGraphSolver::numberSlots() {
+  size_t N = CG.procedures().size();
+  Slots.resize(N);
+  for (Procedure *P : CG.procedures()) {
+    ProcSlots &S = Slots[CG.procIndex(P)];
+    S.Base = TotalSlots;
+    S.FormalCount = uint32_t(P->formals().size());
+    const VariableSet &Ext = MRI.extendedGlobals(P);
+    S.Globals.assign(Ext.begin(), Ext.end()); // ID-ordered by VariableSet
+    TotalSlots += S.FormalCount + uint32_t(S.Globals.size());
+  }
+  VAL.assign(TotalSlots, LatticeValue::top());
+  Pending.assign(TotalSlots, 0);
 }
 
-void BindingGraphSolver::lower(Procedure *Q, Variable *Var,
-                               LatticeValue NewVal) {
-  LatticeValue Old = valueOf(Q, Var);
+void BindingGraphSolver::lower(uint32_t Slot, LatticeValue NewVal) {
+  LatticeValue Old = VAL[Slot];
   LatticeValue Met = meet(Old, NewVal);
   if (Met == Old)
     return;
-  VAL[Q][Var] = Met;
+  VAL[Slot] = Met;
   if (Stats)
     ++Stats->Lowerings;
-  PairKey Key{Q, Var};
-  bool &IsPending = Pending[Key];
-  if (!IsPending) {
-    IsPending = true;
-    Work.push_back(Key);
+  if (!Pending[Slot]) {
+    Pending[Slot] = 1;
+    Work.push_back(Slot);
   }
 }
 
@@ -102,38 +134,61 @@ void BindingGraphSolver::evaluateEdge(const BindingEdge &Edge) {
     ++Stats->JumpFunctionEvaluations;
   if (Guard)
     Guard->noteEvaluations();
-  auto EnvIt = VAL.find(Edge.Caller);
-  static const LatticeEnv EmptyEnv;
-  const LatticeEnv &Env = EnvIt == VAL.end() ? EmptyEnv : EnvIt->second;
-  lower(Edge.Callee, Edge.Var, Edge.JF->evaluate(Env));
+  uint32_t PI = Edge.CallerPI;
+  auto Lookup = [this, PI](Variable *Var) {
+    uint32_t Slot = slotOf(PI, Var);
+    return Slot == ~0u ? LatticeValue::top() : VAL[Slot];
+  };
+  lower(Edge.TargetSlot, Edge.JF->evaluateVia(Lookup));
 }
 
 void BindingGraphSolver::buildEdges() {
+  // Pass 1: materialize the edges with resolved endpoints, counting each
+  // support slot's out-degree; pass 2: fill the CSR list in edge order
+  // (the re-evaluation order of the old per-pair vectors).
+  DepOffsets.assign(TotalSlots + 1, 0);
   for (Procedure *P : CG.procedures()) {
+    uint32_t PI = CG.procIndex(P);
     for (CallInst *Site : CG.callSitesIn(P)) {
       const CallSiteJumpFunctions &JFs = FJFs.at(Site);
       Procedure *Q = Site->getCallee();
+      uint32_t QI = CG.procIndex(Q);
       auto AddEdge = [&](Variable *Y, const JumpFunction &JF) {
-        Edges.push_back({P, Q, Y, &JF});
-        for (Variable *SupportVar : JF.support())
-          Dependents[{P, SupportVar}].push_back(Edges.size() - 1);
+        uint32_t Target = slotOf(QI, Y);
+        assert(Target != ~0u && "edge target outside callee numbering");
+        Edges.push_back({PI, Target, &JF});
+        for (Variable *SupportVar : JF.support()) {
+          uint32_t Slot = slotOf(PI, SupportVar);
+          assert(Slot != ~0u && "support var outside caller numbering");
+          ++DepOffsets[Slot + 1];
+        }
       };
-      for (unsigned I = 0, E = JFs.Formals.size(); I != E; ++I)
+      for (unsigned I = 0, E = unsigned(JFs.Formals.size()); I != E; ++I)
         AddEdge(Q->formals()[I], JFs.Formals[I]);
       for (const auto &[G, JF] : JFs.Globals)
         AddEdge(G, JF);
     }
   }
+  for (uint32_t S = 0; S != TotalSlots; ++S)
+    DepOffsets[S + 1] += DepOffsets[S];
+  DepList.resize(DepOffsets[TotalSlots]);
+  std::vector<uint32_t> Cursor(DepOffsets.begin(), DepOffsets.end() - 1);
+  for (uint32_t E = 0, N = uint32_t(Edges.size()); E != N; ++E)
+    for (Variable *SupportVar : Edges[E].JF->support())
+      DepList[Cursor[slotOf(Edges[E].CallerPI, SupportVar)]++] = E;
 }
 
 ConstantsMap BindingGraphSolver::solve() {
+  numberSlots();
   buildEdges();
 
   // Virtual entry edge: the entry procedure's globals start at zero.
   for (Procedure *P : CG.procedures())
-    if (P->getName() == Opts.EntryProcedure)
-      for (Variable *G : MRI.extendedGlobals(P))
-        lower(P, G, LatticeValue::constant(0));
+    if (P->getName() == Opts.EntryProcedure) {
+      const ProcSlots &S = Slots[CG.procIndex(P)];
+      for (uint32_t I = 0, E = uint32_t(S.Globals.size()); I != E; ++I)
+        lower(S.Base + S.FormalCount + I, LatticeValue::constant(0));
+    }
 
   // Seed every edge once (this covers the support-free constant and
   // bottom jump functions; support-carrying ones evaluate to top now and
@@ -144,17 +199,14 @@ ConstantsMap BindingGraphSolver::solve() {
     evaluateEdge(Edge);
   }
 
-  while (!Work.empty() && !(Guard && Guard->tripped())) {
-    PairKey Key = Work.front();
-    Work.pop_front();
-    Pending[Key] = false;
+  while (Head != Work.size() && !(Guard && Guard->tripped())) {
+    uint32_t Slot = Work[Head++];
+    Pending[Slot] = 0;
     if (Stats)
       ++Stats->ProcVisits; // here: pair visits
-    auto It = Dependents.find(Key);
-    if (It == Dependents.end())
-      continue;
-    for (size_t EdgeIndex : It->second)
-      evaluateEdge(Edges[EdgeIndex]);
+    for (uint32_t D = DepOffsets[Slot], E = DepOffsets[Slot + 1]; D != E;
+         ++D)
+      evaluateEdge(Edges[DepList[D]]);
   }
 
   // A budget-interrupted iteration is above the fixpoint (too
@@ -162,11 +214,19 @@ ConstantsMap BindingGraphSolver::solve() {
   if (Guard && Guard->tripped())
     return ConstantsMap();
 
-  // Package into a ConstantsMap via its merge interface.
+  // Package into a ConstantsMap: each procedure's slot range is already
+  // the extended-formal row layout the map expects.
   ConstantsMap CM;
-  for (auto &[P, Env] : VAL)
-    for (auto &[Var, LV] : Env)
-      CM.setValue(P, Var, LV);
+  for (Procedure *P : CG.procedures()) {
+    const ProcSlots &S = Slots[CG.procIndex(P)];
+    std::vector<Variable *> Vars;
+    Vars.reserve(S.FormalCount + S.Globals.size());
+    Vars.insert(Vars.end(), P->formals().begin(), P->formals().end());
+    Vars.insert(Vars.end(), S.Globals.begin(), S.Globals.end());
+    std::vector<LatticeValue> Vals(VAL.begin() + S.Base,
+                                   VAL.begin() + S.Base + Vars.size());
+    CM.adoptRow(P, std::move(Vars), std::move(Vals));
+  }
   return CM;
 }
 

@@ -29,23 +29,22 @@ struct CloneDecision {
 /// Top values (sites inside never-invoked procedures) are treated as
 /// bottom: cloning for them wins nothing.
 std::string signatureFor(const CallSiteJumpFunctions &JFs,
-                         const LatticeEnv &CallerEnv,
-                         const LatticeEnv &MergedVal, Procedure *Callee,
-                         bool &Profitable) {
+                         const ConstantsMap &CM, Procedure *Caller,
+                         Procedure *Callee, bool &Profitable) {
   std::string Sig;
   Profitable = false;
+  auto CallerLookup = [&](Variable *Var) {
+    return CM.valueOf(Caller, Var);
+  };
   auto Append = [&](Variable *Y, const JumpFunction &JF) {
-    LatticeValue V = JF.evaluate(CallerEnv);
+    LatticeValue V = JF.evaluateVia(CallerLookup);
     if (!V.isConstant()) {
       Sig += "_,";
       return;
     }
     Sig += std::to_string(V.getConstant());
     Sig += ',';
-    auto It = MergedVal.find(Y);
-    LatticeValue Merged =
-        It == MergedVal.end() ? LatticeValue::top() : It->second;
-    if (!Merged.isConstant())
+    if (!CM.valueOf(Callee, Y).isConstant())
       Profitable = true;
   };
   for (unsigned I = 0, E = JFs.Formals.size(); I != E; ++I)
@@ -92,8 +91,8 @@ std::vector<CloneDecision> planRound(const Module &M,
           continue;
         ++TotalSites;
         bool Profitable = false;
-        std::string Sig = signatureFor(FJFs.at(Site), CM.env(Caller),
-                                       CM.env(Q), Q, Profitable);
+        std::string Sig =
+            signatureFor(FJFs.at(Site), CM, Caller, Q, Profitable);
         Groups[Sig].push_back(Site->getId());
         GroupProfitable[Sig] = GroupProfitable[Sig] || Profitable;
       }

@@ -51,9 +51,9 @@ BasicBlock *ipcp::inlineCallSite(Module &M, Procedure &Caller,
   }
 
   // 2. Bind the callee's variables into the caller.
-  IRCloneMaps Maps;
+  IRCloneMaps Maps(M);
   for (Variable *G : M.globals())
-    Maps.Vars.emplace(G, G);
+    Maps.mapVar(G, G);
   for (const std::unique_ptr<Procedure> &P : M.procedures())
     Maps.Procs.emplace(P.get(), P.get());
 
@@ -62,7 +62,7 @@ BasicBlock *ipcp::inlineCallSite(Module &M, Procedure &Caller,
     Variable *Formal = Callee->formals()[I];
     if (A.ByRefLoc) {
       // Fortran by-reference binding: the formal *is* the actual.
-      Maps.Vars.emplace(Formal, A.ByRefLoc);
+      Maps.mapVar(Formal, A.ByRefLoc);
       continue;
     }
     // Expression actual: an initialized hidden temporary, updates lost.
@@ -70,10 +70,10 @@ BasicBlock *ipcp::inlineCallSite(Module &M, Procedure &Caller,
         Caller.addLocal(Formal->getName() + Suffix + ".arg");
     B->append(std::make_unique<StoreInst>(M.nextInstId(), Call->getLoc(),
                                           Temp, Call->getActualValue(I)));
-    Maps.Vars.emplace(Formal, Temp);
+    Maps.mapVar(Formal, Temp);
   }
   for (const Variable *L : Callee->locals())
-    Maps.Vars.emplace(
+    Maps.mapVar(
         L, Caller.addLocal(L->getName() + Suffix, L->getArraySize()));
 
   // 3. Clone the body. Rets become branches to the continuation.
@@ -93,7 +93,7 @@ BasicBlock *ipcp::inlineCallSite(Module &M, Procedure &Caller,
       std::unique_ptr<Instruction> NewInst =
           cloneInstructionWithMaps(Inst.get(), M, Maps);
       NewInst->setId(M.nextInstId());
-      Maps.Values.emplace(Inst.get(), NewInst.get());
+      Maps.mapValue(Inst.get(), NewInst.get());
       NewBB->append(std::move(NewInst));
     }
     for (BasicBlock *Pred : BB->predecessors())

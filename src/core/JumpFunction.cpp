@@ -26,54 +26,82 @@ std::string SymExpr::str() const {
   return "?";
 }
 
-size_t SymExprContext::KeyHash::operator()(const SymExpr *E) const {
-  size_t H = static_cast<size_t>(E->getKind()) * 0x9E3779B97F4A7C15ULL;
-  switch (E->getKind()) {
+size_t SymExprContext::hashNode(const SymExpr &E) {
+  auto Mix = [](size_t H, size_t V) {
+    H ^= V + 0x9E3779B97F4A7C15ULL + (H << 6) + (H >> 2);
+    return H;
+  };
+  size_t H = static_cast<size_t>(E.getKind());
+  switch (E.getKind()) {
   case SymExpr::Kind::Const:
-    H ^= std::hash<ConstantValue>()(E->getConst());
+    H = Mix(H, std::hash<ConstantValue>()(E.getConst()));
     break;
   case SymExpr::Kind::Formal:
-    H ^= std::hash<uint64_t>()(E->getFormal()->getId());
+    H = Mix(H, std::hash<uint64_t>()(E.getFormal()->getId()));
     break;
   case SymExpr::Kind::Binary:
-    H ^= static_cast<size_t>(E->getBinaryOp()) * 131;
-    H ^= std::hash<const void *>()(E->getLHS()) * 31;
-    H ^= std::hash<const void *>()(E->getRHS());
+    H = Mix(H, static_cast<size_t>(E.getBinaryOp()));
+    // Children are interned; their dense ids identify them structurally.
+    H = Mix(H, E.getLHS()->id().rawValue());
+    H = Mix(H, E.getRHS()->id().rawValue());
     break;
   case SymExpr::Kind::Unary:
-    H ^= static_cast<size_t>(E->getUnaryOp()) * 131;
-    H ^= std::hash<const void *>()(E->getLHS());
+    H = Mix(H, static_cast<size_t>(E.getUnaryOp()));
+    H = Mix(H, E.getLHS()->id().rawValue());
     break;
   }
   return H;
 }
 
-bool SymExprContext::KeyEq::operator()(const SymExpr *A,
-                                       const SymExpr *B) const {
-  if (A->getKind() != B->getKind())
+bool SymExprContext::sameNode(const SymExpr &A, const SymExpr &B) {
+  if (A.getKind() != B.getKind())
     return false;
-  switch (A->getKind()) {
+  switch (A.getKind()) {
   case SymExpr::Kind::Const:
-    return A->getConst() == B->getConst();
+    return A.getConst() == B.getConst();
   case SymExpr::Kind::Formal:
-    return A->getFormal() == B->getFormal();
+    return A.getFormal() == B.getFormal();
   case SymExpr::Kind::Binary:
     // Children are interned, so pointer equality is structural equality.
-    return A->getBinaryOp() == B->getBinaryOp() &&
-           A->getLHS() == B->getLHS() && A->getRHS() == B->getRHS();
+    return A.getBinaryOp() == B.getBinaryOp() && A.getLHS() == B.getLHS() &&
+           A.getRHS() == B.getRHS();
   case SymExpr::Kind::Unary:
-    return A->getUnaryOp() == B->getUnaryOp() && A->getLHS() == B->getLHS();
+    return A.getUnaryOp() == B.getUnaryOp() && A.getLHS() == B.getLHS();
   }
   return false;
 }
 
-const SymExpr *SymExprContext::intern(SymExpr Node) {
-  auto It = Exprs.find(&Node);
-  if (It != Exprs.end())
-    return It->second;
-  Storage.push_back(std::make_unique<SymExpr>(Node));
-  const SymExpr *Stable = Storage.back().get();
-  Exprs.emplace(Stable, Stable);
+void SymExprContext::rehash(size_t NewSlotCount) {
+  assert((NewSlotCount & (NewSlotCount - 1)) == 0 && "slot count not 2^k");
+  Slots.assign(NewSlotCount, ExprId::InvalidIndex);
+  SlotMask = NewSlotCount - 1;
+  for (const SymExpr *E : Nodes) {
+    size_t Slot = hashNode(*E) & SlotMask;
+    while (Slots[Slot] != ExprId::InvalidIndex)
+      Slot = (Slot + 1) & SlotMask;
+    Slots[Slot] = E->id().rawValue();
+  }
+}
+
+const SymExpr *SymExprContext::intern(const SymExpr &Node) {
+  if (Slots.empty())
+    rehash(64);
+  size_t Slot = hashNode(Node) & SlotMask;
+  while (Slots[Slot] != ExprId::InvalidIndex) {
+    const SymExpr *Candidate = Nodes.at(ExprId(Slots[Slot]));
+    if (sameNode(Node, *Candidate))
+      return Candidate;
+    Slot = (Slot + 1) & SlotMask;
+  }
+
+  SymExpr *Stable = NodeArena.create<SymExpr>(Node);
+  ExprId Id = ExprId::fromIndex(Nodes.size());
+  Stable->Id = Id;
+  Nodes[Id] = Stable;
+  Slots[Slot] = Id.rawValue();
+  // Keep the load factor under 3/4 so linear probes stay short.
+  if (Nodes.size() * 4 >= Slots.size() * 3)
+    rehash(Slots.size() * 2);
   return Stable;
 }
 

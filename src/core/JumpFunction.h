@@ -31,10 +31,11 @@
 
 #include "core/Lattice.h"
 #include "ir/Variable.h"
+#include "support/Arena.h"
 #include "support/ConstantMath.h"
+#include "support/Ids.h"
 
 #include <functional>
-#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -77,6 +78,11 @@ public:
   /// Number of nodes in this tree (for the size cap).
   unsigned size() const { return Size; }
 
+  /// Dense handle of this node within its owning SymExprContext; nodes
+  /// are numbered in interning order, so the id doubles as a creation
+  /// timestamp.
+  ExprId id() const { return Id; }
+
   bool isConst() const { return TheKind == Kind::Const; }
   bool isFormal() const { return TheKind == Kind::Formal; }
 
@@ -95,10 +101,17 @@ private:
   const SymExpr *L = nullptr;
   const SymExpr *R = nullptr;
   unsigned Size = 1;
+  ExprId Id;
 };
 
 /// Hash-consing arena for SymExprs; this is the "global value numbering"
 /// identity: two structurally equal expressions are the same pointer.
+///
+/// Nodes are bump-allocated from an Arena (trivially destructible, so the
+/// arena may drop them without running destructors) and indexed by ExprId
+/// through a flat side table; the hash-cons set is an open-addressing
+/// table of ExprId slots probed linearly, replacing the node-keyed
+/// unordered_map that dominated jump-function construction in profiles.
 class SymExprContext {
 public:
   /// \p MaxNodes bounds expression size; constructions that would exceed
@@ -130,21 +143,26 @@ public:
   static int compare(const SymExpr *A, const SymExpr *B);
 
   unsigned maxNodes() const { return MaxNodes; }
-  size_t uniqueExprCount() const { return Exprs.size(); }
+  size_t uniqueExprCount() const { return Nodes.size(); }
+
+  /// The node behind a handle. Valid for every id returned by this
+  /// context; ids are dense, so node(ExprId::fromIndex(i)) enumerates the
+  /// interned population in creation order.
+  const SymExpr *node(ExprId Id) const { return Nodes.at(Id); }
 
 private:
-  const SymExpr *intern(SymExpr Node);
-
-  struct KeyHash {
-    size_t operator()(const SymExpr *E) const;
-  };
-  struct KeyEq {
-    bool operator()(const SymExpr *A, const SymExpr *B) const;
-  };
+  const SymExpr *intern(const SymExpr &Node);
+  static size_t hashNode(const SymExpr &Node);
+  static bool sameNode(const SymExpr &A, const SymExpr &B);
+  void rehash(size_t NewSlotCount);
 
   unsigned MaxNodes;
-  std::vector<std::unique_ptr<SymExpr>> Storage;
-  std::unordered_map<const SymExpr *, const SymExpr *, KeyHash, KeyEq> Exprs;
+  Arena NodeArena;
+  IdMap<ExprId, const SymExpr *> Nodes; ///< handle -> interned node
+  /// Open-addressing hash-cons table: each slot holds an ExprId raw value
+  /// or ExprId::InvalidIndex when empty; power-of-two sized.
+  std::vector<uint32_t> Slots;
+  size_t SlotMask = 0;
 };
 
 /// Environment assigning lattice values to a procedure's extended

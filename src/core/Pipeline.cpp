@@ -305,10 +305,12 @@ public:
         E.ForwardJFs.push_back(std::move(S));
       }
       E.HasVal = true;
-      for (const auto &[Var, LV] : CM.env(P)) {
+      const ConstantsMap::Row &Row = CM.row(P);
+      for (size_t I = 0, N = Row.Vars.size(); I != N; ++I) {
+        LatticeValue LV = Row.Vals[I];
         if (LV.isTop())
           continue;
-        E.Val.push_back({SummaryCache::varRef(Var),
+        E.Val.push_back({SummaryCache::varRef(Row.Vars[I]),
                          LV.isConstant()
                              ? "c:" + std::to_string(LV.getConstant())
                              : std::string("bot")});

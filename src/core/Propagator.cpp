@@ -9,6 +9,8 @@
 #include "support/Trace.h"
 #include "support/Worklist.h"
 
+#include <algorithm>
+
 using namespace ipcp;
 
 LatticeValue ConstantsMap::valueOf(const Procedure *P,
@@ -16,24 +18,54 @@ LatticeValue ConstantsMap::valueOf(const Procedure *P,
   auto ProcIt = VAL.find(P);
   if (ProcIt == VAL.end())
     return LatticeValue::top();
-  auto It = ProcIt->second.find(const_cast<Variable *>(Var));
-  return It == ProcIt->second.end() ? LatticeValue::top() : It->second;
+  const Row &R = ProcIt->second;
+  // Fast path for propagator-built rows: formals sit at their positional
+  // slot. Falls back to a scan, which also serves setValue-built rows.
+  if (Var->isFormal()) {
+    unsigned I = Var->getFormalIndex();
+    if (I < R.Vars.size() && R.Vars[I] == Var)
+      return R.Vals[I];
+  }
+  for (size_t I = 0, E = R.Vars.size(); I != E; ++I)
+    if (R.Vars[I] == Var)
+      return R.Vals[I];
+  return LatticeValue::top();
 }
 
-const LatticeEnv &ConstantsMap::env(const Procedure *P) const {
+const ConstantsMap::Row &ConstantsMap::row(const Procedure *P) const {
   auto It = VAL.find(P);
-  return It == VAL.end() ? Empty : It->second;
+  return It == VAL.end() ? EmptyRow : It->second;
+}
+
+void ConstantsMap::setValue(const Procedure *P, Variable *Var,
+                            LatticeValue V) {
+  if (V.isTop())
+    return;
+  Row &R = VAL[P];
+  for (size_t I = 0, E = R.Vars.size(); I != E; ++I)
+    if (R.Vars[I] == Var) {
+      R.Vals[I] = V;
+      return;
+    }
+  R.Vars.push_back(Var);
+  R.Vals.push_back(V);
+}
+
+void ConstantsMap::adoptRow(const Procedure *P, std::vector<Variable *> Vars,
+                            std::vector<LatticeValue> Vals) {
+  assert(Vars.size() == Vals.size() && "row vectors out of sync");
+  Row &R = VAL[P];
+  R.Vars = std::move(Vars);
+  R.Vals = std::move(Vals);
 }
 
 std::vector<std::pair<Variable *, ConstantValue>>
 ConstantsMap::constantsOf(const Procedure *P) const {
   std::vector<std::pair<Variable *, ConstantValue>> Out;
-  auto It = VAL.find(P);
-  if (It == VAL.end())
-    return Out;
-  for (const auto &[Var, LV] : It->second)
-    if (LV.isConstant())
-      Out.push_back({Var, LV.getConstant()});
+  const Row &R = row(P);
+  for (size_t I = 0, E = R.Vars.size(); I != E; ++I)
+    if (R.Vals[I].isConstant())
+      Out.push_back({R.Vars[I], R.Vals[I].getConstant()});
   std::sort(Out.begin(), Out.end(), [](const auto &A, const auto &B) {
     return A.first->getId() < B.first->getId();
   });
@@ -44,9 +76,9 @@ bool ConstantsMap::equals(const ConstantsMap &Other) const {
   // Compare as partial maps with top default: every non-top entry on
   // either side must match the other side's view.
   auto Covers = [](const ConstantsMap &A, const ConstantsMap &B) {
-    for (const auto &[P, Env] : A.VAL)
-      for (const auto &[Var, LV] : Env)
-        if (B.valueOf(P, Var) != LV)
+    for (const auto &[P, R] : A.VAL)
+      for (size_t I = 0, E = R.Vars.size(); I != E; ++I)
+        if (!R.Vals[I].isTop() && B.valueOf(P, R.Vars[I]) != R.Vals[I])
           return false;
     return true;
   };
@@ -55,8 +87,8 @@ bool ConstantsMap::equals(const ConstantsMap &Other) const {
 
 unsigned ConstantsMap::totalConstants() const {
   unsigned Count = 0;
-  for (const auto &[P, Env] : VAL)
-    for (const auto &[Var, LV] : Env)
+  for (const auto &[P, R] : VAL)
+    for (LatticeValue LV : R.Vals)
       if (LV.isConstant())
         ++Count;
   return Count;
@@ -64,8 +96,8 @@ unsigned ConstantsMap::totalConstants() const {
 
 unsigned ConstantsMap::totalEntries() const {
   unsigned Count = 0;
-  for (const auto &[P, Env] : VAL)
-    for (const auto &[Var, LV] : Env)
+  for (const auto &[P, R] : VAL)
+    for (LatticeValue LV : R.Vals)
       if (!LV.isTop())
         ++Count;
   return Count;
@@ -103,11 +135,24 @@ public:
   }
 
 private:
-  /// Slot layout of one procedure's extended formals.
+  /// Slot layout of one procedure's extended formals: formals sit at
+  /// their positional index, then the extended globals in ID order, so a
+  /// global's slot is FormalCount + its binary-search position.
   struct ProcSlots {
     unsigned FormalCount = 0;
-    std::unordered_map<Variable *, unsigned> GlobalSlot;
+    std::vector<Variable *> Globals; ///< ID-ordered
   };
+
+  /// Slot of global \p G in \p S, or ~0u when outside the numbering.
+  static unsigned globalSlot(const ProcSlots &S, const Variable *G) {
+    auto It = std::lower_bound(S.Globals.begin(), S.Globals.end(), G,
+                               [](const Variable *A, const Variable *B) {
+                                 return A->getId() < B->getId();
+                               });
+    if (It == S.Globals.end() || *It != G)
+      return ~0u;
+    return S.FormalCount + unsigned(It - S.Globals.begin());
+  }
 
   void numberSlots() {
     size_t N = CG.procedures().size();
@@ -120,10 +165,9 @@ private:
       SCCOf[PI] = CG.sccIndex(P);
       ProcSlots &S = Slots[PI];
       S.FormalCount = unsigned(P->formals().size());
-      unsigned Next = S.FormalCount;
-      for (Variable *G : MRI.extendedGlobals(P))
-        S.GlobalSlot.emplace(G, Next++);
-      VAL[PI].assign(Next, LatticeValue::top());
+      const VariableSet &Ext = MRI.extendedGlobals(P);
+      S.Globals.assign(Ext.begin(), Ext.end()); // ID-ordered by VariableSet
+      VAL[PI].assign(S.FormalCount + S.Globals.size(), LatticeValue::top());
     }
   }
 
@@ -133,8 +177,9 @@ private:
     for (Procedure *P : CG.procedures())
       if (P->getName() == Opts.EntryProcedure) {
         unsigned PI = CG.procIndex(P);
-        for (const auto &[G, Slot] : Slots[PI].GlobalSlot)
-          VAL[PI][Slot] = LatticeValue::constant(0);
+        const ProcSlots &S = Slots[PI];
+        for (unsigned I = 0, E = unsigned(S.Globals.size()); I != E; ++I)
+          VAL[PI][S.FormalCount + I] = LatticeValue::constant(0);
         return;
       }
   }
@@ -153,11 +198,11 @@ private:
           VAL[PI][Var->getFormalIndex()] = LV;
           continue;
         }
-        auto It = S.GlobalSlot.find(Var);
-        assert(It != S.GlobalSlot.end() &&
+        unsigned Slot = globalSlot(S, Var);
+        assert(Slot != ~0u &&
                "cached VAL entry outside the extended-formal numbering");
-        if (It != S.GlobalSlot.end())
-          VAL[PI][It->second] = LV;
+        if (Slot != ~0u)
+          VAL[PI][Slot] = LV;
       }
     }
   }
@@ -167,10 +212,8 @@ private:
   LatticeValue valueAt(unsigned PI, Variable *Var) const {
     if (Var->isFormal())
       return VAL[PI][Var->getFormalIndex()];
-    const ProcSlots &S = Slots[PI];
-    auto It = S.GlobalSlot.find(Var);
-    return It == S.GlobalSlot.end() ? LatticeValue::top()
-                                    : VAL[PI][It->second];
+    unsigned Slot = globalSlot(Slots[PI], Var);
+    return Slot == ~0u ? LatticeValue::top() : VAL[PI][Slot];
   }
 
   /// Meets \p NewVal into VAL(Q, Slot); true when it lowered.
@@ -219,10 +262,10 @@ private:
           Lowered(QI);
       const ProcSlots &QS = Slots[QI];
       for (const auto &[G, JF] : JFs.Globals) {
-        auto It = QS.GlobalSlot.find(G);
-        assert(It != QS.GlobalSlot.end() &&
+        unsigned Slot = globalSlot(QS, G);
+        assert(Slot != ~0u &&
                "call-site global jump function outside callee numbering");
-        if (lower(QI, It->second, JF.evaluateVia(Lookup)))
+        if (lower(QI, Slot, JF.evaluateVia(Lookup)))
           Lowered(QI);
       }
     }
@@ -280,17 +323,19 @@ private:
 
   bool budgetTripped() const { return Guard && Guard->tripped(); }
 
-  /// Converts the dense fixpoint into the external ConstantsMap (top
-  /// entries stay implicit).
-  ConstantsMap package() const {
+  /// Hands the dense fixpoint to the external ConstantsMap. Zero-copy:
+  /// each procedure's value vector is moved, not rehashed; the paired
+  /// variable vector is the slot numbering itself.
+  ConstantsMap package() {
     ConstantsMap CM;
     for (Procedure *P : CG.procedures()) {
       unsigned PI = CG.procIndex(P);
-      const ProcSlots &S = Slots[PI];
-      for (unsigned I = 0; I != S.FormalCount; ++I)
-        CM.setValue(P, P->formals()[I], VAL[PI][I]);
-      for (const auto &[G, Slot] : S.GlobalSlot)
-        CM.setValue(P, G, VAL[PI][Slot]);
+      ProcSlots &S = Slots[PI];
+      std::vector<Variable *> Vars;
+      Vars.reserve(VAL[PI].size());
+      Vars.insert(Vars.end(), P->formals().begin(), P->formals().end());
+      Vars.insert(Vars.end(), S.Globals.begin(), S.Globals.end());
+      CM.adoptRow(P, std::move(Vars), std::move(VAL[PI]));
     }
     return CM;
   }

@@ -50,13 +50,29 @@
 namespace ipcp {
 
 /// The VAL sets at fixpoint; CONSTANTS(p) is derived from them.
+///
+/// Storage is structure-of-arrays: one Row of parallel Vars/Vals vectors
+/// per procedure, moved straight out of the dense propagator (zero-copy —
+/// the solver's slot vectors *become* the rows) instead of being rehashed
+/// into per-procedure maps. Rows may contain top entries; every query
+/// treats top as the implicit default, so the observable behavior matches
+/// the hash-map formulation this replaces.
 class ConstantsMap {
 public:
+  /// One procedure's VAL row. For propagator-built maps the order is the
+  /// extended-formal numbering (formals positionally, then extended
+  /// globals in ID order); setValue-built rows are in insertion order.
+  struct Row {
+    std::vector<Variable *> Vars;
+    std::vector<LatticeValue> Vals;
+  };
+
   /// VAL(p, var); top when never lowered.
   LatticeValue valueOf(const Procedure *P, const Variable *Var) const;
 
-  /// The caller-environment view for jump function evaluation.
-  const LatticeEnv &env(const Procedure *P) const;
+  /// The raw row for \p P (empty when the procedure has no entries).
+  /// Report emission and the summary cache iterate this directly.
+  const Row &row(const Procedure *P) const;
 
   /// CONSTANTS(p): the (variable, value) pairs that always hold on entry,
   /// ID-ordered.
@@ -69,22 +85,21 @@ public:
   /// Non-top VAL entries at fixpoint (the prop_val_entries counter).
   unsigned totalEntries() const;
 
-  /// Installs one fixpoint value; used by the solvers to package their
-  /// results. Top stores are dropped: top is the map's implicit default,
-  /// and materializing it would bloat VAL and skew totalEntries().
-  void setValue(const Procedure *P, Variable *Var, LatticeValue V) {
-    if (V.isTop())
-      return;
-    VAL[P][Var] = V;
-  }
+  /// Installs one fixpoint value; used by the pairwise solvers to package
+  /// their results. Top stores are dropped: top is the implicit default,
+  /// and materializing it would skew totalEntries().
+  void setValue(const Procedure *P, Variable *Var, LatticeValue V);
+
+  /// Takes ownership of one procedure's slot-ordered fixpoint vectors.
+  void adoptRow(const Procedure *P, std::vector<Variable *> Vars,
+                std::vector<LatticeValue> Vals);
 
   /// Structural equality of two fixpoints (same non-top entries).
   bool equals(const ConstantsMap &Other) const;
 
 private:
-  friend class Propagator;
-  std::unordered_map<const Procedure *, LatticeEnv> VAL;
-  LatticeEnv Empty;
+  std::unordered_map<const Procedure *, Row> VAL;
+  Row EmptyRow;
 };
 
 /// Work counters substantiating the complexity discussion.

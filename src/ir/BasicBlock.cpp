@@ -5,15 +5,22 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/BasicBlock.h"
+#include "ir/Procedure.h"
 
 #include <algorithm>
 
 using namespace ipcp;
 
+void BasicBlock::invalidateStream() {
+  if (Parent)
+    Parent->invalidateInstStream();
+}
+
 Instruction *BasicBlock::append(std::unique_ptr<Instruction> Inst) {
   assert(!hasTerminator() && "appending past a terminator");
   Inst->setParent(this);
   Insts.push_back(std::move(Inst));
+  invalidateStream();
   return Insts.back().get();
 }
 
@@ -26,6 +33,7 @@ Instruction *BasicBlock::insertAfter(Instruction *After,
   Inst->setParent(this);
   Instruction *Raw = Inst.get();
   Insts.insert(std::next(It), std::move(Inst));
+  invalidateStream();
   return Raw;
 }
 
@@ -38,6 +46,7 @@ Instruction *BasicBlock::insertAtTop(std::unique_ptr<Instruction> Inst,
   Inst->setParent(this);
   Instruction *Raw = Inst.get();
   Insts.insert(It, std::move(Inst));
+  invalidateStream();
   return Raw;
 }
 
@@ -47,6 +56,7 @@ void BasicBlock::erase(Instruction *Inst) {
       [&](const std::unique_ptr<Instruction> &P) { return P.get() == Inst; });
   assert(It != Insts.end() && "erasing instruction not in this block");
   Insts.erase(It);
+  invalidateStream();
 }
 
 std::unique_ptr<Instruction> BasicBlock::detach(Instruction *Inst) {
@@ -57,6 +67,7 @@ std::unique_ptr<Instruction> BasicBlock::detach(Instruction *Inst) {
   std::unique_ptr<Instruction> Owned = std::move(*It);
   Insts.erase(It);
   Owned->setParent(nullptr);
+  invalidateStream();
   return Owned;
 }
 
@@ -69,17 +80,32 @@ Instruction *BasicBlock::getTerminator() const {
 
 std::vector<BasicBlock *> BasicBlock::successors() const {
   std::vector<BasicBlock *> Succs;
+  for (unsigned I = 0, N = getNumSuccessors(); I != N; ++I)
+    Succs.push_back(getSuccessor(I));
+  return Succs;
+}
+
+unsigned BasicBlock::getNumSuccessors() const {
   Instruction *Term = getTerminator();
   if (!Term)
-    return Succs;
+    return 0;
+  if (isa<BranchInst>(Term))
+    return 1;
+  if (auto *CBr = dyn_cast<CondBranchInst>(Term))
+    return CBr->getFalseTarget() == CBr->getTrueTarget() ? 1 : 2;
+  return 0;
+}
+
+BasicBlock *BasicBlock::getSuccessor(unsigned I) const {
+  Instruction *Term = getTerminator();
+  assert(Term && "successor of a block without terminator");
   if (auto *Br = dyn_cast<BranchInst>(Term)) {
-    Succs.push_back(Br->getTarget());
-  } else if (auto *CBr = dyn_cast<CondBranchInst>(Term)) {
-    Succs.push_back(CBr->getTrueTarget());
-    if (CBr->getFalseTarget() != CBr->getTrueTarget())
-      Succs.push_back(CBr->getFalseTarget());
+    assert(I == 0 && "successor index out of range");
+    return Br->getTarget();
   }
-  return Succs;
+  auto *CBr = cast<CondBranchInst>(Term);
+  assert(I < getNumSuccessors() && "successor index out of range");
+  return I == 0 ? CBr->getTrueTarget() : CBr->getFalseTarget();
 }
 
 void BasicBlock::removePredecessor(BasicBlock *BB) {

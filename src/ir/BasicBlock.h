@@ -34,6 +34,12 @@ public:
   const std::string &getName() const { return Name; }
   Procedure *getParent() const { return Parent; }
 
+  /// Dense position in the parent's block list, assigned when the flat
+  /// instruction stream is (re)built. Valid under the same conditions as
+  /// Instruction::getLocalIdx().
+  uint32_t getDensePos() const { return DensePos; }
+  void setDensePos(uint32_t Pos) { DensePos = Pos; }
+
   /// Appends \p Inst; asserts nothing follows a terminator.
   Instruction *append(std::unique_ptr<Instruction> Inst);
 
@@ -65,13 +71,21 @@ public:
   /// Successor blocks (0, 1, or 2) read off the terminator.
   std::vector<BasicBlock *> successors() const;
 
+  /// Non-allocating successor access for hot traversals. A CondBranch
+  /// whose arms coincide reports one successor, matching successors().
+  unsigned getNumSuccessors() const;
+  BasicBlock *getSuccessor(unsigned I) const;
+
   const std::vector<BasicBlock *> &predecessors() const { return Preds; }
   void addPredecessor(BasicBlock *BB) { Preds.push_back(BB); }
   void removePredecessor(BasicBlock *BB);
   void clearPredecessors() { Preds.clear(); }
 
 private:
+  void invalidateStream();
+
   unsigned Id;
+  uint32_t DensePos = ~uint32_t(0);
   std::string Name;
   Procedure *Parent;
   std::vector<std::unique_ptr<Instruction>> Insts;

@@ -6,32 +6,24 @@
 
 #include "ir/CloneUtil.h"
 
-#include <unordered_set>
-
 using namespace ipcp;
 
 void ipcp::patchClonedOperands(IRCloneMaps &Maps) {
-  std::unordered_set<const Value *> Clones;
-  Clones.reserve(Maps.Values.size());
-  for (auto &[Old, New] : Maps.Values)
-    Clones.insert(New);
-
-  for (auto &[Old, New] : Maps.Values) {
-    auto *Inst = dyn_cast<Instruction>(New);
-    if (!Inst)
-      continue;
+  for (Instruction *Inst : Maps.Clones) {
     for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I) {
       Value *Op = Inst->getOperand(I);
       if (!Op || !Op->isInstruction())
         continue;
-      auto It = Maps.Values.find(Op);
-      if (It != Maps.Values.end()) {
-        Inst->setOperand(I, It->second);
+      if (Value *New = Maps.valueOrNull(Op)) {
+        // Either a forward reference still pointing at the original
+        // (rewritten here), or an ID-preserving clone resolved during the
+        // first pass (New == Op; the store is a no-op).
+        Inst->setOperand(I, New);
         continue;
       }
-      // Already resolved during the first pass (def preceded use), or a
-      // cloning bug: the operand must be one of the clones.
-      assert(Clones.count(Op) &&
+      // Fresh-ID clones sit outside the table; an original value must
+      // have been mapped — anything else is a cloning bug.
+      assert(cast<Instruction>(Op)->getId() >= Maps.Values.size() &&
              "cloned instruction still references an original value");
     }
   }
@@ -45,10 +37,10 @@ ipcp::cloneInstructionWithMaps(const Instruction *Inst, Module &NewM,
       return NewM.getConstant(C->getValue());
     if (isa<UndefValue>(Old))
       return NewM.getUndef();
-    auto It = Maps.Values.find(Old);
     // Forward references (defs later in block order) are resolved by
     // patchClonedOperands once every instruction has a clone.
-    return It == Maps.Values.end() ? Old : It->second;
+    Value *New = Maps.valueOrNull(Old);
+    return New ? New : Old;
   };
 
   uint64_t Id = Inst->getId();
@@ -95,6 +87,7 @@ ipcp::cloneInstructionWithMaps(const Instruction *Inst, Module &NewM,
   case ValueKind::Call: {
     const auto *Call = cast<CallInst>(Inst);
     std::vector<CallActual> Actuals;
+    Actuals.reserve(Call->getNumActuals());
     for (unsigned I = 0, E = Call->getNumActuals(); I != E; ++I) {
       CallActual A = Call->getActual(I);
       A.Val = MapValue(Call->getActualValue(I));

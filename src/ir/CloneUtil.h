@@ -19,30 +19,65 @@
 #include <cassert>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 namespace ipcp {
 
-/// Identity maps for one cloning operation. Populate Vars/Procs/Blocks
-/// before cloning instructions; Values fills as instructions are cloned
-/// in def-before-use order.
+/// Identity maps for one cloning operation. Variables and instructions
+/// are keyed by their module-unique IDs into dense vectors sized from the
+/// source module's ID bounds — cloning is the hottest path in the
+/// analysis pipeline (every request clones the program onto a scratch
+/// module) and pointer-keyed hash maps dominated its profile. Procedures
+/// and blocks are few; they stay in small hash maps.
+///
+/// Populate vars/procs/blocks before cloning instructions; values fill as
+/// instructions are cloned in def-before-use order.
 struct IRCloneMaps {
-  std::unordered_map<const Variable *, Variable *> Vars;
+  /// Sizes the dense tables from \p Src's ID counters. Every key passed
+  /// to mapVar/mapValue must be owned by \p Src (its ID is below the
+  /// bound at construction time).
+  explicit IRCloneMaps(const Module &Src)
+      : Vars(Src.varIdBound(), nullptr), Values(Src.instIdBound(), nullptr) {}
+
+  std::vector<Variable *> Vars;       ///< by source Variable::getId()
+  std::vector<Value *> Values;        ///< by source Instruction::getId()
+  std::vector<Instruction *> Clones;  ///< every mapped clone, in order
   std::unordered_map<const Procedure *, Procedure *> Procs;
   std::unordered_map<const BasicBlock *, BasicBlock *> Blocks;
-  std::unordered_map<const Value *, Value *> Values;
+
+  void mapVar(const Variable *Old, Variable *New) {
+    assert(Old->getId() < Vars.size() && "variable outside the source module");
+    Vars[Old->getId()] = New;
+  }
+
+  void mapValue(const Instruction *Old, Instruction *New) {
+    assert(Old->getId() < Values.size() &&
+           "instruction outside the source module");
+    Values[Old->getId()] = New;
+    Clones.push_back(New);
+  }
 
   Variable *var(const Variable *Old) const {
     if (!Old)
       return nullptr;
-    auto It = Vars.find(Old);
-    assert(It != Vars.end() && "unmapped variable in clone");
-    return It->second;
+    assert(Old->getId() < Vars.size() && Vars[Old->getId()] &&
+           "unmapped variable in clone");
+    return Vars[Old->getId()];
   }
 
   BasicBlock *block(const BasicBlock *Old) const {
     auto It = Blocks.find(Old);
     assert(It != Blocks.end() && "unmapped block in clone");
     return It->second;
+  }
+
+  /// The clone of \p Old, or null when \p Old is not a mapped source
+  /// instruction (fresh-ID clones land outside the table by design).
+  Value *valueOrNull(const Value *Old) const {
+    const auto *Inst = dyn_cast<Instruction>(Old);
+    if (!Inst || Inst->getId() >= Values.size())
+      return nullptr;
+    return Values[Inst->getId()];
   }
 };
 

@@ -14,22 +14,27 @@
 using namespace ipcp;
 
 DominatorTree::DominatorTree(const Procedure &P) {
-  RPO = reversePostOrder(P);
+  RPO = reversePostOrder(P); // also assigns dense block positions
+  size_t NumBlocks = P.blocks().size();
+  PostIndex.assign(NumBlocks, Unreachable);
+  IDom.assign(NumBlocks, nullptr);
+  Children.assign(NumBlocks, {});
+
   // Postorder numbers: entry gets the highest number.
   for (unsigned I = 0; I != RPO.size(); ++I)
-    PostIndex[RPO[I]] = RPO.size() - 1 - I;
+    PostIndex[RPO[I]->getDensePos()] = RPO.size() - 1 - I;
 
   if (RPO.empty())
     return;
   BasicBlock *Entry = RPO.front();
-  IDom[Entry] = Entry; // sentinel; reported as null by idom()
+  IDom[Entry->getDensePos()] = Entry; // sentinel; reported as null by idom()
 
   auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
     while (A != B) {
-      while (PostIndex.at(A) < PostIndex.at(B))
-        A = IDom.at(A);
-      while (PostIndex.at(B) < PostIndex.at(A))
-        B = IDom.at(B);
+      while (PostIndex[A->getDensePos()] < PostIndex[B->getDensePos()])
+        A = IDom[A->getDensePos()];
+      while (PostIndex[B->getDensePos()] < PostIndex[A->getDensePos()])
+        B = IDom[B->getDensePos()];
     }
     return A;
   };
@@ -42,14 +47,14 @@ DominatorTree::DominatorTree(const Procedure &P) {
         continue;
       BasicBlock *NewIDom = nullptr;
       for (BasicBlock *Pred : BB->predecessors()) {
-        if (!PostIndex.count(Pred) || !IDom.count(Pred))
+        if (PostIndex[Pred->getDensePos()] == Unreachable ||
+            !IDom[Pred->getDensePos()])
           continue; // unreachable or not yet processed
         NewIDom = NewIDom ? Intersect(Pred, NewIDom) : Pred;
       }
       assert(NewIDom && "reachable block with no processed predecessor");
-      auto It = IDom.find(BB);
-      if (It == IDom.end() || It->second != NewIDom) {
-        IDom[BB] = NewIDom;
+      if (IDom[BB->getDensePos()] != NewIDom) {
+        IDom[BB->getDensePos()] = NewIDom;
         Changed = true;
       }
     }
@@ -58,14 +63,14 @@ DominatorTree::DominatorTree(const Procedure &P) {
   for (BasicBlock *BB : RPO) {
     if (BB == Entry)
       continue;
-    Children[IDom.at(BB)].push_back(BB);
+    Children[IDom[BB->getDensePos()]->getDensePos()].push_back(BB);
   }
 }
 
 BasicBlock *DominatorTree::idom(BasicBlock *BB) const {
-  auto It = IDom.find(BB);
-  assert(It != IDom.end() && "idom of unreachable block");
-  return It->second == BB ? nullptr : It->second;
+  BasicBlock *Dom = IDom[BB->getDensePos()];
+  assert(Dom && "idom of unreachable block");
+  return Dom == BB ? nullptr : Dom;
 }
 
 bool DominatorTree::dominates(BasicBlock *A, BasicBlock *B) const {
@@ -83,12 +88,12 @@ bool DominatorTree::dominates(BasicBlock *A, BasicBlock *B) const {
 
 const std::vector<BasicBlock *> &
 DominatorTree::children(BasicBlock *BB) const {
-  auto It = Children.find(BB);
-  return It == Children.end() ? NoChildren : It->second;
+  return Children[BB->getDensePos()];
 }
 
 DominanceFrontier::DominanceFrontier(const Procedure &P,
                                      const DominatorTree &DT) {
+  DF.assign(P.blocks().size(), {});
   // Cooper-Harvey-Kennedy frontier computation: for each join point, walk
   // each predecessor's idom chain up to the join's idom.
   for (BasicBlock *BB : DT.blocksInRPO()) {
@@ -100,7 +105,7 @@ DominanceFrontier::DominanceFrontier(const Procedure &P,
         continue;
       BasicBlock *Runner = Pred;
       while (Runner != DT.idom(BB)) {
-        std::vector<BasicBlock *> &Frontier = DF[Runner];
+        std::vector<BasicBlock *> &Frontier = DF[Runner->getDensePos()];
         if (std::find(Frontier.begin(), Frontier.end(), BB) == Frontier.end())
           Frontier.push_back(BB);
         Runner = DT.idom(Runner);
@@ -108,11 +113,9 @@ DominanceFrontier::DominanceFrontier(const Procedure &P,
       }
     }
   }
-  (void)P;
 }
 
 const std::vector<BasicBlock *> &
 DominanceFrontier::frontier(BasicBlock *BB) const {
-  auto It = DF.find(BB);
-  return It == DF.end() ? Empty : It->second;
+  return DF[BB->getDensePos()];
 }

@@ -10,6 +10,11 @@
 /// Algorithm") — fittingly, by the authors of the framework this project
 /// reproduces. Operates on the reachable CFG only.
 ///
+/// All side tables are flat vectors indexed by BasicBlock::getDensePos()
+/// (assigned by Procedure::instStream()); the tree stays valid across
+/// instruction insertion (phi placement) but not across block-list
+/// mutation.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPCP_IR_DOMINATORS_H
@@ -17,7 +22,6 @@
 
 #include "ir/Procedure.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace ipcp {
@@ -39,14 +43,17 @@ public:
   /// Reachable blocks in reverse postorder (a valid top-down tree order).
   const std::vector<BasicBlock *> &blocksInRPO() const { return RPO; }
 
-  bool isReachable(BasicBlock *BB) const { return PostIndex.count(BB) != 0; }
+  bool isReachable(BasicBlock *BB) const {
+    return PostIndex[BB->getDensePos()] != Unreachable;
+  }
 
 private:
+  static constexpr unsigned Unreachable = ~0u;
+
   std::vector<BasicBlock *> RPO;
-  std::unordered_map<BasicBlock *, unsigned> PostIndex;
-  std::unordered_map<BasicBlock *, BasicBlock *> IDom;
-  std::unordered_map<BasicBlock *, std::vector<BasicBlock *>> Children;
-  std::vector<BasicBlock *> NoChildren;
+  std::vector<unsigned> PostIndex;                 ///< by dense block pos
+  std::vector<BasicBlock *> IDom;                  ///< by dense block pos
+  std::vector<std::vector<BasicBlock *>> Children; ///< by dense block pos
 };
 
 /// Dominance frontiers (Cytron et al. §4.2), used for phi placement.
@@ -57,8 +64,7 @@ public:
   const std::vector<BasicBlock *> &frontier(BasicBlock *BB) const;
 
 private:
-  std::unordered_map<BasicBlock *, std::vector<BasicBlock *>> DF;
-  std::vector<BasicBlock *> Empty;
+  std::vector<std::vector<BasicBlock *>> DF; ///< by dense block pos
 };
 
 } // namespace ipcp

@@ -35,6 +35,12 @@ public:
   uint64_t getId() const { return Id; }
   void setId(uint64_t NewId) { Id = NewId; }
 
+  /// Dense position in the owning procedure's flat instruction stream
+  /// (Procedure::instStream()). Only valid while that stream is; analyses
+  /// must materialize the stream before indexing with this.
+  uint32_t getLocalIdx() const { return LocalIdx; }
+  void setLocalIdx(uint32_t Idx) { LocalIdx = Idx; }
+
   SourceLoc getLoc() const { return Loc; }
   void setLoc(SourceLoc NewLoc) { Loc = NewLoc; }
 
@@ -73,6 +79,7 @@ protected:
 
 private:
   uint64_t Id;
+  uint32_t LocalIdx = ~uint32_t(0);
   SourceLoc Loc;
   BasicBlock *Parent = nullptr;
 };

@@ -12,6 +12,7 @@ using namespace ipcp;
 
 Procedure *Module::createProcedure(const std::string &Name) {
   Procs.push_back(std::make_unique<Procedure>(this, Name));
+  Procs.back()->ModuleIndex = uint32_t(Procs.size() - 1);
   return Procs.back().get();
 }
 
@@ -25,7 +26,9 @@ Procedure *Module::findProcedure(const std::string &Name) const {
 void Module::eraseProcedure(Procedure *P) {
   for (auto It = Procs.begin(); It != Procs.end(); ++It)
     if (It->get() == P) {
-      Procs.erase(It);
+      It = Procs.erase(It);
+      for (; It != Procs.end(); ++It)
+        (*It)->ModuleIndex = uint32_t(It - Procs.begin());
       return;
     }
   assert(false && "procedure not in this module");
@@ -68,12 +71,13 @@ unsigned Module::instructionCount() const {
 
 std::unique_ptr<Module> Module::clone() const {
   auto NewM = std::make_unique<Module>();
-  IRCloneMaps Maps;
+  IRCloneMaps Maps(*this);
+  Maps.Clones.reserve(instructionCount());
 
   for (const Variable *G : Globals) {
     Variable *NewG = NewM->addGlobal(G->getName(), G->getArraySize());
     NewG->setId(G->getId());
-    Maps.Vars.emplace(G, NewG);
+    Maps.mapVar(G, NewG);
   }
 
   // Create all procedures, variables, and blocks first so call and branch
@@ -84,12 +88,12 @@ std::unique_ptr<Module> Module::clone() const {
     for (const Variable *F : P->formals()) {
       Variable *NewF = NewP->addFormal(F->getName());
       NewF->setId(F->getId());
-      Maps.Vars.emplace(F, NewF);
+      Maps.mapVar(F, NewF);
     }
     for (const Variable *L : P->locals()) {
       Variable *NewL = NewP->addLocal(L->getName(), L->getArraySize());
       NewL->setId(L->getId());
-      Maps.Vars.emplace(L, NewL);
+      Maps.mapVar(L, NewL);
     }
     for (const std::unique_ptr<BasicBlock> &BB : P->blocks())
       Maps.Blocks.emplace(BB.get(), NewP->createBlock(BB->getName()));
@@ -103,7 +107,7 @@ std::unique_ptr<Module> Module::clone() const {
       for (const std::unique_ptr<Instruction> &Inst : BB->instructions()) {
         std::unique_ptr<Instruction> NewInst =
             cloneInstructionWithMaps(Inst.get(), *NewM, Maps);
-        Maps.Values.emplace(Inst.get(), NewInst.get());
+        Maps.mapValue(Inst.get(), NewInst.get());
         NewBB->append(std::move(NewInst));
       }
       for (BasicBlock *Pred : BB->predecessors())
@@ -122,18 +126,18 @@ std::unique_ptr<Module> Module::clone() const {
 Procedure *Module::cloneProcedure(const Procedure &Src,
                                   const std::string &NewName) {
   assert(Src.getModule() == this && "cloning a foreign procedure");
-  IRCloneMaps Maps;
+  IRCloneMaps Maps(*this);
   // Globals and procedures are shared; local storage is fresh.
   for (Variable *G : Globals)
-    Maps.Vars.emplace(G, G);
+    Maps.mapVar(G, G);
   for (const std::unique_ptr<Procedure> &P : Procs)
     Maps.Procs.emplace(P.get(), P.get());
 
   Procedure *NewP = createProcedure(NewName);
   for (const Variable *F : Src.formals())
-    Maps.Vars.emplace(F, NewP->addFormal(F->getName()));
+    Maps.mapVar(F, NewP->addFormal(F->getName()));
   for (const Variable *L : Src.locals())
-    Maps.Vars.emplace(L, NewP->addLocal(L->getName(), L->getArraySize()));
+    Maps.mapVar(L, NewP->addLocal(L->getName(), L->getArraySize()));
   for (const std::unique_ptr<BasicBlock> &BB : Src.blocks())
     Maps.Blocks.emplace(BB.get(), NewP->createBlock(BB->getName()));
   if (Src.getExitBlock())
@@ -145,7 +149,7 @@ Procedure *Module::cloneProcedure(const Procedure &Src,
       std::unique_ptr<Instruction> NewInst =
           cloneInstructionWithMaps(Inst.get(), *this, Maps);
       NewInst->setId(nextInstId()); // fresh identity for the copy
-      Maps.Values.emplace(Inst.get(), NewInst.get());
+      Maps.mapValue(Inst.get(), NewInst.get());
       NewBB->append(std::move(NewInst));
     }
     for (BasicBlock *Pred : BB->predecessors())

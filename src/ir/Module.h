@@ -18,9 +18,9 @@
 
 #include "ir/Procedure.h"
 
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace ipcp {
@@ -72,6 +72,11 @@ public:
   /// Fresh module-unique variable ID.
   uint64_t nextVarId() { return NextVarId++; }
 
+  /// Exclusive upper bounds on the IDs handed out so far; dense clone
+  /// tables are sized from these.
+  uint64_t instIdBound() const { return NextInstId; }
+  uint64_t varIdBound() const { return NextVarId; }
+
   //===--------------------------------------------------------------------===
   // Cloning
   //===--------------------------------------------------------------------===
@@ -95,7 +100,7 @@ private:
   std::vector<std::unique_ptr<Procedure>> Procs;
   std::vector<Variable *> Globals;
   std::vector<std::unique_ptr<Variable>> OwnedGlobals;
-  std::map<ConstantValue, std::unique_ptr<ConstantInt>> Constants;
+  std::unordered_map<ConstantValue, std::unique_ptr<ConstantInt>> Constants;
   UndefValue Undef;
   uint64_t NextInstId = 0;
   uint64_t NextVarId = 0;

@@ -17,6 +17,7 @@ using namespace ipcp;
 BasicBlock *Procedure::createBlock(std::string BlockName) {
   Blocks.push_back(
       std::make_unique<BasicBlock>(NextBlockId++, std::move(BlockName), this));
+  invalidateInstStream();
   return Blocks.back().get();
 }
 
@@ -29,6 +30,7 @@ void Procedure::eraseBlock(BasicBlock *BB) {
       [&](const std::unique_ptr<BasicBlock> &P) { return P.get() == BB; });
   assert(It != Blocks.end() && "block not in this procedure");
   Blocks.erase(It);
+  invalidateInstStream();
 }
 
 unsigned Procedure::removeUnreachableBlocks() {
@@ -85,6 +87,8 @@ unsigned Procedure::removeUnreachableBlocks() {
     It = Blocks.erase(It);
     ++Removed;
   }
+  if (Removed)
+    invalidateInstStream();
   return Removed;
 }
 
@@ -136,6 +140,29 @@ unsigned Procedure::instructionCount() const {
   for (const std::unique_ptr<BasicBlock> &BB : Blocks)
     Count += BB->instructions().size();
   return Count;
+}
+
+const Procedure::InstStream &Procedure::instStream() const {
+  if (StreamValid)
+    return Stream;
+  Stream.Insts.clear();
+  Stream.Spans.clear();
+  Stream.Spans.reserve(Blocks.size());
+  Stream.Insts.reserve(instructionCount());
+  for (size_t BI = 0; BI != Blocks.size(); ++BI) {
+    BasicBlock *BB = Blocks[BI].get();
+    BB->setDensePos(uint32_t(BI));
+    InstStream::Span Span;
+    Span.Begin = uint32_t(Stream.Insts.size());
+    for (const std::unique_ptr<Instruction> &Inst : BB->instructions()) {
+      Inst->setLocalIdx(uint32_t(Stream.Insts.size()));
+      Stream.Insts.push_back(Inst.get());
+    }
+    Span.End = uint32_t(Stream.Insts.size());
+    Stream.Spans.push_back(Span);
+  }
+  StreamValid = true;
+  return Stream;
 }
 
 std::vector<CallInst *> Procedure::callSites() const {

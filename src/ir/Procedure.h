@@ -38,6 +38,9 @@ public:
   const std::string &getName() const { return Name; }
   void setName(std::string NewName) { Name = std::move(NewName); }
 
+  /// Dense position in the owning module's procedure list.
+  uint32_t getModuleIndex() const { return ModuleIndex; }
+
   //===--------------------------------------------------------------------===
   // Blocks
   //===--------------------------------------------------------------------===
@@ -95,6 +98,37 @@ public:
   /// Collects every CallInst in block order.
   std::vector<CallInst *> callSites() const;
 
+  //===--------------------------------------------------------------------===
+  // Flat instruction stream
+  //===--------------------------------------------------------------------===
+
+  /// The procedure's instructions laid out as one contiguous array in
+  /// block order, with each block's instructions addressed as an index
+  /// span. Rebuilt lazily after any CFG or instruction-list mutation;
+  /// building it also assigns Instruction::getLocalIdx() and
+  /// BasicBlock::getDensePos(), so analyses index dense side tables
+  /// instead of pointer-keyed hash maps.
+  struct InstStream {
+    struct Span {
+      uint32_t Begin = 0;
+      uint32_t End = 0;
+    };
+    std::vector<Instruction *> Insts; ///< all instructions, block order
+    std::vector<Span> Spans;          ///< per-block [Begin, End) into Insts
+
+    size_t size() const { return Insts.size(); }
+    size_t numBlocks() const { return Spans.size(); }
+  };
+
+  /// Materializes (or returns the cached) flat stream. Iteration over
+  /// Insts visits every instruction exactly once in block order.
+  const InstStream &instStream() const;
+
+  /// Marks the cached stream stale; called by every block/instruction
+  /// mutator. Dense indices remain readable but must not be trusted until
+  /// instStream() runs again.
+  void invalidateInstStream() { StreamValid = false; }
+
 private:
   friend class Module; // clone support
 
@@ -107,6 +141,9 @@ private:
   std::vector<std::unique_ptr<Variable>> OwnedVars;
   std::unordered_map<Variable *, std::unique_ptr<EntryValue>> EntryValues;
   unsigned NextBlockId = 0;
+  uint32_t ModuleIndex = 0;
+  mutable InstStream Stream;
+  mutable bool StreamValid = false;
 };
 
 } // namespace ipcp

@@ -7,7 +7,6 @@
 #include "ir/Traversal.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 using namespace ipcp;
 
@@ -16,23 +15,29 @@ std::vector<BasicBlock *> ipcp::postOrder(const Procedure &P) {
   if (P.blocks().empty())
     return Order;
 
+  // Materializing the stream assigns dense block positions, letting the
+  // DFS keep its visited set in a flat bitmap instead of a hash set.
+  const Procedure::InstStream &Stream = P.instStream();
+  std::vector<char> Visited(Stream.numBlocks(), 0);
+  Order.reserve(Stream.numBlocks());
+
   // Iterative DFS with an explicit stack of (block, next-successor-index).
-  std::unordered_set<BasicBlock *> Visited;
-  std::vector<std::pair<BasicBlock *, size_t>> Stack;
+  std::vector<std::pair<BasicBlock *, unsigned>> Stack;
   BasicBlock *Entry = P.getEntryBlock();
-  Visited.insert(Entry);
+  Visited[Entry->getDensePos()] = 1;
   Stack.push_back({Entry, 0});
   while (!Stack.empty()) {
     auto &[BB, NextIdx] = Stack.back();
-    std::vector<BasicBlock *> Succs = BB->successors();
-    if (NextIdx >= Succs.size()) {
+    if (NextIdx >= BB->getNumSuccessors()) {
       Order.push_back(BB);
       Stack.pop_back();
       continue;
     }
-    BasicBlock *Succ = Succs[NextIdx++];
-    if (Visited.insert(Succ).second)
+    BasicBlock *Succ = BB->getSuccessor(NextIdx++);
+    if (!Visited[Succ->getDensePos()]) {
+      Visited[Succ->getDensePos()] = 1;
       Stack.push_back({Succ, 0});
+    }
   }
   return Order;
 }

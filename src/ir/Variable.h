@@ -20,9 +20,10 @@
 
 #include "support/ConstantMath.h"
 
+#include <algorithm>
 #include <cstdint>
-#include <set>
 #include <string>
+#include <vector>
 
 namespace ipcp {
 
@@ -89,8 +90,37 @@ struct VariableIdLess {
   }
 };
 
-/// An ID-ordered set of variables.
-using VariableSet = std::set<Variable *, VariableIdLess>;
+/// An ID-ordered set of variables, backed by a sorted flat vector: the
+/// sets are small (a procedure's referenced globals, a call's kills) and
+/// hot loops iterate them, so contiguity beats the red-black tree this
+/// replaces. Iteration order remains ID order, keeping runs reproducible.
+class VariableSet {
+public:
+  using const_iterator = std::vector<Variable *>::const_iterator;
+
+  std::pair<const_iterator, bool> insert(Variable *V) {
+    auto It = std::lower_bound(Items.begin(), Items.end(), V,
+                               VariableIdLess());
+    if (It != Items.end() && *It == V)
+      return {It, false};
+    return {Items.insert(It, V), true};
+  }
+
+  size_t count(const Variable *V) const {
+    return std::binary_search(Items.begin(), Items.end(),
+                              const_cast<Variable *>(V), VariableIdLess())
+               ? 1
+               : 0;
+  }
+
+  const_iterator begin() const { return Items.begin(); }
+  const_iterator end() const { return Items.end(); }
+  size_t size() const { return Items.size(); }
+  bool empty() const { return Items.empty(); }
+
+private:
+  std::vector<Variable *> Items;
+};
 
 } // namespace ipcp
 

@@ -1,0 +1,123 @@
+//===- support/Arena.h - Bump-pointer allocation ----------------*- C++ -*-===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump allocator for the data-oriented core (docs/PERFORMANCE.md,
+/// "Memory layout"). Objects allocated back-to-back from one Arena are
+/// contiguous in allocation order, so consumers that walk them in that
+/// order (the flat instruction stream, the SymExpr node table) touch
+/// memory linearly instead of pointer-chasing a heap of individual
+/// allocations.
+///
+/// The arena never frees individual objects: memory is reclaimed all at
+/// once by reset() or destruction. Destructors are NOT run — only use
+/// create<T>() for trivially destructible types, or arrange for the owner
+/// to destroy objects explicitly before the arena dies (Procedure does
+/// this for instructions, whose operand vectors own heap memory).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IPCP_SUPPORT_ARENA_H
+#define IPCP_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace ipcp {
+
+/// A chunked bump allocator. Allocation is a pointer bump in the common
+/// case; chunks grow geometrically up to MaxChunkBytes so large arenas
+/// amortize to O(log n) mallocs total.
+class Arena {
+public:
+  explicit Arena(size_t FirstChunkBytes = 4096,
+                 size_t MaxChunkBytes = 256 * 1024)
+      : NextChunkBytes(FirstChunkBytes ? FirstChunkBytes : 4096),
+        MaxChunkBytes(MaxChunkBytes) {}
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+  Arena(Arena &&) = default;
+  Arena &operator=(Arena &&) = default;
+
+  /// Returns \p Size bytes aligned to \p Align (a power of two).
+  void *allocate(size_t Size, size_t Align = alignof(std::max_align_t)) {
+    assert(Align != 0 && (Align & (Align - 1)) == 0 &&
+           "alignment must be a power of two");
+    uintptr_t P = (Cur + (Align - 1)) & ~uintptr_t(Align - 1);
+    if (P + Size > End) {
+      grow(Size + Align);
+      P = (Cur + (Align - 1)) & ~uintptr_t(Align - 1);
+    }
+    Cur = P + Size;
+    Allocated += Size;
+    return reinterpret_cast<void *>(P);
+  }
+
+  /// Constructs a T in the arena. The destructor is never run by the
+  /// arena itself — see the file comment.
+  template <typename T, typename... Args> T *create(Args &&...CtorArgs) {
+    return ::new (allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(CtorArgs)...);
+  }
+
+  /// Drops every allocation but keeps the first chunk for reuse, so a
+  /// reset-and-refill cycle (one analysis request) settles into zero
+  /// mallocs.
+  void reset() {
+    if (Chunks.size() > 1)
+      Chunks.resize(1);
+    if (!Chunks.empty()) {
+      Cur = reinterpret_cast<uintptr_t>(Chunks.front().Data.get());
+      End = Cur + Chunks.front().Bytes;
+    } else {
+      Cur = End = 0;
+    }
+    Allocated = 0;
+  }
+
+  /// Total payload bytes handed out since construction or reset().
+  size_t bytesAllocated() const { return Allocated; }
+
+  /// Chunks currently owned (1 after reset unless empty).
+  size_t chunkCount() const { return Chunks.size(); }
+
+private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> Data;
+    size_t Bytes = 0;
+  };
+
+  void grow(size_t AtLeast) {
+    size_t Bytes = NextChunkBytes;
+    while (Bytes < AtLeast)
+      Bytes *= 2;
+    if (NextChunkBytes < MaxChunkBytes)
+      NextChunkBytes = std::min(NextChunkBytes * 2, MaxChunkBytes);
+    Chunk C;
+    C.Data = std::make_unique<std::byte[]>(Bytes);
+    C.Bytes = Bytes;
+    Cur = reinterpret_cast<uintptr_t>(C.Data.get());
+    End = Cur + Bytes;
+    Chunks.push_back(std::move(C));
+  }
+
+  std::vector<Chunk> Chunks;
+  uintptr_t Cur = 0;
+  uintptr_t End = 0;
+  size_t Allocated = 0;
+  size_t NextChunkBytes;
+  size_t MaxChunkBytes;
+};
+
+} // namespace ipcp
+
+#endif // IPCP_SUPPORT_ARENA_H

@@ -72,10 +72,13 @@ private:
 /// clear() just bumps the generation.
 class IndexWorklist {
 public:
-  /// Grows the key universe to at least \p Count keys.
+  /// Grows the key universe to at least \p Count keys and pre-sizes the
+  /// queue to match: at most one occurrence of each key is ever pending,
+  /// so Count slots make every subsequent push allocation-free.
   void reserve(size_t Count) {
     if (Stamp.size() < Count)
       Stamp.resize(Count, 0);
+    Queue.reserve(Count);
   }
 
   /// Empties the queue in O(1); all keys become re-insertable.
