@@ -237,6 +237,10 @@ JsonValue ipcp::serviceErrorObject(const std::string &Code,
   JsonValue Err = JsonValue::object();
   Err.set("code", Code);
   Err.set("message", Message);
+  // Whether the same request can be expected to succeed if resent:
+  // transient conditions (overload, an internal fault) are retryable;
+  // a malformed or unanalyzable request will fail the same way again.
+  Err.set("retryable", Code == "busy" || Code == "internal");
   return Err;
 }
 

@@ -88,9 +88,11 @@ void scrubReportTimings(JsonValue &Report);
 JsonValue buildServiceEnvelope(uint64_t Seq, const JsonValue *Id,
                                JsonValue Body);
 
-/// A service response error object: {"code": Code, "message": Message}.
-/// Codes are enumerated in docs/SERVICE.md ("bad-json", "bad-request",
-/// "unknown-suite", "source-error", "busy").
+/// A service response error object: {"code": Code, "message": Message,
+/// "retryable": bool}. Codes are enumerated in docs/SERVICE.md
+/// ("bad-json", "bad-request", "unknown-suite", "source-error", "busy",
+/// "internal"); `retryable` is true for the transient codes ("busy",
+/// "internal"), and busy envelopes additionally carry "retry_after_ms".
 JsonValue serviceErrorObject(const std::string &Code,
                              const std::string &Message);
 

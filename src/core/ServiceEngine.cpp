@@ -11,10 +11,12 @@
 #include "frontend/Parser.h"
 #include "ir/AstLower.h"
 #include "support/ContentStore.h"
+#include "support/FaultInjection.h"
 #include "support/StableHash.h"
 
 #include <algorithm>
 #include <condition_variable>
+#include <stdexcept>
 
 using namespace ipcp;
 
@@ -193,8 +195,11 @@ ServiceEngine::ServiceEngine(Config C) : Conf(std::move(C)) {
   // A cache directory without an injected store means this engine owns a
   // private content-addressed tier; the sharded service instead passes
   // one shared store to every shard.
-  if (!Conf.Store && !Conf.CacheDir.empty())
-    Conf.Store = std::make_shared<ContentStore>(Conf.CacheDir);
+  if (!Conf.Store && !Conf.CacheDir.empty()) {
+    ContentStore::Options StoreOpts;
+    StoreOpts.Durable = Conf.DurableStore;
+    Conf.Store = std::make_shared<ContentStore>(Conf.CacheDir, StoreOpts);
+  }
 }
 
 ServiceEngine::~ServiceEngine() { shutdownFlush(); }
@@ -538,9 +543,6 @@ ServiceEngine::reserveTurn(const ServiceRequest &Req) {
 
 JsonValue ServiceEngine::analyze(const ServiceRequest &Req, SessionTurn Turn) {
   ++StatAnalyses;
-  IPCPOptions Opts = Req.Opts;
-  bool Scrub = Req.ScrubTimings || Conf.ScrubTimings;
-  JsonValue Body = JsonValue::object();
 
   // Enter the session turn before doing anything observable: the warm/
   // cold order of a session is its ticket order, and even an erroring
@@ -556,6 +558,41 @@ JsonValue ServiceEngine::analyze(const ServiceRequest &Req, SessionTurn Turn) {
       return Session->NowServing.load() == Turn.Ticket;
     });
   }
+
+  // The failure boundary: whatever the pipeline throws becomes a
+  // structured, retryable "internal" error response. Nothing below this
+  // point marks the session dirty before its run committed, so an
+  // aborted run is never persisted — the staged (uncommitted) entries
+  // are discarded by the next run's beginRun, and the last committed
+  // state remains valid. The turnstile and lock unwind normally, so the
+  // session keeps serving.
+  try {
+    std::string Msg;
+    if (faultInjector().shouldFail("service.analyze", &Msg))
+      throw std::runtime_error(Msg);
+    return analyzeLocked(Req, Session.get());
+  } catch (const std::exception &E) {
+    ++StatErrors;
+    ++StatInternalErrors;
+    JsonValue Body = JsonValue::object();
+    Body.set("status", "error");
+    Body.set("error", serviceErrorObject("internal", E.what()));
+    return Body;
+  } catch (...) {
+    ++StatErrors;
+    ++StatInternalErrors;
+    JsonValue Body = JsonValue::object();
+    Body.set("status", "error");
+    Body.set("error", serviceErrorObject("internal", "unhandled exception"));
+    return Body;
+  }
+}
+
+JsonValue ServiceEngine::analyzeLocked(const ServiceRequest &Req,
+                                       SessionState *Session) {
+  IPCPOptions Opts = Req.Opts;
+  bool Scrub = Req.ScrubTimings || Conf.ScrubTimings;
+  JsonValue Body = JsonValue::object();
 
   std::string SourceText = Req.Source;
   if (!Req.Suite.empty() &&
@@ -682,6 +719,7 @@ JsonValue ServiceEngine::statsBody() {
   Stats.set("analyze_requests", StatAnalyses.load());
   Stats.set("degraded", StatDegraded.load());
   Stats.set("errors", StatErrors.load());
+  Stats.set("internal_errors", StatInternalErrors.load());
   Stats.set("batches", StatBatches.load());
   Stats.set("busy_rejections", StatBusy.load());
   Stats.set("sessions_resident", uint64_t(residentSessions()));
@@ -703,6 +741,7 @@ ServiceEngine::CountersSnapshot ServiceEngine::snapshot() const {
   S.Analyses = StatAnalyses.load();
   S.Degraded = StatDegraded.load();
   S.Errors = StatErrors.load();
+  S.InternalErrors = StatInternalErrors.load();
   S.Batches = StatBatches.load();
   S.Busy = StatBusy.load();
   S.WarmHits = StatCacheWarmHits.load();

@@ -117,6 +117,10 @@ public:
     /// injects one shared store into every shard instead, which is what
     /// lets any worker warm-start any session.
     std::shared_ptr<ContentStore> Store;
+    /// Open the engine-created store in durable mode (fsync before
+    /// rename; see support/ContentStore.h). Ignored when Store is
+    /// injected — the creator of that store chooses.
+    bool DurableStore = false;
     /// Resident session caches per cache bucket before LRU eviction.
     /// There are CacheBuckets fixed buckets (a pure hash of the session
     /// key), so service-wide residency is bounded by
@@ -199,6 +203,13 @@ public:
   /// Same, redeeming a turn reserved earlier with reserveTurn() — the
   /// daemon's concurrent path. Consumes the turn on every outcome
   /// (including errors), so a failed request never wedges its session.
+  ///
+  /// This is also the service's failure boundary: any exception thrown
+  /// by the pipeline (or an injected `service.analyze` fault) is caught
+  /// and converted into a structured, retryable "internal" error body —
+  /// the worker thread and the session survive, and the session cache
+  /// is never marked dirty by a failed run, so a poisoned run is never
+  /// persisted.
   JsonValue analyze(const ServiceRequest &Req, SessionTurn Turn);
 
   /// Executes every item of an AnalyzeBatch request sequentially on the
@@ -227,6 +238,7 @@ public:
     uint64_t Analyses = 0;
     uint64_t Degraded = 0;
     uint64_t Errors = 0;
+    uint64_t InternalErrors = 0;
     uint64_t Batches = 0;
     uint64_t Busy = 0;
     uint64_t WarmHits = 0;
@@ -258,6 +270,7 @@ public:
   const Config &config() const { return Conf; }
 
 private:
+  JsonValue analyzeLocked(const ServiceRequest &Req, SessionState *Session);
   SessionTurn acquireSession(const ServiceRequest &Req);
   void evictOverflowSessions(unsigned Bucket,
                              std::vector<std::shared_ptr<SessionState>> &Out);
@@ -272,6 +285,7 @@ private:
   std::atomic<uint64_t> StatAnalyses{0};
   std::atomic<uint64_t> StatDegraded{0};
   std::atomic<uint64_t> StatErrors{0};
+  std::atomic<uint64_t> StatInternalErrors{0};
   std::atomic<uint64_t> StatBatches{0};
   std::atomic<uint64_t> StatBusy{0};
   std::atomic<uint64_t> StatCacheWarmHits{0};

@@ -8,6 +8,7 @@
 
 #include "core/Report.h"
 #include "support/ContentStore.h"
+#include "support/FaultInjection.h"
 #include "support/StableHash.h"
 #include "support/ThreadPool.h"
 
@@ -48,8 +49,12 @@ ShardedService::ShardedService(Config C)
   unsigned PerShard = std::max(1u, Jobs / Conf.Shards);
   // One content-addressed store shared by every shard — the property
   // that makes cross-shard warm starts work.
-  if (!Conf.Engine.Store && !Conf.Engine.CacheDir.empty())
-    Conf.Engine.Store = std::make_shared<ContentStore>(Conf.Engine.CacheDir);
+  if (!Conf.Engine.Store && !Conf.Engine.CacheDir.empty()) {
+    ContentStore::Options StoreOpts;
+    StoreOpts.Durable = Conf.Engine.DurableStore;
+    Conf.Engine.Store =
+        std::make_shared<ContentStore>(Conf.Engine.CacheDir, StoreOpts);
+  }
   Store = Conf.Engine.Store;
   for (unsigned I = 0; I != Conf.Shards; ++I) {
     auto W = std::make_unique<Worker>();
@@ -131,6 +136,17 @@ static JsonValue errorBody(const std::string &Status, const std::string &Code,
   return Body;
 }
 
+/// The queue-full rejection. The backoff hint is a fixed constant, not
+/// a load measurement: response bytes must stay a pure function of the
+/// request stream (docs/SCALING.md), and clients add their own jitter
+/// (ipcp_loadgen --retry-busy).
+static JsonValue busyBody() {
+  JsonValue Body =
+      errorBody("busy", "busy", "request queue is full; retry later");
+  Body.find("error")->set("retry_after_ms", uint64_t(10));
+  return Body;
+}
+
 bool ShardedService::submitLine(Stream &St, const std::string &Line) {
   if (Line.find_first_not_of(" \t\r") == std::string::npos)
     return false; // blank keep-alive lines carry no request
@@ -148,9 +164,7 @@ bool ShardedService::submitLine(Stream &St, const std::string &Line) {
   case ServiceRequest::Kind::Analyze: {
     if (!Gate.tryAcquire()) {
       ++StatBusy;
-      pushEnvelope(St, Seq, Req.HasId ? &Req.Id : nullptr,
-                   errorBody("busy", "busy",
-                             "request queue is full; retry later"));
+      pushEnvelope(St, Seq, Req.HasId ? &Req.Id : nullptr, busyBody());
       break;
     }
     unsigned Shard = routeShard(Req);
@@ -160,7 +174,17 @@ bool ShardedService::submitLine(Stream &St, const std::string &Line) {
     ServiceEngine::SessionTurn Turn = E.reserveTurn(Req);
     submitToShard(Shard,
                   [this, &St, &E, Seq, Req = std::move(Req), Turn]() mutable {
-                    JsonValue Body = E.analyze(Req, std::move(Turn));
+                    // Backstop behind the engine's own failure boundary:
+                    // whatever happens, the sequence number is answered
+                    // and the admission slot is released — a throwing
+                    // request can never wedge the response stream.
+                    JsonValue Body;
+                    try {
+                      Body = E.analyze(Req, std::move(Turn));
+                    } catch (...) {
+                      Body = errorBody("error", "internal",
+                                       "analysis failed in worker");
+                    }
                     pushEnvelope(St, Seq, Req.HasId ? &Req.Id : nullptr,
                                  std::move(Body));
                     Gate.release();
@@ -171,9 +195,7 @@ bool ShardedService::submitLine(Stream &St, const std::string &Line) {
     size_t N = Req.Batch.size();
     if (!Gate.tryAcquire(N)) {
       ++StatBusy;
-      pushEnvelope(St, Seq, Req.HasId ? &Req.Id : nullptr,
-                   errorBody("busy", "busy",
-                             "request queue is full; retry later"));
+      pushEnvelope(St, Seq, Req.HasId ? &Req.Id : nullptr, busyBody());
       break;
     }
     ++StatBatches;
@@ -193,7 +215,19 @@ bool ShardedService::submitLine(Stream &St, const std::string &Line) {
       submitToShard(
           Shard, [this, &St, &E, State, I, Item = Req.Batch[I],
                   Turn]() mutable {
-            State->Items[I] = E.analyzeBatchItem(Item, I, std::move(Turn));
+            try {
+              State->Items[I] = E.analyzeBatchItem(Item, I, std::move(Turn));
+            } catch (...) {
+              JsonValue Failed = JsonValue::object();
+              Failed.set("index", uint64_t(I));
+              if (Item.HasId)
+                Failed.set("id", Item.Id);
+              for (auto &[Key, Val] :
+                   errorBody("error", "internal", "analysis failed in worker")
+                       .members())
+                Failed.set(Key, std::move(Val));
+              State->Items[I] = std::move(Failed);
+            }
             Gate.release();
             if (State->Remaining.fetch_sub(1) != 1)
               return;
@@ -294,6 +328,7 @@ JsonValue ShardedService::statsBody() {
     Sum.Analyses += S.Analyses;
     Sum.Degraded += S.Degraded;
     Sum.Errors += S.Errors;
+    Sum.InternalErrors += S.InternalErrors;
     Sum.Batches += S.Batches;
     Sum.Busy += S.Busy;
     Sum.WarmHits += S.WarmHits;
@@ -310,6 +345,7 @@ JsonValue ShardedService::statsBody() {
   Stats.set("analyze_requests", Sum.Analyses);
   Stats.set("degraded", Sum.Degraded);
   Stats.set("errors", Sum.Errors);
+  Stats.set("internal_errors", Sum.InternalErrors);
   Stats.set("batches", StatBatches.load() + Sum.Batches);
   Stats.set("busy_rejections", StatBusy.load() + Sum.Busy);
   Stats.set("sessions_resident", Sum.Resident);
@@ -349,7 +385,17 @@ JsonValue ShardedService::statsBody() {
   StoreStats.set("loads", CS.Loads);
   StoreStats.set("misses", CS.Misses);
   StoreStats.set("integrity_failures", CS.IntegrityFailures);
+  StoreStats.set("errors", CS.Errors);
+  StoreStats.set("scrub_runs", CS.ScrubRuns);
+  StoreStats.set("tmp_swept", CS.TmpSwept);
+  StoreStats.set("quarantined", CS.Quarantined);
+  StoreStats.set("dangling_refs_dropped", CS.DanglingDropped);
   Stats.set("store", std::move(StoreStats));
+
+  // Only present while a fault plan is installed: normal stats bodies
+  // stay byte-stable, chaos runs get their injection counters inline.
+  if (faultInjector().active())
+    Stats.set("faults", faultInjector().statsJson());
 
   JsonValue Body = JsonValue::object();
   Body.set("status", "ok");

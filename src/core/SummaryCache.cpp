@@ -8,6 +8,7 @@
 
 #include "ir/Module.h"
 #include "ir/Procedure.h"
+#include "support/FaultInjection.h"
 #include "support/FileIO.h"
 #include "support/Json.h"
 #include "support/StableHash.h"
@@ -572,7 +573,8 @@ bool SummaryCache::load(const std::string &SourceName,
   }
 
   std::string Text;
-  if (!readFileToString(Path, Text, nullptr)) {
+  if (faultInjector().shouldFail("cache.load") ||
+      !readFileToString(Path, Text, nullptr)) {
     LoadFailed = true;
     return false;
   }
@@ -583,6 +585,8 @@ bool SummaryCache::save(const std::string &SourceName,
                         const IPCPOptions &Opts, std::string *Error) {
   if (Dir.empty() || !RunCommitted)
     return true; // nothing to persist
+  if (faultInjector().shouldFail("cache.save", Error))
+    return false;
 
   std::error_code EC;
   std::filesystem::create_directories(Dir, EC);

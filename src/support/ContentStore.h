@@ -29,6 +29,15 @@
 /// jump-function evaluations. Thread-safe; all operations are also safe
 /// across processes sharing the directory (atomic renames only).
 ///
+/// Crash safety (docs/ROBUSTNESS.md): opening a store runs a recovery
+/// *scrub* — stale `.tmp.*` files left by a crash mid-write are swept,
+/// every object is re-hashed and corrupt ones are moved aside under
+/// `quarantine/` (never deleted: they are forensic evidence), and refs
+/// whose object is gone are dropped so `get` degrades to a clean miss
+/// instead of an integrity failure. `Options::Durable` additionally
+/// fsyncs data before the rename and the directory after it, so a
+/// renamed object survives power loss, not just process death.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IPCP_SUPPORT_CONTENTSTORE_H
@@ -43,8 +52,21 @@ namespace ipcp {
 /// Content-addressed blob store with named references.
 class ContentStore {
 public:
+  struct Options {
+    /// fsync data before rename and the parent directory after it.
+    bool Durable;
+    /// Run the recovery scrub when the store directory already exists.
+    bool ScrubOnOpen;
+    // Explicit default constructor (not member initializers): Options()
+    // is a default argument of the enclosing class's constructor, which
+    // member initializers cannot serve.
+    Options() : Durable(false), ScrubOnOpen(true) {}
+  };
+
   /// Uses \p Root as the store directory; created lazily on first put.
-  explicit ContentStore(std::string Root);
+  /// When the directory already exists and \p Opts.ScrubOnOpen is set,
+  /// runs `scrub()` before serving (counted in `stats()`).
+  explicit ContentStore(std::string Root, Options Opts = Options());
 
   ContentStore(const ContentStore &) = delete;
   ContentStore &operator=(const ContentStore &) = delete;
@@ -71,9 +93,25 @@ public:
   /// True when \p LogicalName currently resolves to an object.
   bool contains(const std::string &LogicalName);
 
+  /// What one recovery pass found and repaired.
+  struct ScrubReport {
+    uint64_t TmpSwept = 0;        ///< stale `.tmp.*` files removed
+    uint64_t ObjectsChecked = 0;  ///< blobs re-hashed
+    uint64_t Quarantined = 0;     ///< corrupt blobs moved to quarantine/
+    uint64_t RefsChecked = 0;     ///< refs resolved
+    uint64_t DanglingDropped = 0; ///< refs to missing objects removed
+    bool Ok = true;               ///< false when a repair itself failed
+  };
+
+  /// Recovery pass over the whole store: sweep temp litter, verify and
+  /// quarantine objects, drop dangling refs. Safe on a live store (all
+  /// repairs are unlink/rename); a missing root is an empty, Ok report.
+  ScrubReport scrub();
+
   /// Lifetime counters, all monotone. `DedupHits` counts puts that found
   /// their object already present; `IntegrityFailures` counts loads
-  /// whose bytes did not hash back to their name.
+  /// whose bytes did not hash back to their name. The scrub counters
+  /// accumulate across every `scrub()` run on this handle.
   struct Stats {
     uint64_t ObjectsWritten = 0;
     uint64_t DedupHits = 0;
@@ -81,12 +119,17 @@ public:
     uint64_t Misses = 0;
     uint64_t IntegrityFailures = 0;
     uint64_t Errors = 0;
+    uint64_t ScrubRuns = 0;
+    uint64_t TmpSwept = 0;
+    uint64_t Quarantined = 0;
+    uint64_t DanglingDropped = 0;
   };
   Stats stats() const;
 
   const std::string &root() const { return Root; }
   std::string objectPath(const std::string &Key) const;
   std::string refPath(const std::string &LogicalName) const;
+  std::string quarantinePath(const std::string &Key) const;
 
   /// The content key of \p Bytes: the hex StableHash (FNV-1a 64) of the
   /// byte string — the same primitive that keys the summary cache.
@@ -94,12 +137,17 @@ public:
 
 private:
   std::string Root;
+  Options Opts;
   std::atomic<uint64_t> StatObjectsWritten{0};
   std::atomic<uint64_t> StatDedupHits{0};
   std::atomic<uint64_t> StatLoads{0};
   std::atomic<uint64_t> StatMisses{0};
   std::atomic<uint64_t> StatIntegrityFailures{0};
   std::atomic<uint64_t> StatErrors{0};
+  std::atomic<uint64_t> StatScrubRuns{0};
+  std::atomic<uint64_t> StatTmpSwept{0};
+  std::atomic<uint64_t> StatQuarantined{0};
+  std::atomic<uint64_t> StatDanglingDropped{0};
 };
 
 } // namespace ipcp

@@ -1,0 +1,238 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection ---------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <cstdlib>
+
+namespace ipcp {
+
+bool faultPatternMatches(const std::string &Pattern, const std::string &Point) {
+  // Iterative `*`-glob with backtracking to the last star.
+  size_t PI = 0, SI = 0;
+  size_t Star = std::string::npos, Mark = 0;
+  while (SI < Point.size()) {
+    if (PI < Pattern.size() && Pattern[PI] == '*') {
+      Star = PI++;
+      Mark = SI;
+    } else if (PI < Pattern.size() && Pattern[PI] == Point[SI]) {
+      ++PI;
+      ++SI;
+    } else if (Star != std::string::npos) {
+      PI = Star + 1;
+      SI = ++Mark;
+    } else {
+      return false;
+    }
+  }
+  while (PI < Pattern.size() && Pattern[PI] == '*')
+    ++PI;
+  return PI == Pattern.size();
+}
+
+namespace {
+
+std::string trim(const std::string &S) {
+  size_t B = S.find_first_not_of(" \t");
+  if (B == std::string::npos)
+    return std::string();
+  size_t E = S.find_last_not_of(" \t");
+  return S.substr(B, E - B + 1);
+}
+
+bool parseCount(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  uint64_t V = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    if (V > (UINT64_MAX - (C - '0')) / 10)
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  Out = V;
+  return true;
+}
+
+/// Parses one `PATTERN(:key=value)*` rule; false + Error on bad syntax.
+bool parseRule(const std::string &Text, FaultRule &Rule, std::string *Error) {
+  size_t Pos = Text.find(':');
+  Rule.Pattern = trim(Pos == std::string::npos ? Text : Text.substr(0, Pos));
+  if (Rule.Pattern.empty()) {
+    if (Error)
+      *Error = "fault rule has an empty pattern: '" + Text + "'";
+    return false;
+  }
+  while (Pos != std::string::npos) {
+    size_t Next = Text.find(':', Pos + 1);
+    std::string Term = trim(Next == std::string::npos
+                                ? Text.substr(Pos + 1)
+                                : Text.substr(Pos + 1, Next - Pos - 1));
+    Pos = Next;
+    size_t Eq = Term.find('=');
+    std::string Key = Eq == std::string::npos ? Term : Term.substr(0, Eq);
+    uint64_t Value = 0;
+    if (Eq == std::string::npos ||
+        !parseCount(Term.substr(Eq + 1), Value)) {
+      if (Error)
+        *Error = "fault rule trigger needs KEY=N: '" + Term + "'";
+      return false;
+    }
+    if (Key == "nth")
+      Rule.Nth = Value;
+    else if (Key == "period")
+      Rule.Period = Value;
+    else if (Key == "start")
+      Rule.Start = Value;
+    else if (Key == "times")
+      Rule.Times = Value;
+    else {
+      if (Error)
+        *Error = "unknown fault rule key '" + Key +
+                 "' (expected nth, period, start, or times)";
+      return false;
+    }
+    if ((Key == "nth" || Key == "period") && Value == 0) {
+      if (Error)
+        *Error = "fault rule key '" + Key + "' must be >= 1";
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool FaultInjector::installPlan(const std::string &Spec, std::string *Error) {
+  std::vector<FaultRule> Parsed;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t End = Spec.find(';', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Text = trim(Spec.substr(Pos, End - Pos));
+    Pos = End + 1;
+    if (Text.empty())
+      continue;
+    FaultRule Rule;
+    if (!parseRule(Text, Rule, Error))
+      return false;
+    Parsed.push_back(std::move(Rule));
+  }
+  std::lock_guard<std::mutex> G(Lock);
+  Rules = std::move(Parsed);
+  this->Spec = Rules.empty() ? std::string() : Spec;
+  Checked = 0;
+  InjectedTotal = 0;
+  ByPoint.clear();
+  Active.store(!Rules.empty(), std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> G(Lock);
+  Rules.clear();
+  Spec.clear();
+  Checked = 0;
+  InjectedTotal = 0;
+  ByPoint.clear();
+  Active.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::shouldFail(const std::string &Point,
+                               std::string *Message) {
+  if (!Active.load(std::memory_order_relaxed))
+    return false;
+  std::lock_guard<std::mutex> G(Lock);
+  ++Checked;
+  FaultRule *Fired = nullptr;
+  for (FaultRule &R : Rules) {
+    if (!faultPatternMatches(R.Pattern, Point))
+      continue;
+    ++R.Matches;
+    if (Fired)
+      continue; // later rules still count their matches
+    bool Fire;
+    if (R.Nth) {
+      Fire = R.Matches == R.Nth;
+    } else {
+      uint64_t Start = R.Start ? R.Start : (R.Period ? R.Period : 1);
+      Fire = R.Matches >= Start &&
+             (R.Period == 0 || (R.Matches - Start) % R.Period == 0) &&
+             (R.Times == 0 || R.Injected < R.Times);
+    }
+    if (Fire) {
+      ++R.Injected;
+      Fired = &R;
+    }
+  }
+  if (!Fired)
+    return false;
+  ++InjectedTotal;
+  bool Counted = false;
+  for (auto &[Name, Count] : ByPoint)
+    if (Name == Point) {
+      ++Count;
+      Counted = true;
+      break;
+    }
+  if (!Counted)
+    ByPoint.emplace_back(Point, 1);
+  if (Message)
+    *Message = "injected fault: " + Point + " (rule '" + Fired->Pattern +
+               "' match " + std::to_string(Fired->Matches) + ")";
+  return true;
+}
+
+FaultInjector::Totals FaultInjector::totals() const {
+  std::lock_guard<std::mutex> G(Lock);
+  Totals T;
+  T.Checked = Checked;
+  T.Injected = InjectedTotal;
+  return T;
+}
+
+std::string FaultInjector::planSpec() const {
+  std::lock_guard<std::mutex> G(Lock);
+  return Spec;
+}
+
+JsonValue FaultInjector::statsJson() const {
+  std::lock_guard<std::mutex> G(Lock);
+  JsonValue Doc = JsonValue::object();
+  Doc.set("plan", Spec);
+  Doc.set("checked", Checked);
+  Doc.set("injected", InjectedTotal);
+  JsonValue RulesArr = JsonValue::array();
+  for (const FaultRule &R : Rules) {
+    JsonValue Obj = JsonValue::object();
+    Obj.set("pattern", R.Pattern);
+    Obj.set("matched", R.Matches);
+    Obj.set("injected", R.Injected);
+    RulesArr.push(std::move(Obj));
+  }
+  Doc.set("rules", std::move(RulesArr));
+  JsonValue Points = JsonValue::object();
+  for (const auto &[Name, Count] : ByPoint)
+    Points.set(Name, Count);
+  Doc.set("points", std::move(Points));
+  return Doc;
+}
+
+FaultInjector &faultInjector() {
+  static FaultInjector Injector;
+  return Injector;
+}
+
+bool installFaultPlanFromEnv(std::string *Error) {
+  const char *Spec = std::getenv("IPCP_FAULT_PLAN");
+  if (!Spec || !*Spec)
+    return true;
+  return faultInjector().installPlan(Spec, Error);
+}
+
+} // namespace ipcp

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/FileIO.h"
+#include "support/FaultInjection.h"
 
 #include <cstdio>
 
@@ -13,6 +14,8 @@ using namespace ipcp;
 bool ipcp::readFileToString(const std::string &Path, std::string &Out,
                             std::string *Error) {
   Out.clear();
+  if (faultInjector().shouldFail("fileio.read", Error))
+    return false;
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F) {
     if (Error)
@@ -36,6 +39,8 @@ bool ipcp::readFileToString(const std::string &Path, std::string &Out,
 
 bool ipcp::writeStringToFile(const std::string &Path, std::string_view Text,
                              std::string *Error) {
+  if (faultInjector().shouldFail("fileio.write", Error))
+    return false;
   if (Path == "-") {
     size_t Written = std::fwrite(Text.data(), 1, Text.size(), stdout);
     if (Written != Text.size() || std::fflush(stdout) != 0) {

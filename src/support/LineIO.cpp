@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/LineIO.h"
+#include "support/FaultInjection.h"
 
 #include <cerrno>
 #include <cstring>
@@ -53,6 +54,8 @@ bool LineReader::readLine(std::string &Out) {
 }
 
 bool ipcp::writeAllToFd(int Fd, std::string_view Data, std::string *Error) {
+  if (faultInjector().shouldFail("lineio.write", Error))
+    return false;
   while (!Data.empty()) {
     ssize_t N;
     do

@@ -1,0 +1,179 @@
+//===- tests/BoundedQueueTests.cpp - service queue primitive tests --------===//
+//
+// Part of the ipcp project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The daemon's two concurrency primitives (support/BoundedQueue.h) in
+// isolation: non-blocking admission, the reorder buffer's exactly-once
+// in-order contract under concurrent producers, the backpressure bound,
+// and the close/drain race the TSan job hammers — a consumer mid-drain
+// while the producers finish and the owner closes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BoundedQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace ipcp;
+
+namespace {
+
+TEST(AdmissionGateTest, AdmitsWithinLimitNeverBlocks) {
+  AdmissionGate Gate(3);
+  EXPECT_TRUE(Gate.tryAcquire());
+  EXPECT_TRUE(Gate.tryAcquire(2));
+  EXPECT_EQ(Gate.inFlight(), 3u);
+  EXPECT_FALSE(Gate.tryAcquire());
+  Gate.release(2);
+  EXPECT_TRUE(Gate.tryAcquire(2));
+  EXPECT_FALSE(Gate.tryAcquire(1));
+}
+
+TEST(AdmissionGateTest, ZeroLimitRejectsEverything) {
+  AdmissionGate Gate(0);
+  EXPECT_FALSE(Gate.tryAcquire());
+  EXPECT_FALSE(Gate.tryAcquire(0) && Gate.tryAcquire());
+  EXPECT_EQ(Gate.inFlight(), 0u);
+}
+
+TEST(AdmissionGateTest, OverReleaseClampsAtZero) {
+  AdmissionGate Gate(2);
+  ASSERT_TRUE(Gate.tryAcquire());
+  Gate.release(100);
+  EXPECT_EQ(Gate.inFlight(), 0u);
+  // The clamp must not mint capacity beyond the limit.
+  EXPECT_TRUE(Gate.tryAcquire(2));
+  EXPECT_FALSE(Gate.tryAcquire());
+}
+
+TEST(AdmissionGateTest, ConcurrentChurnStaysBounded) {
+  AdmissionGate Gate(4);
+  std::atomic<size_t> MaxSeen{0};
+  std::atomic<uint64_t> Admitted{0};
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W != 8; ++W)
+    Workers.emplace_back([&] {
+      for (unsigned I = 0; I != 2000; ++I) {
+        if (!Gate.tryAcquire())
+          continue;
+        size_t Now = Gate.inFlight();
+        size_t Prev = MaxSeen.load();
+        while (Now > Prev && !MaxSeen.compare_exchange_weak(Prev, Now)) {
+        }
+        Admitted.fetch_add(1);
+        Gate.release();
+      }
+    });
+  for (std::thread &T : Workers)
+    T.join();
+  EXPECT_GT(Admitted.load(), 0u);
+  EXPECT_LE(MaxSeen.load(), 4u);
+  EXPECT_EQ(Gate.inFlight(), 0u);
+}
+
+TEST(OrderedResultQueueTest, ConcurrentProducersDeliverExactlyOnceInOrder) {
+  // A tight bound forces producers of later sequence numbers to block
+  // on the consumer; the stream must still come out 0,1,2,... with
+  // every value delivered exactly once.
+  constexpr uint64_t N = 2000;
+  OrderedResultQueue<uint64_t> Queue(2);
+  std::atomic<uint64_t> NextSeq{0};
+  std::vector<std::thread> Producers;
+  for (unsigned W = 0; W != 6; ++W)
+    Producers.emplace_back([&] {
+      for (;;) {
+        uint64_t Seq = NextSeq.fetch_add(1);
+        if (Seq >= N)
+          return;
+        Queue.push(Seq, Seq * 3 + 1);
+      }
+    });
+
+  std::vector<uint64_t> Got;
+  std::thread Consumer([&] {
+    uint64_t Value;
+    while (Got.size() != N && Queue.pop(Value))
+      Got.push_back(Value);
+  });
+  for (std::thread &T : Producers)
+    T.join();
+  Consumer.join();
+
+  ASSERT_EQ(Got.size(), N);
+  for (uint64_t I = 0; I != N; ++I)
+    EXPECT_EQ(Got[I], I * 3 + 1) << "sequence " << I;
+  // The in-order entry is admitted past the bound, so the peak may
+  // exceed MaxBuffered by exactly one — never more.
+  EXPECT_LE(Queue.peakBuffered(), 3u);
+}
+
+TEST(OrderedResultQueueTest, CloseDrainRaceDeliversEverything) {
+  // The daemon's shutdown sequence: producers finish, the owner closes,
+  // while the consumer is mid-drain. No delivered value may be lost or
+  // duplicated, and pop must return false exactly once the buffer is
+  // both closed and empty — under TSan this is also a data-race probe.
+  for (unsigned Round = 0; Round != 50; ++Round) {
+    constexpr uint64_t N = 64;
+    OrderedResultQueue<int> Queue(4);
+    std::atomic<uint64_t> NextSeq{0};
+    std::vector<std::thread> Producers;
+    for (unsigned W = 0; W != 4; ++W)
+      Producers.emplace_back([&] {
+        for (;;) {
+          uint64_t Seq = NextSeq.fetch_add(1);
+          if (Seq >= N)
+            return;
+          Queue.push(Seq, int(Seq));
+        }
+      });
+
+    std::vector<int> Got;
+    std::thread Consumer([&] {
+      int Value;
+      while (Queue.pop(Value))
+        Got.push_back(Value);
+    });
+
+    for (std::thread &T : Producers)
+      T.join();
+    Queue.close(); // races the consumer's drain, as in the daemon
+    Consumer.join();
+
+    ASSERT_EQ(Got.size(), N) << "round " << Round;
+    for (uint64_t I = 0; I != N; ++I)
+      EXPECT_EQ(Got[I], int(I)) << "round " << Round;
+    // Closed and drained: every further pop fails immediately.
+    int Value;
+    EXPECT_FALSE(Queue.pop(Value));
+    EXPECT_FALSE(Queue.pop(Value));
+  }
+}
+
+TEST(OrderedResultQueueTest, PopBlocksUntilInOrderArrives) {
+  OrderedResultQueue<int> Queue;
+  Queue.push(1, 11); // out of order: pop(0) must not deliver this
+  std::atomic<bool> Got0{false};
+  std::thread Consumer([&] {
+    int Value;
+    ASSERT_TRUE(Queue.pop(Value));
+    EXPECT_EQ(Value, 7);
+    Got0.store(true);
+    ASSERT_TRUE(Queue.pop(Value));
+    EXPECT_EQ(Value, 11);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(Got0.load());
+  Queue.push(0, 7);
+  Consumer.join();
+  Queue.close();
+  int Value;
+  EXPECT_FALSE(Queue.pop(Value));
+}
+
+} // namespace

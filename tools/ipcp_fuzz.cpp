@@ -30,16 +30,37 @@
 //    -fsanitize=fuzzer to get LLVMFuzzerTestOneInput over raw bytes
 //    (coverage-guided, when the toolchain provides libFuzzer).
 //
+// Chaos mode (docs/ROBUSTNESS.md) replaces the campaign with a
+// fault-injected replay of a generated service workload through the
+// full sharded service, asserting the robustness contract end to end:
+//
+//      ipcp_fuzz --chaos=N [--seed=S] [--chaos-dir=DIR]
+//
+//    * every request line is answered under a seeded store/cache fault
+//      plan, and the plan injects (faults actually fire);
+//    * an identical-plan rerun is byte-identical, and so is the same
+//      replay at --shards=4 (store faults live on the reader thread);
+//    * the engine failure boundary converts injected analysis faults
+//      into `internal` error envelopes marked retryable, again
+//      byte-deterministically;
+//    * the content store the faulted run tore up scrubs clean, and a
+//      second scrub finds nothing left to repair;
+//    * a warm run over the recovered store normalizes to the same
+//      reports as a fault-free cold run.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/Pipeline.h"
 #include "core/Report.h"
 #include "core/ServiceEngine.h"
+#include "core/ShardedService.h"
 #include "core/SummaryCache.h"
 #include "frontend/Parser.h"
 #include "interp/Interpreter.h"
 #include "ir/AstLower.h"
 #include "ir/Verifier.h"
+#include "support/ContentStore.h"
+#include "support/FaultInjection.h"
 #include "support/FileIO.h"
 #include "workload/Generator.h"
 #include "workload/Oracle.h"
@@ -49,8 +70,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <random>
 #include <string>
+#include <thread>
+#include <vector>
 
 using namespace ipcp;
 
@@ -293,6 +317,283 @@ std::string mutate(const std::string &Source, std::mt19937_64 &Rng) {
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Chaos mode
+//===----------------------------------------------------------------------===//
+
+/// One chaos replay: \p Lines through a fresh ShardedService over a
+/// fresh store at \p CacheDir, under \p Plan. Returns the response
+/// lines in order and the number of faults the replay injected (the
+/// delta of the global totals, which includes the shutdown flush).
+std::vector<std::string> chaosReplay(const std::vector<std::string> &Lines,
+                                     unsigned Shards, unsigned Jobs,
+                                     const std::string &CacheDir,
+                                     const std::string &Plan,
+                                     uint64_t *InjectedOut) {
+  std::string Error;
+  if (!faultInjector().installPlan(Plan, &Error)) {
+    std::fprintf(stderr, "chaos: bad fault plan '%s': %s\n", Plan.c_str(),
+                 Error.c_str());
+    std::exit(1);
+  }
+  uint64_t Before = faultInjector().totals().Injected;
+
+  ShardedService::Config Conf;
+  Conf.Shards = Shards;
+  Conf.Jobs = Jobs;
+  Conf.Engine.ScrubTimings = true;
+  Conf.Engine.MaxSessions = 2; // small, so eviction drives store traffic
+  Conf.Engine.CacheDir = CacheDir;
+  Conf.Engine.SuiteResolver = [](const std::string &Name, std::string &Out) {
+    const SuiteProgram *Prog = findSuiteProgram(Name);
+    if (!Prog)
+      return false;
+    Out = Prog->Source;
+    return true;
+  };
+
+  std::vector<std::string> Responses;
+  {
+    ShardedService Svc(Conf);
+    std::unique_ptr<ShardedService::Stream> St = Svc.openStream();
+    std::thread Consumer([&] {
+      std::string Response;
+      while (St->popResponse(Response))
+        Responses.push_back(Response);
+    });
+    for (const std::string &Line : Lines)
+      if (Svc.submitLine(*St, Line))
+        break;
+    Svc.finishStream(*St);
+    Consumer.join();
+    if (std::getenv("IPCP_CHAOS_VERBOSE")) {
+      std::unique_ptr<ShardedService::Stream> St2 = Svc.openStream();
+      Svc.submitLine(*St2, "{\"op\":\"stats\"}");
+      Svc.finishStream(*St2);
+      std::string StatsLine;
+      while (St2->popResponse(StatsLine))
+        std::printf("chaos service stats: %s", StatsLine.c_str());
+    }
+    // Persist dirty sessions so the store carries real state into the
+    // scrub and warm phases (and so shutdown-path writes see faults
+    // too — after capture, where their ordering cannot perturb the
+    // compared bytes).
+    Svc.shutdownFlush();
+  }
+
+  if (InjectedOut)
+    *InjectedOut = faultInjector().totals().Injected - Before;
+  if (!Plan.empty() && std::getenv("IPCP_CHAOS_VERBOSE"))
+    std::printf("chaos replay stats: %s\n",
+                faultInjector().statsJson().dump(2).c_str());
+  faultInjector().clear();
+  return Responses;
+}
+
+/// Every line answered, every answer status-bearing.
+bool chaosResponsesTotal(const std::vector<std::string> &Lines,
+                         const std::vector<std::string> &Responses,
+                         const char *Phase) {
+  if (Responses.size() != Lines.size()) {
+    std::fprintf(stderr, "chaos %s: FAILED - %zu responses for %zu lines\n",
+                 Phase, Responses.size(), Lines.size());
+    return false;
+  }
+  for (const std::string &R : Responses)
+    if (R.find("\"status\":\"") == std::string::npos) {
+      std::fprintf(stderr, "chaos %s: FAILED - response without status: %s",
+                   Phase, R.c_str());
+      return false;
+    }
+  return true;
+}
+
+/// Parses each response line and strips warm-volatile content so a warm
+/// replay can be compared against a cold one.
+bool chaosNormalize(const std::vector<std::string> &Responses,
+                    std::vector<std::string> &Out, const char *Phase) {
+  Out.clear();
+  for (const std::string &R : Responses) {
+    std::string Error;
+    std::optional<JsonValue> Doc = JsonValue::parse(R, &Error);
+    if (!Doc) {
+      std::fprintf(stderr, "chaos %s: FAILED - unparseable response: %s\n",
+                   Phase, Error.c_str());
+      return false;
+    }
+    normalizeReportForDiff(*Doc);
+    Out.push_back(Doc->dump());
+  }
+  return true;
+}
+
+int runChaos(uint64_t Requests, uint64_t Seed, const std::string &Dir) {
+  std::filesystem::remove_all(Dir);
+
+  ServiceLogConfig LogConf;
+  LogConf.Session = "chaos";
+  LogConf.SessionCount = 4;
+  LogConf.Seed = Seed;
+  LogConf.Requests = unsigned(Requests);
+  LogConf.RepeatChance = 70;
+  LogConf.BatchChance = 10;
+  LogConf.EndWithStats = false;
+  LogConf.EndWithShutdown = false;
+  std::vector<std::string> Lines = generateServiceLog(LogConf);
+
+  // Seeded store/cache plan. The periods are derived from the seed so
+  // different campaigns stress different interleavings, but any one
+  // seed is fully replayable.
+  char Plan[128];
+  std::snprintf(Plan, sizeof Plan,
+                "store.commit.*:period=%u;store.read.*:period=%u;"
+                "cache.save:period=%u",
+                unsigned(3 + Seed % 5), unsigned(5 + (Seed / 5) % 5),
+                unsigned(2 + (Seed / 25) % 4));
+  std::printf("ipcp_fuzz chaos: %zu lines, plan '%s'\n", Lines.size(), Plan);
+
+  // Faulted cold run, then the same plan again, then the same plan
+  // across four shards: all three must produce identical bytes.
+  uint64_t InjA = 0, InjB = 0, InjC = 0;
+  std::vector<std::string> A =
+      chaosReplay(Lines, 1, 1, Dir + "/a", Plan, &InjA);
+  if (!chaosResponsesTotal(Lines, A, "replay"))
+    return 1;
+  if (InjA == 0) {
+    std::fprintf(stderr, "chaos replay: FAILED - plan injected nothing\n");
+    return 1;
+  }
+  std::vector<std::string> B =
+      chaosReplay(Lines, 1, 1, Dir + "/b", Plan, &InjB);
+  if (A != B) {
+    std::fprintf(stderr,
+                 "chaos replay: FAILED - identical plan, different bytes\n");
+    return 1;
+  }
+  std::vector<std::string> C =
+      chaosReplay(Lines, 4, 2, Dir + "/c", Plan, &InjC);
+  if (A != C) {
+    std::fprintf(stderr,
+                 "chaos replay: FAILED - shards=4 diverged from shards=1 "
+                 "under store faults\n");
+    return 1;
+  }
+  std::printf("ipcp_fuzz chaos: replay ok (injected %llu/%llu/%llu, "
+              "bytes identical across reruns and shard counts)\n",
+              (unsigned long long)InjA, (unsigned long long)InjB,
+              (unsigned long long)InjC);
+
+  // Failure boundary: analysis-stage faults must come back as
+  // `internal` error envelopes marked retryable — and, single-threaded,
+  // byte-deterministically.
+  uint64_t InjF = 0;
+  std::vector<std::string> F = chaosReplay(
+      Lines, 1, 1, Dir + "/f", "service.analyze:period=4", &InjF);
+  if (!chaosResponsesTotal(Lines, F, "boundary"))
+    return 1;
+  uint64_t Internal = 0;
+  for (const std::string &R : F)
+    if (R.find("\"code\":\"internal\"") != std::string::npos) {
+      ++Internal;
+      if (R.find("\"retryable\":true") == std::string::npos) {
+        std::fprintf(stderr,
+                     "chaos boundary: FAILED - internal error not marked "
+                     "retryable: %s",
+                     R.c_str());
+        return 1;
+      }
+    }
+  if (Internal == 0) {
+    std::fprintf(stderr,
+                 "chaos boundary: FAILED - no internal-error envelopes\n");
+    return 1;
+  }
+  std::vector<std::string> F2 = chaosReplay(
+      Lines, 1, 1, Dir + "/f2", "service.analyze:period=4", nullptr);
+  if (F != F2) {
+    std::fprintf(stderr,
+                 "chaos boundary: FAILED - error envelopes not "
+                 "deterministic\n");
+    return 1;
+  }
+  std::printf("ipcp_fuzz chaos: boundary ok (%llu retryable internal "
+              "errors, deterministic)\n",
+              (unsigned long long)Internal);
+
+  // Recovery: the faulted run left torn temp files (store.commit.*
+  // fires between the temp write and the rename). A scrub must repair
+  // the store, and a second scrub must find nothing left.
+  {
+    ContentStore::Options StoreOpts;
+    StoreOpts.ScrubOnOpen = false;
+    ContentStore Store(Dir + "/a", StoreOpts);
+    ContentStore::ScrubReport First = Store.scrub();
+    if (!First.Ok) {
+      std::fprintf(stderr, "chaos recovery: FAILED - scrub reported a "
+                           "failed repair\n");
+      return 1;
+    }
+    if (First.TmpSwept == 0) {
+      // The commit-point plan fires between temp write and rename, so a
+      // faulted run must leave litter; a clean store here means the
+      // torn-write path was never exercised.
+      std::fprintf(stderr, "chaos recovery: FAILED - no torn writes to "
+                           "recover (commit faults never fired?)\n");
+      return 1;
+    }
+    ContentStore::ScrubReport Second = Store.scrub();
+    if (Second.TmpSwept || Second.Quarantined || Second.DanglingDropped) {
+      std::fprintf(stderr,
+                   "chaos recovery: FAILED - second scrub still repairing "
+                   "(tmp %llu, quarantined %llu, dangling %llu)\n",
+                   (unsigned long long)Second.TmpSwept,
+                   (unsigned long long)Second.Quarantined,
+                   (unsigned long long)Second.DanglingDropped);
+      return 1;
+    }
+    std::printf("ipcp_fuzz chaos: recovery ok (swept %llu tmp, "
+                "quarantined %llu, dropped %llu dangling; second scrub "
+                "clean)\n",
+                (unsigned long long)First.TmpSwept,
+                (unsigned long long)First.Quarantined,
+                (unsigned long long)First.DanglingDropped);
+  }
+
+  // Warm equivalence: a warm replay over the recovered store must
+  // normalize to the same reports as a fault-free cold run.
+  std::vector<std::string> Cold =
+      chaosReplay(Lines, 1, 1, Dir + "/d", "", nullptr);
+  std::vector<std::string> Warm =
+      chaosReplay(Lines, 1, 1, Dir + "/a", "", nullptr);
+  if (!chaosResponsesTotal(Lines, Cold, "warm") ||
+      !chaosResponsesTotal(Lines, Warm, "warm"))
+    return 1;
+  std::vector<std::string> ColdNorm, WarmNorm;
+  if (!chaosNormalize(Cold, ColdNorm, "warm") ||
+      !chaosNormalize(Warm, WarmNorm, "warm"))
+    return 1;
+  if (ColdNorm != WarmNorm) {
+    for (size_t I = 0; I != ColdNorm.size(); ++I)
+      if (ColdNorm[I] != WarmNorm[I]) {
+        std::fprintf(stderr,
+                     "chaos warm: FAILED - line %zu diverges after "
+                     "normalization\ncold: %s\nwarm: %s\n",
+                     I, ColdNorm[I].c_str(), WarmNorm[I].c_str());
+        return 1;
+      }
+    std::fprintf(stderr, "chaos warm: FAILED - normalized streams "
+                         "diverge\n");
+    return 1;
+  }
+  std::printf("ipcp_fuzz chaos: warm-start over recovered store matches "
+              "cold run (%zu lines)\n",
+              Lines.size());
+
+  std::filesystem::remove_all(Dir);
+  std::printf("ipcp_fuzz chaos: all invariants held\n");
+  return 0;
+}
+
 /// Derives a generator shape from the campaign RNG.
 GeneratorConfig shapeFor(uint64_t Seed, std::mt19937_64 &Rng) {
   GeneratorConfig Config;
@@ -331,9 +632,10 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
 #else // deterministic driver
 
 int main(int argc, char **argv) {
-  uint64_t Runs = 1000, Seed = 1;
+  uint64_t Runs = 1000, Seed = 1, Chaos = 0;
   bool Mutate = true;
   std::string CrashFile = "ipcp_fuzz_crash.mf";
+  std::string ChaosDir = "ipcp_fuzz_chaos";
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--runs=", 0) == 0)
@@ -344,13 +646,21 @@ int main(int argc, char **argv) {
       Mutate = false;
     else if (Arg.rfind("--crash-file=", 0) == 0)
       CrashFile = Arg.substr(13);
+    else if (Arg.rfind("--chaos=", 0) == 0)
+      Chaos = std::strtoull(Arg.c_str() + 8, nullptr, 10);
+    else if (Arg.rfind("--chaos-dir=", 0) == 0)
+      ChaosDir = Arg.substr(12);
     else {
       std::fprintf(stderr,
                    "usage: ipcp_fuzz [--runs=N] [--seed=S] [--no-mutate] "
-                   "[--crash-file=PATH]\n");
+                   "[--crash-file=PATH]\n"
+                   "       ipcp_fuzz --chaos=N [--seed=S] [--chaos-dir=DIR]\n");
       return 1;
     }
   }
+
+  if (Chaos)
+    return runChaos(Chaos, Seed, ChaosDir);
 
   std::mt19937_64 Rng(Seed);
   for (uint64_t Run = 0; Run != Runs; ++Run) {

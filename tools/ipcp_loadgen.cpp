@@ -39,6 +39,19 @@
 //                       the bounds fail)
 //   --capture=FILE      append every response line to FILE (byte-compare
 //                       fodder for the cross-shard determinism checks)
+//
+// retry shape (client-side backoff, docs/SERVICE.md):
+//   --retry-busy        resubmit busy-rejected lines with capped
+//                       exponential backoff + seeded jitter; the retry
+//                       histogram (completed lines by retries used) is
+//                       printed and lands in BENCH_service.json
+//   --retry-max=N --retry-base-ms=N --retry-cap-ms=N
+//   --retry-jitter-seed=S
+//
+// robustness (docs/ROBUSTNESS.md):
+//   --fault-plan=SPEC   deterministic fault injection inside the
+//                       in-process service (or IPCP_FAULT_PLAN)
+//   --durable-store     fsync content-store writes before rename
 //   --help
 //
 // Results go to stdout and — when IPCP_BENCH_JSON_DIR is set — into
@@ -52,6 +65,7 @@
 
 #include "../bench/BenchReport.h"
 #include "core/ShardedService.h"
+#include "support/FaultInjection.h"
 #include "support/LineIO.h"
 #include "workload/Programs.h"
 #include "workload/ServiceWorkload.h"
@@ -64,6 +78,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -98,6 +113,19 @@ void printUsage() {
       "  --saturation=K     K-step saturation sweep (0 = off)\n"
       "  --overload         flood; assert bounded busy backpressure\n"
       "  --capture=FILE     append every response line to FILE\n"
+      "retry shape (client-side backoff for `busy` responses):\n"
+      "  --retry-busy       resubmit busy-rejected lines with capped\n"
+      "                     exponential backoff + seeded jitter; prints\n"
+      "                     the per-request retry histogram\n"
+      "  --retry-max=N      retries per request line (default 8)\n"
+      "  --retry-base-ms=N  first backoff step (default 1)\n"
+      "  --retry-cap-ms=N   backoff ceiling (default 64)\n"
+      "  --retry-jitter-seed=S  jitter sequence seed (default 1)\n"
+      "robustness:\n"
+      "  --fault-plan=SPEC  deterministic fault injection for the\n"
+      "                     in-process service (or IPCP_FAULT_PLAN; the\n"
+      "                     flag wins; grammar in docs/ROBUSTNESS.md)\n"
+      "  --durable-store    fsync store writes before rename\n"
       "  --help\n"
       "exit codes: 0 ok, 1 usage or failed invariant, 2 socket failure\n");
 }
@@ -187,10 +215,28 @@ struct SocketBackend final : Backend {
   void endSubmit() override { Done.store(true); }
 };
 
+/// Client-side handling of `busy` responses (docs/SERVICE.md): resubmit
+/// the rejected request line with capped exponential backoff and seeded
+/// jitter. Deliberately the reference implementation of the protocol's
+/// retry contract — `retryable` responses are safe to resubmit, and the
+/// backoff keeps a herd of retries from re-flooding the queue it just
+/// overflowed.
+struct RetryConfig {
+  bool Enabled = false;
+  uint64_t Max = 8;        ///< retries per request line
+  uint64_t BaseMs = 1;     ///< first backoff step
+  uint64_t CapMs = 64;     ///< backoff ceiling
+  uint64_t JitterSeed = 1; ///< jitter sequence seed (deterministic delays)
+};
+
 struct RunResult {
   uint64_t AnalyzeRequests = 0;
+  uint64_t SubmittedLines = 0;
   uint64_t ResponseLines = 0;
   uint64_t Busy = 0;
+  uint64_t Retries = 0;          ///< resubmissions scheduled
+  uint64_t RetryExhausted = 0;   ///< lines still busy after Max retries
+  std::vector<uint64_t> RetryHist; ///< completed lines by retries used
   uint64_t PeakBuffered = 0;
   double WallMs = 0;
   double P50Ms = 0, P99Ms = 0, P999Ms = 0;
@@ -211,15 +257,50 @@ double percentile(std::vector<double> &Sorted, double Q) {
 /// (open loop, which charges queueing delay to the service instead of
 /// silently omitting it).
 RunResult runOnce(Backend &B, const ServiceLogConfig &Workload,
-                  double RateRps, uint64_t Window, std::FILE *Capture) {
+                  double RateRps, uint64_t Window, std::FILE *Capture,
+                  const RetryConfig &Retry = RetryConfig()) {
   RunResult R;
   R.AnalyzeRequests = Workload.Requests;
+  if (Retry.Enabled)
+    R.RetryHist.assign(size_t(Retry.Max) + 1, 0);
   ServiceLogStream Stream(Workload);
 
   // One slot per request line; batching folds requests into fewer
   // lines, so Requests + trailers is an upper bound and the vector
-  // never reallocates under the collector's feet.
-  std::vector<uint64_t> StartNs(size_t(Workload.Requests) + 8, 0);
+  // never reallocates under the collector's feet. Retry mode can
+  // resubmit every line Max times, so it scales the bound (and keeps
+  // the submitted text around for resubmission).
+  size_t MaxLines = (size_t(Workload.Requests) + 8) *
+                    (Retry.Enabled ? size_t(Retry.Max) + 1 : 1);
+  std::vector<uint64_t> StartNs(MaxLines, 0);
+  std::vector<uint32_t> AttemptOf(Retry.Enabled ? MaxLines : 1, 0);
+  std::vector<std::string> LineOf(Retry.Enabled ? MaxLines : 0);
+
+  // Busy lines awaiting resubmission. The collector pushes (before it
+  // counts the response as processed, so the submitter can never see
+  // "all answered" while a retry is still pending); the submitter pops
+  // entries once their backoff deadline passes.
+  struct PendingRetry {
+    std::string Line;
+    uint32_t Attempt;
+    uint64_t DueNs;
+  };
+  std::mutex RetryMutex;
+  std::deque<PendingRetry> RetryQueue;
+  std::atomic<uint64_t> SubmittedCount{0};
+  std::atomic<uint64_t> ProcessedCount{0};
+
+  // Jitter stream (xorshift64), advanced only on the collector thread:
+  // for a fixed seed the k-th retry delay in the run is always the
+  // same number, so chaos runs are replayable.
+  uint64_t JitterState =
+      Retry.JitterSeed ? Retry.JitterSeed : 0x9E3779B97F4A7C15ull;
+  auto NextJitter = [&JitterState]() {
+    JitterState ^= JitterState << 13;
+    JitterState ^= JitterState >> 7;
+    JitterState ^= JitterState << 17;
+    return JitterState;
+  };
 
   std::mutex WindowMutex;
   std::condition_variable WindowFree;
@@ -235,8 +316,31 @@ RunResult runOnce(Backend &B, const ServiceLogConfig &Workload,
     while (B.pop(Line)) {
       uint64_t Now = nsSince(T0);
       LatMs.push_back(double(Now - StartNs[Seq]) / 1e6);
-      if (Line.find("\"status\":\"busy\"") != std::string::npos)
+      bool Busy = Line.find("\"status\":\"busy\"") != std::string::npos;
+      if (Busy)
         ++R.Busy;
+      if (Retry.Enabled) {
+        uint32_t Attempt = AttemptOf[Seq];
+        if (Busy && Attempt < Retry.Max) {
+          // Capped exponential backoff with jitter in the upper half:
+          // delay in [cap/2, cap] of min(CapMs, BaseMs << Attempt).
+          uint64_t Shift = std::min<uint64_t>(Attempt, 20);
+          uint64_t Cap = std::min(Retry.CapMs,
+                                  std::max<uint64_t>(1, Retry.BaseMs << Shift));
+          uint64_t DelayMs = Cap / 2 + NextJitter() % (Cap / 2 + 1);
+          {
+            std::lock_guard<std::mutex> Lock(RetryMutex);
+            RetryQueue.push_back(
+                {LineOf[Seq], Attempt + 1, Now + DelayMs * 1000000});
+          }
+          ++R.Retries;
+        } else if (Busy) {
+          ++R.RetryExhausted;
+          ++R.RetryHist[Attempt];
+        } else {
+          ++R.RetryHist[Attempt];
+        }
+      }
       if (Capture)
         std::fwrite(Line.data(), 1, Line.size(), Capture);
       ++Seq;
@@ -246,19 +350,25 @@ RunResult runOnce(Backend &B, const ServiceLogConfig &Workload,
           --Outstanding;
       }
       WindowFree.notify_one();
+      ProcessedCount.fetch_add(1);
     }
     R.ResponseLines = Seq;
   });
 
   std::string Line;
   uint64_t Seq = 0;
-  while (Stream.next(Line)) {
-    if (RateRps > 0) {
-      uint64_t Scheduled = uint64_t(double(Seq) * 1e9 / RateRps);
+  uint64_t WorkIdx = 0; // workload lines only; drives open-loop pacing
+  auto submitOne = [&](const std::string &L, uint32_t Attempt) {
+    if (RateRps > 0 && Attempt == 0) {
+      uint64_t Scheduled = uint64_t(double(WorkIdx) * 1e9 / RateRps);
       while (nsSince(T0) < Scheduled)
         std::this_thread::sleep_for(std::chrono::microseconds(
             std::min<uint64_t>((Scheduled - nsSince(T0)) / 1000 + 1, 1000)));
       StartNs[Seq] = Scheduled;
+    } else if (RateRps > 0) {
+      // Open-loop retry: the backoff already delayed it; charge from
+      // the resubmission instant, outside the arrival schedule.
+      StartNs[Seq] = nsSince(T0);
     } else {
       std::unique_lock<std::mutex> Lock(WindowMutex);
       WindowFree.wait(Lock, [&] { return Outstanding < Window; });
@@ -266,9 +376,55 @@ RunResult runOnce(Backend &B, const ServiceLogConfig &Workload,
       Lock.unlock();
       StartNs[Seq] = nsSince(T0);
     }
-    B.submit(Line);
+    if (Retry.Enabled) {
+      AttemptOf[Seq] = Attempt;
+      LineOf[Seq] = L;
+    }
+    B.submit(L);
     ++Seq;
+    SubmittedCount.fetch_add(1);
+  };
+
+  bool WorkloadDone = false;
+  for (;;) {
+    if (Retry.Enabled) {
+      PendingRetry Due;
+      bool HaveDue = false;
+      {
+        std::lock_guard<std::mutex> Lock(RetryMutex);
+        if (!RetryQueue.empty() && RetryQueue.front().DueNs <= nsSince(T0)) {
+          Due = std::move(RetryQueue.front());
+          RetryQueue.pop_front();
+          HaveDue = true;
+        }
+      }
+      if (HaveDue) {
+        submitOne(Due.Line, Due.Attempt);
+        continue;
+      }
+    }
+    if (!WorkloadDone) {
+      if (Stream.next(Line)) {
+        submitOne(Line, 0);
+        ++WorkIdx;
+        continue;
+      }
+      WorkloadDone = true;
+    }
+    if (!Retry.Enabled)
+      break;
+    // Workload exhausted: wait until every submission is answered and
+    // no retry is pending (not-yet-due entries still count as pending).
+    bool QueueEmpty;
+    {
+      std::lock_guard<std::mutex> Lock(RetryMutex);
+      QueueEmpty = RetryQueue.empty();
+    }
+    if (QueueEmpty && ProcessedCount.load() == SubmittedCount.load())
+      break;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
   }
+  R.SubmittedLines = Seq;
   B.endSubmit();
   Collector.join();
 
@@ -286,8 +442,19 @@ RunResult runOnce(Backend &B, const ServiceLogConfig &Workload,
 JsonValue runJson(const RunResult &R) {
   JsonValue Obj = JsonValue::object();
   Obj.set("analyze_requests", R.AnalyzeRequests);
+  Obj.set("submitted_lines", R.SubmittedLines);
   Obj.set("response_lines", R.ResponseLines);
   Obj.set("busy", R.Busy);
+  if (!R.RetryHist.empty()) {
+    JsonValue Retry = JsonValue::object();
+    Retry.set("scheduled", R.Retries);
+    Retry.set("exhausted", R.RetryExhausted);
+    JsonValue Hist = JsonValue::array();
+    for (uint64_t Count : R.RetryHist)
+      Hist.push(Count);
+    Retry.set("histogram", std::move(Hist));
+    Obj.set("retry", std::move(Retry));
+  }
   Obj.set("wall_ms", R.WallMs);
   Obj.set("requests_per_sec", R.AchievedRps);
   Obj.set("peak_result_buffer", R.PeakBuffered);
@@ -304,6 +471,15 @@ void printRun(const char *Name, const RunResult &R) {
               "p99 %8.3f ms  p999 %8.3f ms  busy %llu\n",
               Name, (unsigned long long)R.AnalyzeRequests, R.AchievedRps,
               R.P50Ms, R.P99Ms, R.P999Ms, (unsigned long long)R.Busy);
+  if (!R.RetryHist.empty()) {
+    std::printf("  retry: scheduled %llu, exhausted %llu, histogram [",
+                (unsigned long long)R.Retries,
+                (unsigned long long)R.RetryExhausted);
+    for (size_t I = 0; I != R.RetryHist.size(); ++I)
+      std::printf("%s%llu", I ? " " : "",
+                  (unsigned long long)R.RetryHist[I]);
+    std::printf("]\n");
+  }
 }
 
 } // namespace
@@ -323,7 +499,10 @@ int main(int argc, char **argv) {
   double RateRps = 0;
   unsigned SaturationSteps = 0;
   bool Overload = false;
+  RetryConfig Retry;
   std::string CapturePath, ConnectPath;
+  std::string FaultPlan;
+  bool HaveFaultPlan = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -443,6 +622,43 @@ int main(int argc, char **argv) {
       CapturePath = Arg.substr(10);
       continue;
     }
+    if (Arg == "--retry-busy") {
+      Retry.Enabled = true;
+      continue;
+    }
+    if (Arg.rfind("--retry-max=", 0) == 0) {
+      Retry.Max = parseUintValue(Arg, 12);
+      if (Retry.Max > 32) {
+        std::fprintf(stderr, "error: --retry-max must be at most 32\n");
+        return 1;
+      }
+      continue;
+    }
+    if (Arg.rfind("--retry-base-ms=", 0) == 0) {
+      Retry.BaseMs = parseUintValue(Arg, 16);
+      continue;
+    }
+    if (Arg.rfind("--retry-cap-ms=", 0) == 0) {
+      Retry.CapMs = parseUintValue(Arg, 15);
+      if (Retry.CapMs == 0) {
+        std::fprintf(stderr, "error: --retry-cap-ms must be at least 1\n");
+        return 1;
+      }
+      continue;
+    }
+    if (Arg.rfind("--retry-jitter-seed=", 0) == 0) {
+      Retry.JitterSeed = parseUintValue(Arg, 20);
+      continue;
+    }
+    if (Arg.rfind("--fault-plan=", 0) == 0) {
+      FaultPlan = Arg.substr(13);
+      HaveFaultPlan = true;
+      continue;
+    }
+    if (Arg == "--durable-store") {
+      Service.Engine.DurableStore = true;
+      continue;
+    }
     if (Arg.rfind("--connect=", 0) == 0) {
       ConnectPath = Arg.substr(10);
       continue;
@@ -450,6 +666,20 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
     printUsage();
     return 1;
+  }
+
+  // Fault plan: the flag wins over IPCP_FAULT_PLAN (tests exercising
+  // the env path run without the flag). Only meaningful in-process —
+  // an external daemon owns its own plan.
+  {
+    std::string Error;
+    bool PlanOk = HaveFaultPlan ? faultInjector().installPlan(FaultPlan, &Error)
+                                : installFaultPlanFromEnv(&Error);
+    if (!PlanOk) {
+      std::fprintf(stderr, "error: malformed value in fault plan: %s\n",
+                   Error.c_str());
+      return 1;
+    }
   }
 
   std::FILE *Capture = nullptr;
@@ -508,6 +738,16 @@ int main(int argc, char **argv) {
   ConfJson.set("concurrency", Concurrency);
   ConfJson.set("rate_rps", RateRps);
   ConfJson.set("external_daemon", SockFd >= 0);
+  if (Retry.Enabled) {
+    JsonValue RetryJson = JsonValue::object();
+    RetryJson.set("max", Retry.Max);
+    RetryJson.set("base_ms", Retry.BaseMs);
+    RetryJson.set("cap_ms", Retry.CapMs);
+    RetryJson.set("jitter_seed", Retry.JitterSeed);
+    ConfJson.set("retry_busy", std::move(RetryJson));
+  }
+  if (faultInjector().active())
+    ConfJson.set("fault_plan", faultInjector().planSpec());
   Doc.set("config", std::move(ConfJson));
 
   bool Ok = true;
@@ -518,14 +758,18 @@ int main(int argc, char **argv) {
     // while the reorder buffer stays within its bound.
     std::unique_ptr<Backend> B = makeBackend();
     RunResult R =
-        runOnce(*B, Workload, 0, uint64_t(1) << 40, Capture);
+        runOnce(*B, Workload, 0, uint64_t(1) << 40, Capture, Retry);
     printRun("overload", R);
     uint64_t BufferBound = Service.ResultBuffer ? Service.ResultBuffer + 1 : 0;
-    bool AllAnswered = R.ResponseLines > 0;
+    bool AllAnswered =
+        R.ResponseLines > 0 && R.ResponseLines == R.SubmittedLines;
     bool SawBusy = R.Busy > 0;
     bool Bounded = BufferBound == 0 || R.PeakBuffered <= BufferBound;
     if (!AllAnswered)
-      std::fprintf(stderr, "overload: FAILED - no responses\n");
+      std::fprintf(stderr,
+                   "overload: FAILED - %llu of %llu lines answered\n",
+                   (unsigned long long)R.ResponseLines,
+                   (unsigned long long)R.SubmittedLines);
     if (!SawBusy)
       std::fprintf(stderr,
                    "overload: FAILED - flood produced no busy responses "
@@ -572,9 +816,15 @@ int main(int argc, char **argv) {
     Doc.set("saturation", std::move(Curve));
   } else {
     std::unique_ptr<Backend> B = makeBackend();
-    RunResult R = runOnce(*B, Workload, RateRps, Concurrency, Capture);
+    RunResult R = runOnce(*B, Workload, RateRps, Concurrency, Capture, Retry);
     printRun(RateRps > 0 ? "open-loop" : "closed-loop", R);
-    Ok = R.ResponseLines > 0;
+    // Every submitted line must come back — under fault injection the
+    // answer may be an error envelope, but silence is a failure.
+    Ok = R.ResponseLines > 0 && R.ResponseLines == R.SubmittedLines;
+    if (!Ok)
+      std::fprintf(stderr, "load: FAILED - %llu of %llu lines answered\n",
+                   (unsigned long long)R.ResponseLines,
+                   (unsigned long long)R.SubmittedLines);
     Doc.set("load", runJson(R));
   }
 
@@ -587,6 +837,15 @@ int main(int argc, char **argv) {
   }
   if (SockFd >= 0)
     closeFd(SockFd);
+
+  // Fault totals after shutdownFlush so eviction-path store writes are
+  // in the count; CI greps the "faults injected" line.
+  if (faultInjector().active()) {
+    FaultInjector::Totals T = faultInjector().totals();
+    std::printf("  faults injected: %llu (of %llu checks)\n",
+                (unsigned long long)T.Injected, (unsigned long long)T.Checked);
+    Doc.set("faults", faultInjector().statsJson());
+  }
 
   Doc.set("ok", Ok);
   benchReport("service", std::move(Doc));

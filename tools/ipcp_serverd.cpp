@@ -31,6 +31,9 @@
 //   --limit-ir-insts=N     --limit-prop-evals=N --deadline-ms=N
 //                      default per-request budgets; a request's "limits"
 //                      can tighten but never exceed them
+//   --durable-store    fsync-before-rename store writes (docs/ROBUSTNESS.md)
+//   --scrub-store=DIR  recovery-scrub a store, print the JSON report, exit
+//   --fault-plan=SPEC  deterministic fault injection (or IPCP_FAULT_PLAN)
 //   --emit-sample-log=N [--sample-seed=S]
 //                      print N generated analyze requests (plus stats and
 //                      shutdown) to stdout and exit — replay fodder for
@@ -52,12 +55,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/ShardedService.h"
+#include "support/ContentStore.h"
+#include "support/FaultInjection.h"
 #include "support/LineIO.h"
 #include "workload/Programs.h"
 #include "workload/ServiceWorkload.h"
 
 #include <atomic>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -89,6 +95,14 @@ void printUsage() {
       "                     (16 fixed buckets) before LRU eviction\n"
       "                     (default 64)\n"
       "  --scrub-timings    zero wall-clock fields in every response\n"
+      "  --durable-store    fsync store writes before rename (crash-safe\n"
+      "                     across power loss, not just process death)\n"
+      "  --scrub-store=DIR  run the recovery scrub over a store and print\n"
+      "                     the report as JSON, then exit (0 ok, 2 when a\n"
+      "                     repair failed; see docs/ROBUSTNESS.md)\n"
+      "  --fault-plan=SPEC  install a deterministic fault-injection plan\n"
+      "                     (also via IPCP_FAULT_PLAN; the flag wins;\n"
+      "                     grammar in docs/ROBUSTNESS.md)\n"
       "  --emit-sample-log=N  print N generated requests and exit\n"
       "  --sample-seed=S      seed for --emit-sample-log (default 1)\n"
       "  --help\n"
@@ -163,9 +177,16 @@ bool serveStream(int InFd, int OutFd, ShardedService &Service,
 } // namespace
 
 int main(int argc, char **argv) {
+  // A client that disappears mid-response must surface as a write error
+  // (exit code 4), not kill the daemon with SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
   ShardedService::Config Conf;
   Conf.Jobs = 0; // hardware concurrency
   std::string SocketPath;
+  std::string ScrubStoreDir;
+  std::string FaultPlan;
+  bool HaveFaultPlan = false;
   bool EmitSample = false;
   ServiceLogConfig SampleConf;
 
@@ -227,6 +248,23 @@ int main(int argc, char **argv) {
       Conf.Engine.ScrubTimings = true;
       continue;
     }
+    if (Arg == "--durable-store") {
+      Conf.Engine.DurableStore = true;
+      continue;
+    }
+    if (Arg == "--scrub-store=") {
+      std::fprintf(stderr, "error: --scrub-store needs a directory name\n");
+      return 1;
+    }
+    if (Arg.rfind("--scrub-store=", 0) == 0) {
+      ScrubStoreDir = Arg.substr(14);
+      continue;
+    }
+    if (Arg.rfind("--fault-plan=", 0) == 0) {
+      FaultPlan = Arg.substr(13);
+      HaveFaultPlan = true;
+      continue;
+    }
     if (Arg.rfind("--limit-parse-depth=", 0) == 0) {
       uint64_t V = parseUintValue(Arg, 20);
       if (V == 0 || V > 1u << 20) {
@@ -275,6 +313,38 @@ int main(int argc, char **argv) {
     for (const std::string &Line : generateServiceLog(SampleConf))
       std::printf("%s\n", Line.c_str());
     return 0;
+  }
+
+  if (!ScrubStoreDir.empty()) {
+    // Standalone recovery mode: scrub the store a crashed daemon left
+    // behind and report what was repaired. Scrubbing is also implicit
+    // whenever a store opens; this mode exists for operators and the
+    // chaos CI job to verify consistency explicitly.
+    ContentStore::Options StoreOpts;
+    StoreOpts.ScrubOnOpen = false; // scrub() below, with a report
+    ContentStore Store(ScrubStoreDir, StoreOpts);
+    ContentStore::ScrubReport R = Store.scrub();
+    JsonValue Doc = JsonValue::object();
+    Doc.set("schema", "ipcp-scrub-v1");
+    Doc.set("root", ScrubStoreDir);
+    Doc.set("tmp_swept", R.TmpSwept);
+    Doc.set("objects_checked", R.ObjectsChecked);
+    Doc.set("quarantined", R.Quarantined);
+    Doc.set("refs_checked", R.RefsChecked);
+    Doc.set("dangling_refs_dropped", R.DanglingDropped);
+    Doc.set("ok", R.Ok);
+    std::printf("%s\n", Doc.dump(2).c_str());
+    return R.Ok ? 0 : 2;
+  }
+
+  std::string PlanError;
+  bool PlanOk = HaveFaultPlan ? faultInjector().installPlan(FaultPlan,
+                                                            &PlanError)
+                              : installFaultPlanFromEnv(&PlanError);
+  if (!PlanOk) {
+    std::fprintf(stderr, "error: malformed value in fault plan: %s\n",
+                 PlanError.c_str());
+    return 1;
   }
 
   Conf.Engine.SuiteResolver = [](const std::string &Name,
