@@ -51,6 +51,7 @@
 #include "ir/IRPrinter.h"
 #include "support/FileIO.h"
 #include "support/Trace.h"
+#include "transform/Transform.h"
 #include "workload/Programs.h"
 
 #include <cerrno>
@@ -83,6 +84,11 @@ void printUsage() {
       "  --no-return-jf   --no-mod   --intra-only   --complete   --clone\n"
       "  --binding-graph  --gated-ssa  --check-alias  --integrate\n"
       "  --dump-ir        --dump-jf   --run      --help\n"
+      "  --optimize[=PASSES]  rewrite the program: substitute proven\n"
+      "                   constants, fold expressions and branches, then\n"
+      "                   forward copies (docs/TRANSFORMS.md). PASSES is a\n"
+      "                   comma list of constants, copyprop (default both).\n"
+      "                   With --dump-ir, prints before/after IR.\n"
       "  --stats          print the counter summary table\n"
       "  --trace[=FILE]   record per-pass spans (text; stderr or FILE)\n"
       "  --report-json=FILE  write the full analysis report as JSON\n"
@@ -134,6 +140,8 @@ int main(int argc, char **argv) {
   bool CheckAlias = false, DumpJF = false, Integrate = false;
   bool ShowStats = false, TraceOn = false;
   bool NoCache = false, ScrubTimings = false;
+  bool Optimize = false;
+  TransformPassConfig PassCfg;
   std::string TraceFile, ReportFile, CacheDir;
 
   for (int I = 1; I < argc; ++I) {
@@ -205,6 +213,19 @@ int main(int argc, char **argv) {
     }
     if (Arg == "--scrub-timings") {
       ScrubTimings = true;
+      continue;
+    }
+    if (Arg == "--optimize") {
+      Optimize = true;
+      continue;
+    }
+    if (Arg.rfind("--optimize=", 0) == 0) {
+      std::string Error;
+      if (!parsePassSpec(Arg.substr(11), PassCfg, &Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 1;
+      }
+      Optimize = true;
       continue;
     }
     if (Arg.rfind("--limit-parse-depth=", 0) == 0) {
@@ -345,12 +366,37 @@ int main(int argc, char **argv) {
                 IR.InstructionsBefore, IR.InstructionsAfter);
   }
 
+  // The transform pipeline rewrites the module in place; everything
+  // after this point — the reported analysis, --dump-ir, --run — sees
+  // the optimized program. Before-IR is captured first so --dump-ir can
+  // show the rewrite as a diffable before/after pair.
+  std::optional<OptimizationResult> OptResult;
+  std::string BeforeIR;
+  if (Optimize) {
+    if (DumpIR)
+      BeforeIR = printModule(*M);
+    OptResult = optimizeModule(*M, Opts, PassCfg, &Guard);
+    std::printf("optimization: %u substitution(s), %u fold(s), %u branch(es) "
+                "resolved, %u block(s) removed, %u instruction(s) removed, "
+                "%u cop%s propagated in %u round(s)\n",
+                OptResult->Substitutions, OptResult->Folds,
+                OptResult->BranchesResolved, OptResult->BlocksRemoved,
+                OptResult->InstsRemoved, OptResult->CopiesPropagated,
+                OptResult->CopiesPropagated == 1 ? "y" : "ies",
+                OptResult->Rounds);
+    if (ShowStats)
+      std::printf("optimization statistics:\n%s",
+                  formatStatsTable(OptResult->Stats).c_str());
+  }
+
   // Summary cache: single-run analyses of the unmodified module only
-  // (complete propagation, cloning, and integration all mutate or
-  // re-analyze the module; see docs/INCREMENTAL.md). A load failure is
-  // not an error — the run proceeds cold and reports cache_load_failures.
+  // (complete propagation, cloning, integration, and optimization all
+  // mutate or re-analyze the module; see docs/INCREMENTAL.md). A load
+  // failure is not an error — the run proceeds cold and reports
+  // cache_load_failures.
   std::optional<SummaryCache> Cache;
-  if (!CacheDir.empty() && !NoCache && !Complete && !Clone && !Integrate) {
+  if (!CacheDir.empty() && !NoCache && !Complete && !Clone && !Integrate &&
+      !Optimize) {
     Cache.emplace(CacheDir);
     Cache->load(SourceName, Opts, &Guard);
     Opts.Cache = &*Cache;
@@ -468,8 +514,14 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (DumpIR)
-    std::printf("\n%s", printModule(*M).c_str());
+  if (DumpIR) {
+    if (Optimize)
+      std::printf("\n; === IR before optimization ===\n%s"
+                  "\n; === IR after optimization ===\n%s",
+                  BeforeIR.c_str(), printModule(*M).c_str());
+    else
+      std::printf("\n%s", printModule(*M).c_str());
+  }
 
   if (TraceOn) {
     std::string Text = TraceData.str();
@@ -493,6 +545,7 @@ int main(int argc, char **argv) {
     Report.Single = SingleResult ? &*SingleResult : nullptr;
     Report.Complete = CompleteResult ? &*CompleteResult : nullptr;
     Report.Cloning = CloneResult ? &*CloneResult : nullptr;
+    Report.Optimization = OptResult ? &*OptResult : nullptr;
     Report.TraceData = TraceOn ? &TraceData : nullptr;
     Report.Status = &FinalStatus;
     JsonValue Doc = buildAnalysisReport(Report);

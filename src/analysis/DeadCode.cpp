@@ -186,7 +186,9 @@ TransformStats ipcp::applyFacts(Module &M, const TransformFacts &Facts) {
 
     // Pass 3: cleanup — fold expressions the substitutions made
     // constant, drop unreachable blocks, then delete dead chains.
-    Stats.InstsRemoved += foldConstantExpressions(*P);
+    unsigned Folded = foldConstantExpressions(*P);
+    Stats.ExprsFolded += Folded;
+    Stats.InstsRemoved += Folded;
     Stats.BlocksRemoved += P->removeUnreachableBlocks();
     Stats.InstsRemoved += removeTriviallyDeadInstructions(*P);
   }

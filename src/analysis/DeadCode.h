@@ -49,6 +49,12 @@ struct TransformStats {
   unsigned BlocksRemoved = 0;
   unsigned InstsRemoved = 0;
 
+  /// Binary/Unary instructions folded to literals by the cleanup pass.
+  /// Also counted in InstsRemoved (a fold deletes the instruction);
+  /// reported separately so the optimization report can distinguish
+  /// folds from plain dead-chain removal.
+  unsigned ExprsFolded = 0;
+
   /// True when the transformation found dead code — the condition the
   /// paper uses to re-run complete propagation from scratch.
   bool foundDeadCode() const { return BlocksRemoved != 0; }

@@ -144,6 +144,33 @@ JsonValue ipcp::cloningToJson(const CloningResult &Result) {
   return Obj;
 }
 
+JsonValue ipcp::optimizationToJson(const OptimizationResult &Result) {
+  JsonValue Obj = JsonValue::object();
+  JsonValue Passes = JsonValue::array();
+  JsonValue Timings = JsonValue::array();
+  for (const PassTiming &PT : Result.PassTimings) {
+    Passes.push(PT.Pass);
+    JsonValue T = JsonValue::object();
+    T.set("pass", PT.Pass);
+    T.set("us", PT.Us);
+    Timings.push(std::move(T));
+  }
+  Obj.set("passes", std::move(Passes));
+  Obj.set("rounds", Result.Rounds);
+  Obj.set("substitutions", Result.Substitutions);
+  Obj.set("folds", Result.Folds);
+  Obj.set("branches_resolved", Result.BranchesResolved);
+  Obj.set("blocks_removed", Result.BlocksRemoved);
+  Obj.set("insts_removed", Result.InstsRemoved);
+  Obj.set("copies_propagated", Result.CopiesPropagated);
+  Obj.set("instructions_before", Result.InstructionsBefore);
+  Obj.set("instructions_after", Result.InstructionsAfter);
+  Obj.set("pass_timings_us", std::move(Timings));
+  Obj.set("counters", Result.Stats.toJson());
+  setDegradation(Obj, Result.Status);
+  return Obj;
+}
+
 JsonValue ipcp::buildAnalysisReport(const AnalysisReport &Report) {
   JsonValue Obj = JsonValue::object();
   Obj.set("schema", "ipcp-report-v1");
@@ -163,6 +190,8 @@ JsonValue ipcp::buildAnalysisReport(const AnalysisReport &Report) {
     Obj.set("complete_propagation", completeToJson(*Report.Complete));
   if (Report.Cloning)
     Obj.set("cloning", cloningToJson(*Report.Cloning));
+  if (Report.Optimization)
+    Obj.set("optimization", optimizationToJson(*Report.Optimization));
   if (Report.TraceData)
     Obj.set("trace", Report.TraceData->toJson());
 
@@ -176,6 +205,8 @@ JsonValue ipcp::buildAnalysisReport(const AnalysisReport &Report) {
     Status = &Report.Complete->Status;
   if (!Status && Report.Cloning && Report.Cloning->Status.Degraded)
     Status = &Report.Cloning->Status;
+  if (!Status && Report.Optimization && Report.Optimization->Status.Degraded)
+    Status = &Report.Optimization->Status;
   Obj.set("degraded", Status && Status->Degraded);
   if (Status && Status->Degraded)
     Obj.set("degradation", statusToJson(*Status));
@@ -204,6 +235,9 @@ void ipcp::normalizeReportForDiff(JsonValue &Report) {
   if (!Report.isObject())
     return;
   Report.remove("timings_us");
+  // The optimization block's per-pass wall times vary run to run just
+  // like the stage timings do.
+  Report.remove("pass_timings_us");
   Report.remove("cache");
   Report.remove("trace");
   for (auto &[Key, Val] : Report.members()) {
@@ -257,6 +291,15 @@ void ipcp::scrubReportTimings(JsonValue &Report) {
       for (auto &[Stage, T] : Val.members())
         if (T.isNumber())
           T = JsonValue(int64_t(0));
+      continue;
+    }
+    if (Key == "pass_timings_us" && Val.isArray()) {
+      for (size_t I = 0, N = Val.size(); I != N; ++I) {
+        JsonValue &Entry = Val.at(I);
+        if (Entry.isObject())
+          if (JsonValue *Us = Entry.find("us"); Us && Us->isNumber())
+            *Us = JsonValue(int64_t(0));
+      }
       continue;
     }
     if (Key.rfind("time_", 0) == 0 && Val.isNumber()) {

@@ -21,6 +21,7 @@
 #include "core/Cloning.h"
 #include "core/Pipeline.h"
 #include "support/Json.h"
+#include "transform/Transform.h"
 
 namespace ipcp {
 
@@ -45,6 +46,10 @@ JsonValue completeToJson(const CompletePropagationResult &Result);
 /// A cloning experiment's before/after effectiveness.
 JsonValue cloningToJson(const CloningResult &Result);
 
+/// A transform-pipeline run: the passes executed (with wall times under
+/// "pass_timings_us"), the rewrite totals, and the merged counters.
+JsonValue optimizationToJson(const OptimizationResult &Result);
+
 /// Everything the driver knows about one run. Null members are omitted
 /// from the report.
 struct AnalysisReport {
@@ -54,6 +59,7 @@ struct AnalysisReport {
   const IPCPResult *Single = nullptr;
   const CompletePropagationResult *Complete = nullptr;
   const CloningResult *Cloning = nullptr;
+  const OptimizationResult *Optimization = nullptr;
   const Trace *TraceData = nullptr;
 
   /// Overall run status. When null, the top-level degraded flag is

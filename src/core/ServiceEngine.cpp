@@ -218,7 +218,8 @@ static bool parseAnalyzeFields(const JsonValue &Obj,
   bool HasSource = Obj.find("source") != nullptr;
   bool HasSuite = Obj.find("suite") != nullptr;
   if (HasSource == HasSuite) {
-    *Error = "an analyze request needs exactly one of 'source' or 'suite'";
+    *Error = std::string(Req.Optimize ? "an optimize" : "an analyze") +
+             " request needs exactly one of 'source' or 'suite'";
     return false;
   }
   if (HasSuite && Req.Suite.empty()) {
@@ -247,19 +248,38 @@ static bool parseAnalyzeFields(const JsonValue &Obj,
                            Error))
       return false;
   }
+  if (const JsonValue *Passes = Obj.find("passes")) {
+    if (!Passes->isString()) {
+      *Error = "'passes' must be a string";
+      return false;
+    }
+    if (!parsePassSpec(Passes->asString(), Req.Passes, Error))
+      return false;
+  }
   return true;
 }
 
 /// Request keys valid for each operation; anything else is rejected.
-static bool checkKnownKeys(const JsonValue &Obj, ServiceRequest::Kind Op,
+/// Optimize shares Kind::Analyze but has its own key set: no 'session'
+/// or 'complete' (optimization mutates the module, so neither the
+/// session cache nor the complete-propagation mode composes with it),
+/// plus the pass selector 'passes'.
+static bool checkKnownKeys(const JsonValue &Obj, const ServiceRequest &Req,
                            std::string *Error) {
   static const char *const AnalyzeKeys[] = {
       "op",      "id",       "source", "suite",         "name",
       "session", "complete", "limits", "scrub_timings", "options"};
+  static const char *const OptimizeKeys[] = {
+      "op",     "id",            "source",  "suite", "name",
+      "limits", "scrub_timings", "options", "passes"};
   static const char *const BatchKeys[] = {"op", "id", "requests"};
   static const char *const ControlKeys[] = {"op", "id"};
+  ServiceRequest::Kind Op = Req.Op;
   const char *const *Begin = ControlKeys, *const *End = std::end(ControlKeys);
-  if (Op == ServiceRequest::Kind::Analyze) {
+  if (Op == ServiceRequest::Kind::Analyze && Req.Optimize) {
+    Begin = OptimizeKeys;
+    End = std::end(OptimizeKeys);
+  } else if (Op == ServiceRequest::Kind::Analyze) {
     Begin = AnalyzeKeys;
     End = std::end(AnalyzeKeys);
   } else if (Op == ServiceRequest::Kind::AnalyzeBatch) {
@@ -299,7 +319,10 @@ bool ServiceEngine::parseRequestLine(const std::string &Line,
   const std::string &Name = Op->asString();
   if (Name == "analyze")
     Req.Op = ServiceRequest::Kind::Analyze;
-  else if (Name == "analyze-batch")
+  else if (Name == "optimize") {
+    Req.Op = ServiceRequest::Kind::Analyze;
+    Req.Optimize = true;
+  } else if (Name == "analyze-batch")
     Req.Op = ServiceRequest::Kind::AnalyzeBatch;
   else if (Name == "stats")
     Req.Op = ServiceRequest::Kind::Stats;
@@ -312,7 +335,7 @@ bool ServiceEngine::parseRequestLine(const std::string &Line,
                 "unknown op '" + Name + "'");
 
   std::string FieldError;
-  if (!checkKnownKeys(*Doc, Req.Op, &FieldError))
+  if (!checkKnownKeys(*Doc, Req, &FieldError))
     return fail(ErrorCode, Error, "bad-request", FieldError);
 
   if (Req.Op == ServiceRequest::Kind::Analyze) {
@@ -345,7 +368,7 @@ bool ServiceEngine::parseRequestLine(const std::string &Line,
         Sub.Id = *Id;
         Sub.HasId = true;
       }
-      if (!checkKnownKeys(Item, Sub.Op, &FieldError) ||
+      if (!checkKnownKeys(Item, Sub, &FieldError) ||
           !parseAnalyzeFields(Item, Conf, Sub, &FieldError))
         return fail(ErrorCode, Error, "bad-request",
                     "batch item " + std::to_string(I) + ": " + FieldError);
@@ -407,7 +430,7 @@ std::string ServiceEngine::sessionKeyFor(const ServiceRequest &Req) {
   // part of the resident key (exactly as it is part of the store's
   // logical names).
   if (Req.Op != ServiceRequest::Kind::Analyze || Req.Session.empty() ||
-      Req.Complete)
+      Req.Complete || Req.Optimize)
     return std::string();
   return Req.Session + '\x1f' + Req.Name + '\x1f' +
          SummaryCache::optionsFingerprint(Req.Opts);
@@ -534,15 +557,18 @@ JsonValue ServiceEngine::analyze(const ServiceRequest &Req) {
 ServiceEngine::SessionTurn
 ServiceEngine::reserveTurn(const ServiceRequest &Req) {
   // Session caching follows the driver's --cache-dir rule: single-run
-  // analyses only (complete propagation re-analyzes a mutated module).
+  // analyses only (complete propagation and the transform pipeline both
+  // re-analyze a mutated module).
   if (Req.Op != ServiceRequest::Kind::Analyze || Req.Session.empty() ||
-      Req.Complete)
+      Req.Complete || Req.Optimize)
     return SessionTurn();
   return acquireSession(Req);
 }
 
 JsonValue ServiceEngine::analyze(const ServiceRequest &Req, SessionTurn Turn) {
   ++StatAnalyses;
+  if (Req.Optimize)
+    ++StatOptimizes;
 
   // Enter the session turn before doing anything observable: the warm/
   // cold order of a session is its ticket order, and even an erroring
@@ -638,6 +664,15 @@ JsonValue ServiceEngine::analyzeLocked(const ServiceRequest &Req,
   Guard.checkIRInstructions(M->instructionCount(), "lowering");
   Guard.checkDeadline("lowering");
 
+  // Optimize requests run the transform pipeline first, then analyze the
+  // optimized module — the same order as `ipcp_driver --optimize`, so
+  // the embedded report (result + optimization blocks) stays
+  // byte-identical to the driver's. Session is always null here
+  // (reserveTurn refuses optimize requests).
+  std::optional<OptimizationResult> OptResult;
+  if (Req.Optimize)
+    OptResult = optimizeModule(*M, Opts, Req.Passes, &Guard);
+
   // The write-behind tier was already consulted in acquireSession, on
   // the ordering thread — doing it here would read the store at a
   // scheduling-dependent moment and break byte determinism.
@@ -674,6 +709,7 @@ JsonValue ServiceEngine::analyzeLocked(const ServiceRequest &Req,
   Report.Opts = &Opts;
   Report.Single = SingleResult ? &*SingleResult : nullptr;
   Report.Complete = CompleteResult ? &*CompleteResult : nullptr;
+  Report.Optimization = OptResult ? &*OptResult : nullptr;
   Report.Status = &FinalStatus;
   JsonValue Doc = buildAnalysisReport(Report);
   if (Scrub)
@@ -717,6 +753,7 @@ JsonValue ServiceEngine::analyzeBatch(const ServiceRequest &Req) {
 JsonValue ServiceEngine::statsBody() {
   JsonValue Stats = JsonValue::object();
   Stats.set("analyze_requests", StatAnalyses.load());
+  Stats.set("optimize_requests", StatOptimizes.load());
   Stats.set("degraded", StatDegraded.load());
   Stats.set("errors", StatErrors.load());
   Stats.set("internal_errors", StatInternalErrors.load());
@@ -739,6 +776,7 @@ JsonValue ServiceEngine::statsBody() {
 ServiceEngine::CountersSnapshot ServiceEngine::snapshot() const {
   CountersSnapshot S;
   S.Analyses = StatAnalyses.load();
+  S.Optimizes = StatOptimizes.load();
   S.Degraded = StatDegraded.load();
   S.Errors = StatErrors.load();
   S.InternalErrors = StatInternalErrors.load();

@@ -57,6 +57,7 @@
 #include "core/Options.h"
 #include "core/SummaryCache.h"
 #include "support/Json.h"
+#include "transform/Transform.h"
 
 #include <atomic>
 #include <cstdint>
@@ -95,6 +96,14 @@ struct ServiceRequest {
   /// a single analysis; such requests never use the cache (the driver's
   /// rule for --complete).
   bool Complete = false;
+  /// The `optimize` op: run the transform pipeline on the program, then
+  /// analyze the optimized module; the report gains an "optimization"
+  /// block. Parsed like analyze minus 'session'/'complete' (optimization
+  /// mutates the module, so such requests never use the session cache —
+  /// the driver's rule for --optimize).
+  bool Optimize = false;
+  /// Pass selection for optimize requests (the "passes" member).
+  TransformPassConfig Passes;
   /// Zero every wall-clock field in the embedded report.
   bool ScrubTimings = false;
   /// Analysis configuration ("options" object) and effective budgets
@@ -236,6 +245,7 @@ public:
   /// aggregation across shards (core/ShardedService).
   struct CountersSnapshot {
     uint64_t Analyses = 0;
+    uint64_t Optimizes = 0;
     uint64_t Degraded = 0;
     uint64_t Errors = 0;
     uint64_t InternalErrors = 0;
@@ -283,6 +293,7 @@ private:
   uint64_t UseCounter = 0;
 
   std::atomic<uint64_t> StatAnalyses{0};
+  std::atomic<uint64_t> StatOptimizes{0};
   std::atomic<uint64_t> StatDegraded{0};
   std::atomic<uint64_t> StatErrors{0};
   std::atomic<uint64_t> StatInternalErrors{0};

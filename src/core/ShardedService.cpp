@@ -326,6 +326,7 @@ JsonValue ShardedService::statsBody() {
   ServiceEngine::CountersSnapshot Sum;
   for (const ServiceEngine::CountersSnapshot &S : Snaps) {
     Sum.Analyses += S.Analyses;
+    Sum.Optimizes += S.Optimizes;
     Sum.Degraded += S.Degraded;
     Sum.Errors += S.Errors;
     Sum.InternalErrors += S.InternalErrors;
@@ -343,6 +344,7 @@ JsonValue ShardedService::statsBody() {
 
   JsonValue Stats = JsonValue::object();
   Stats.set("analyze_requests", Sum.Analyses);
+  Stats.set("optimize_requests", Sum.Optimizes);
   Stats.set("degraded", Sum.Degraded);
   Stats.set("errors", Sum.Errors);
   Stats.set("internal_errors", Sum.InternalErrors);

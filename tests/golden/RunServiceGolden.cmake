@@ -9,9 +9,11 @@
 # stdin (single worker, scrubbed timings, so every byte of the response
 # stream is deterministic) and byte-compares the response stream against
 # the checked-in golden. The transcript exercises a cold/warm session
-# pair, a batch with an embedded error item, a bad-request rejection, a
-# bad-json rejection, and all three control ops; the daemon must exit 0
-# via the trailing shutdown request. With -DUPDATE=1 the golden is
+# pair, a batch with an embedded error item, an optimize pair (full
+# pipeline and a narrowed "passes" list) plus the optimize+session
+# rejection, a bad-request rejection, a bad-json rejection, and all
+# three control ops; the daemon must exit 0 via the trailing shutdown
+# request. With -DUPDATE=1 the golden is
 # rewritten instead — the `update-golden` build target does that after
 # an intentional wire-format change.
 

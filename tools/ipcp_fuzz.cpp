@@ -20,7 +20,15 @@
 //    Same --seed, same behavior — this is what CI runs (see the fuzz_smoke
 //    tests and docs/ROBUSTNESS.md).
 //
-//      ipcp_fuzz [--runs=N] [--seed=S] [--no-mutate] [--crash-file=PATH]
+//      ipcp_fuzz [--runs=N] [--seed=S] [--no-mutate] [--optimize]
+//                [--crash-file=PATH]
+//
+//    With --optimize every parsed input additionally runs through the
+//    transform pipeline (docs/TRANSFORMS.md) and the harness asserts
+//    the behavioral contract: the optimized module verifies, its
+//    interpretation agrees with the original (prefix-agreement when the
+//    original trapped or ran out of fuel), and it never executes more
+//    steps. Sanitizer CI jobs run this mode.
 //
 //    Before each input runs, it is written to PATH (default
 //    ipcp_fuzz_crash.mf) so a crash leaves its reproducer on disk; the
@@ -62,6 +70,7 @@
 #include "support/ContentStore.h"
 #include "support/FaultInjection.h"
 #include "support/FileIO.h"
+#include "transform/Transform.h"
 #include "workload/Generator.h"
 #include "workload/Oracle.h"
 #include "workload/Programs.h"
@@ -82,6 +91,11 @@ namespace {
 
 /// Budgets tight enough that adversarial inputs trip them quickly, loose
 /// enough that ordinary generated programs complete un-degraded.
+/// --optimize: every parsed input also runs the transform pipeline and
+/// the harness asserts its behavioral contract (set once in main;
+/// docs/TRANSFORMS.md).
+bool OptimizeInvariants = false;
+
 ResourceLimits fuzzLimits() {
   ResourceLimits Limits;
   Limits.MaxParseDepth = 96;
@@ -196,6 +210,51 @@ bool runOne(const std::string &Source, bool CheckOracle,
     Exec.MaxSteps = 500'000;
     Exec.RecordEntrySnapshots = false;
     interpret(*M, Exec); // traps/out-of-fuel are fine; crashes are not
+  }
+
+  // Transform-pipeline invariants (--optimize; docs/TRANSFORMS.md).
+  // Last on purpose: optimizeModule rewrites M in place, so every
+  // analysis cross-check above must see the original module. The
+  // contract holds even when a budget tripped mid-rewrite — a degraded
+  // pipeline may stop early, never emit an unsound rewrite.
+  if (OptimizeInvariants) {
+    ExecutionOptions Exec;
+    Exec.MaxSteps = 500'000;
+    Exec.RecordEntrySnapshots = false;
+    ExecutionResult Before = interpret(*M, Exec);
+    optimizeModule(*M, Opts);
+    std::vector<std::string> OptViolations =
+        verifyModule(*M, VerifyMode::PreSSA);
+    if (!OptViolations.empty()) {
+      *Failure =
+          "verifier violation after optimization: " + OptViolations.front();
+      return false;
+    }
+    ExecutionResult After = interpret(*M, Exec);
+    if (Before.ok()) {
+      if (After.TheStatus != Before.TheStatus) {
+        *Failure = "optimization changed execution status";
+        return false;
+      }
+      if (After.Output != Before.Output) {
+        *Failure = "optimization changed observable output";
+        return false;
+      }
+      if (After.Steps > Before.Steps) {
+        *Failure = "optimized module executed more steps than the original";
+        return false;
+      }
+    } else {
+      // A trapping or out-of-fuel run may produce fewer outputs once
+      // dead (including trapping-dead) code is gone; the prefix must
+      // agree.
+      size_t Common = std::min(Before.Output.size(), After.Output.size());
+      for (size_t I = 0; I != Common; ++I)
+        if (After.Output[I] != Before.Output[I]) {
+          *Failure = "optimization changed the agreed output prefix";
+          return false;
+        }
+    }
   }
   return true;
 }
@@ -644,6 +703,8 @@ int main(int argc, char **argv) {
       Seed = std::strtoull(Arg.c_str() + 7, nullptr, 10);
     else if (Arg == "--no-mutate")
       Mutate = false;
+    else if (Arg == "--optimize")
+      OptimizeInvariants = true;
     else if (Arg.rfind("--crash-file=", 0) == 0)
       CrashFile = Arg.substr(13);
     else if (Arg.rfind("--chaos=", 0) == 0)
@@ -653,7 +714,7 @@ int main(int argc, char **argv) {
     else {
       std::fprintf(stderr,
                    "usage: ipcp_fuzz [--runs=N] [--seed=S] [--no-mutate] "
-                   "[--crash-file=PATH]\n"
+                   "[--optimize] [--crash-file=PATH]\n"
                    "       ipcp_fuzz --chaos=N [--seed=S] [--chaos-dir=DIR]\n");
       return 1;
     }

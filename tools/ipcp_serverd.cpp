@@ -79,8 +79,9 @@ void printUsage() {
   std::printf(
       "usage: ipcp_serverd [options]              (serve stdin -> stdout)\n"
       "       ipcp_serverd --socket=PATH [options]\n"
-      "requests: one JSON object per line; ops analyze, analyze-batch,\n"
-      "          stats, flush-cache, shutdown (see docs/SERVICE.md)\n"
+      "requests: one JSON object per line; ops analyze, optimize,\n"
+      "          analyze-batch, stats, flush-cache, shutdown\n"
+      "          (see docs/SERVICE.md)\n"
       "  --shards=N         worker shards; sessions hash to shards\n"
       "                     (default 1; see docs/SCALING.md)\n"
       "  --jobs=N           worker threads across all shards (default:\n"
