@@ -84,6 +84,13 @@ void printUsage() {
       "  --no-return-jf   --no-mod   --intra-only   --complete   --clone\n"
       "  --binding-graph  --gated-ssa  --check-alias  --integrate\n"
       "  --dump-ir        --dump-jf   --run      --help\n"
+      "  --engine=jump|contexts  propagation engine (default jump): the\n"
+      "                   1986 caller-merge framework, or the value-contexts\n"
+      "                   tabulation (docs/CONTEXTS.md) that never finds\n"
+      "                   fewer constants and reports a context_study block\n"
+      "  --max-contexts=N contexts-engine tabulation budget (default 4096);\n"
+      "                   past it, new entry vectors merge into summary\n"
+      "                   contexts (graceful degradation toward jump)\n"
       "  --optimize[=PASSES]  rewrite the program: substitute proven\n"
       "                   constants, fold expressions and branches, then\n"
       "                   forward copies (docs/TRANSFORMS.md). PASSES is a\n"
@@ -165,6 +172,28 @@ int main(int argc, char **argv) {
                      Kind.c_str());
         return 1;
       }
+      continue;
+    }
+    if (Arg.rfind("--engine=", 0) == 0) {
+      std::string Engine = Arg.substr(9);
+      if (Engine == "jump")
+        Opts.Engine = PropagationEngine::Jump;
+      else if (Engine == "contexts")
+        Opts.Engine = PropagationEngine::Contexts;
+      else {
+        std::fprintf(stderr, "error: unknown propagation engine '%s'\n",
+                     Engine.c_str());
+        return 1;
+      }
+      continue;
+    }
+    if (Arg.rfind("--max-contexts=", 0) == 0) {
+      uint64_t V = parseLimitValue(Arg, 15);
+      if (V == 0 || V > 1u << 20) {
+        std::fprintf(stderr, "error: --max-contexts must be in [1, 1048576]\n");
+        return 1;
+      }
+      Opts.MaxContexts = unsigned(V);
       continue;
     }
     if (Arg.rfind("--suite=", 0) == 0) {

@@ -45,6 +45,26 @@ enum class JumpFunctionKind {
 /// Printable name ("literal", "intra", "pass-through", "polynomial").
 const char *jumpFunctionKindName(JumpFunctionKind Kind);
 
+/// Which interprocedural propagation engine solves for the VAL sets.
+/// Both are sound; they trade precision against context-table cost.
+enum class PropagationEngine {
+  /// The paper's 1986 framework: one VAL set per procedure, every
+  /// caller's bindings met into it. Fast, and the baseline every other
+  /// engine is measured against.
+  Jump,
+  /// Value contexts (Padhye & Khedker): tabulate (procedure, entry VAL
+  /// vector) pairs so each distinct calling pattern is evaluated
+  /// exactly, then meet the tabulated contexts per procedure. Never
+  /// reports fewer constants than the jump engine (the final result is
+  /// refined against a baseline jump-engine run), and strictly more on
+  /// programs where caller-merging destroys correlated formals. See
+  /// docs/CONTEXTS.md.
+  Contexts,
+};
+
+/// Printable name ("jump", "contexts").
+const char *propagationEngineName(PropagationEngine Engine);
+
 /// How the call-graph propagator orders its work. Both schedules reach
 /// the same fixpoint (the lattice meet is order-independent); they differ
 /// only in how many procedure visits it takes.
@@ -91,8 +111,24 @@ struct IPCPOptions {
   /// Use the binding-multigraph worklist (the paper's cited alternative
   /// formulation [7]) instead of the per-procedure call-graph worklist.
   /// Both compute the same fixpoint; the binding graph re-evaluates only
-  /// the jump functions whose support actually changed.
+  /// the jump functions whose support actually changed. Applies to the
+  /// Jump engine only; Engine == Contexts takes precedence.
   bool UseBindingGraphPropagator = false;
+
+  /// Which propagation engine to run (--engine=jump|contexts). The
+  /// contexts engine runs cache-less (like the binding-graph propagator,
+  /// the summary format does not model it) and ignores Schedule — its
+  /// worklist is over contexts, not procedures.
+  PropagationEngine Engine = PropagationEngine::Jump;
+
+  /// Context-count budget for the contexts engine. Once this many
+  /// contexts have been tabulated, new entry vectors are met into one
+  /// mutable summary context per procedure instead of spawning fresh
+  /// contexts — precision degrades gracefully toward the 1986
+  /// caller-merge behavior and termination stays guaranteed even for
+  /// recursion that would otherwise enumerate unbounded entry vectors
+  /// (f(n) calling f(n+1)). Reported as ctx_budget_trips.
+  unsigned MaxContexts = 4096;
 
   /// Name of the entry procedure; its globals start at their initial
   /// value (zero) on the virtual entry edge.

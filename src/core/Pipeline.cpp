@@ -650,7 +650,8 @@ IPCPResult ipcp::runIPCP(const Module &M, const IPCPOptions &Opts,
   // The cache only models the configurations the summary format covers;
   // others silently run the ordinary cold path (see Options.h).
   SummaryCache *Cache = Opts.Cache;
-  if (Cache && (Opts.IntraproceduralOnly || Opts.UseBindingGraphPropagator))
+  if (Cache && (Opts.IntraproceduralOnly || Opts.UseBindingGraphPropagator ||
+                Opts.Engine == PropagationEngine::Contexts))
     Cache = nullptr;
   Result.UsedCache = Cache != nullptr;
 
@@ -719,9 +720,14 @@ IPCPResult ipcp::runIPCP(const Module &M, const IPCPOptions &Opts,
     Timer PropTimer;
     PropagatorStats PS;
     const IncrementalPropagationPlan *Plan = Inc ? Inc->buildPlan() : nullptr;
-    CM = Opts.UseBindingGraphPropagator
-             ? propagateConstantsBindingGraph(CG, MRI, FJFs, Opts, &PS, Guard)
-             : propagateConstants(CG, MRI, FJFs, Opts, &PS, Guard, Plan);
+    if (Opts.Engine == PropagationEngine::Contexts)
+      CM = propagateConstantsContexts(CG, MRI, FJFs, Opts, &PS, Guard,
+                                      &Result.ContextStudy);
+    else
+      CM = Opts.UseBindingGraphPropagator
+               ? propagateConstantsBindingGraph(CG, MRI, FJFs, Opts, &PS,
+                                                Guard)
+               : propagateConstants(CG, MRI, FJFs, Opts, &PS, Guard, Plan);
     Result.Stats.add("time_propagation_us",
                      uint64_t(PropTimer.seconds() * 1e6));
     Result.Stats.add("prop_visits", PS.ProcVisits);
@@ -730,6 +736,17 @@ IPCPResult ipcp::runIPCP(const Module &M, const IPCPOptions &Opts,
     Result.Stats.add("prop_revisits", PS.Revisits);
     Result.Stats.add("prop_val_entries", CM.totalEntries());
     Result.Stats.add("prop_val_constants", CM.totalConstants());
+    if (Result.ContextStudy.Enabled) {
+      const ContextEngineStats &CS = Result.ContextStudy;
+      Result.Stats.add("ctx_contexts", CS.Contexts);
+      Result.Stats.add("ctx_summary_contexts", CS.SummaryContexts);
+      Result.Stats.add("ctx_evaluations", CS.Evaluations);
+      Result.Stats.add("ctx_reused", CS.Reused);
+      Result.Stats.add("ctx_merges", CS.Merges);
+      Result.Stats.add("ctx_entry_bytes", CS.EntryBytes);
+      Result.Stats.add("ctx_budget_trips", uint64_t(CS.BudgetTripped ? 1 : 0));
+      Result.Stats.add("ctx_baseline_val_constants", CS.BaselineValConstants);
+    }
   }
 
   // Stage 4: record the results — seed each procedure's SCCP with its

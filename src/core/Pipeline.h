@@ -40,6 +40,7 @@
 #include "analysis/DeadCode.h"
 #include "core/Options.h"
 #include "core/Propagator.h"
+#include "core/ValueContexts.h"
 #include "support/Statistics.h"
 
 #include <string>
@@ -94,9 +95,15 @@ struct IPCPResult {
   /// Whether the run completed or degraded under a resource budget. A
   /// degraded run's results are sound but partial: propagation trips
   /// discard interprocedural constants entirely (a cut-short iteration
-  /// is too optimistic), and record-stage trips leave later procedures
-  /// unanalyzed.
+  /// is too optimistic; the contexts engine instead degrades to its
+  /// completed 1986 baseline), and record-stage trips leave later
+  /// procedures unanalyzed.
   PipelineStatus Status;
+
+  /// Precision/cost figures of the contexts engine (Enabled exactly when
+  /// Options::Engine == Contexts ran propagation). Report.cpp emits this
+  /// as the context_study block; see docs/CONTEXTS.md.
+  ContextEngineStats ContextStudy;
 
   const ProcedureResult *findProc(const std::string &Name) const {
     for (const ProcedureResult &P : Procs)

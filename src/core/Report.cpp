@@ -20,6 +20,8 @@ JsonValue ipcp::optionsToJson(const IPCPOptions &Opts) {
   Obj.set("intraprocedural_only", Opts.IntraproceduralOnly);
   Obj.set("gated_ssa", Opts.UseGatedSSA);
   Obj.set("binding_graph", Opts.UseBindingGraphPropagator);
+  Obj.set("engine", propagationEngineName(Opts.Engine));
+  Obj.set("max_contexts", Opts.MaxContexts);
   Obj.set("max_expr_nodes", Opts.MaxExprNodes);
   Obj.set("entry_procedure", Opts.EntryProcedure);
   return Obj;
@@ -114,6 +116,22 @@ JsonValue ipcp::resultToJson(const IPCPResult &Result) {
     Cache.set("record_reused", Result.Stats.get("cache_record_reused"));
     Cache.set("load_failures", Result.Stats.get("cache_load_failures"));
     Obj.set("cache", std::move(Cache));
+  }
+  if (Result.ContextStudy.Enabled) {
+    const ContextEngineStats &CS = Result.ContextStudy;
+    JsonValue Study = JsonValue::object();
+    Study.set("contexts", CS.Contexts);
+    Study.set("summary_contexts", CS.SummaryContexts);
+    Study.set("evaluations", CS.Evaluations);
+    Study.set("reused", CS.Reused);
+    Study.set("merges", CS.Merges);
+    Study.set("entry_bytes", CS.EntryBytes);
+    Study.set("budget_tripped", CS.BudgetTripped);
+    Study.set("baseline_val_constants", CS.BaselineValConstants);
+    Study.set("val_constants", CS.ValConstants);
+    Study.set("val_constants_delta",
+              int64_t(CS.ValConstants) - int64_t(CS.BaselineValConstants));
+    Obj.set("context_study", std::move(Study));
   }
   setDegradation(Obj, Result.Status);
   return Obj;

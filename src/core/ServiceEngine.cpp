@@ -86,7 +86,8 @@ bool parseOptionsObject(const JsonValue &Obj, IPCPOptions &Opts,
                         std::string *Error) {
   static const char *const Known[] = {
       "forward_jf", "return_jf",     "mod_information", "intraprocedural_only",
-      "gated_ssa",  "binding_graph", "max_expr_nodes"};
+      "gated_ssa",  "binding_graph", "max_expr_nodes",  "engine",
+      "max_contexts"};
   for (const auto &[Key, Val] : Obj.members()) {
     if (std::find_if(std::begin(Known), std::end(Known), [&](const char *K) {
           return Key == K;
@@ -119,6 +120,19 @@ bool parseOptionsObject(const JsonValue &Obj, IPCPOptions &Opts,
       !readBool(Obj, "gated_ssa", Opts.UseGatedSSA, Error) ||
       !readBool(Obj, "binding_graph", Opts.UseBindingGraphPropagator, Error))
     return false;
+  std::string Engine;
+  if (!readString(Obj, "engine", Engine, Error))
+    return false;
+  if (!Engine.empty()) {
+    if (Engine == "jump")
+      Opts.Engine = PropagationEngine::Jump;
+    else if (Engine == "contexts")
+      Opts.Engine = PropagationEngine::Contexts;
+    else {
+      *Error = "unknown propagation engine '" + Engine + "'";
+      return false;
+    }
+  }
   uint64_t MaxExpr = 0;
   bool Present = false;
   if (!readUint(Obj, "max_expr_nodes", MaxExpr, Present, Error))
@@ -129,6 +143,16 @@ bool parseOptionsObject(const JsonValue &Obj, IPCPOptions &Opts,
       return false;
     }
     Opts.MaxExprNodes = unsigned(MaxExpr);
+  }
+  uint64_t MaxCtx = 0;
+  if (!readUint(Obj, "max_contexts", MaxCtx, Present, Error))
+    return false;
+  if (Present) {
+    if (MaxCtx == 0 || MaxCtx > 1u << 20) {
+      *Error = "'max_contexts' must be in [1, 1048576]";
+      return false;
+    }
+    Opts.MaxContexts = unsigned(MaxCtx);
   }
   return true;
 }

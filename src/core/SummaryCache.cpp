@@ -47,6 +47,8 @@ std::string SummaryCache::optionsFingerprint(const IPCPOptions &Opts) {
   FP += Opts.UseBindingGraphPropagator ? '1' : '0';
   FP += ";sched=";
   FP += Opts.Schedule == PropagationSchedule::FIFO ? "fifo" : "scc";
+  FP += ";engine=";
+  FP += propagationEngineName(Opts.Engine);
   FP += ";maxexpr=" + std::to_string(Opts.MaxExprNodes);
   FP += ";entry=";
   FP += Opts.EntryProcedure;

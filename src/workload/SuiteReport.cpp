@@ -18,7 +18,8 @@
 using namespace ipcp;
 
 SuiteStudyResult ipcp::runSuiteStudy(SuiteRunner &Runner, bool BuildReports,
-                                     const std::string &CacheDir) {
+                                     const std::string &CacheDir,
+                                     PropagationEngine Engine) {
   const std::vector<SuiteProgram> &Suite = benchmarkSuite();
   size_t N = Suite.size();
 
@@ -29,6 +30,7 @@ SuiteStudyResult ipcp::runSuiteStudy(SuiteRunner &Runner, bool BuildReports,
   std::vector<JsonValue> Entries(N);
   std::vector<int> Failures(N, 0);
   IPCPOptions Opts;
+  Opts.Engine = Engine;
 
   Runner.run(N, [&](size_t I) {
     const SuiteProgram &Prog = Suite[I];

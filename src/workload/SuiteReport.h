@@ -58,9 +58,14 @@ struct SuiteStudyResult {
 /// a per-program JSON tree, so suitecheck only asks when --report-json is
 /// given). A non-empty \p CacheDir analyzes each program through a
 /// persistent summary cache rooted there (one file per program; see
-/// docs/INCREMENTAL.md) — table computations always run cold.
-SuiteStudyResult runSuiteStudy(SuiteRunner &Runner, bool BuildReports,
-                               const std::string &CacheDir = "");
+/// docs/INCREMENTAL.md) — table computations always run cold. \p Engine
+/// selects the propagation engine for the per-program analyses (the
+/// contexts engine runs cache-less; docs/CONTEXTS.md); the paper tables
+/// keep their own option sets either way.
+SuiteStudyResult
+runSuiteStudy(SuiteRunner &Runner, bool BuildReports,
+              const std::string &CacheDir = "",
+              PropagationEngine Engine = PropagationEngine::Jump);
 
 /// Assembles the "ipcp-suite-report-v1" document: schema, failures,
 /// programs, the three tables, merged counters, and (when \p TraceData is

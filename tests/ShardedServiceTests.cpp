@@ -236,6 +236,34 @@ TEST(ShardedServiceTest, ResponsesIdenticalAcrossShardCounts) {
     EXPECT_EQ(A[I], B[I]) << "response " << I << " diverged across shards";
 }
 
+TEST(ShardedServiceTest, ContextsEngineIdenticalAcrossShardCounts) {
+  // The contexts engine is deterministic end to end: the same
+  // engine=contexts request stream must produce byte-identical
+  // responses at one shard and four, each echoing the engine and
+  // carrying the context_study block (docs/CONTEXTS.md). CI's
+  // contexts-smoke job repeats this through the socket daemon.
+  std::vector<std::string> Lines;
+  const char *Suites[] = {"simple", "qcd", "trfd", "mdg"};
+  for (unsigned I = 0; I != 24; ++I)
+    Lines.push_back(std::string("{\"op\":\"analyze\",\"id\":\"c") +
+                    std::to_string(I) + "\",\"session\":\"s" +
+                    std::to_string(I % 5) + "\",\"suite\":\"" +
+                    Suites[I % 4] +
+                    "\",\"options\":{\"engine\":\"contexts\"}}");
+
+  ShardedService One(serviceConfig(1));
+  ShardedService Four(serviceConfig(4));
+  std::vector<std::string> A = runLines(One, Lines);
+  std::vector<std::string> B = runLines(Four, Lines);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I], B[I]) << "contexts response " << I
+                          << " diverged across shards";
+    EXPECT_NE(A[I].find("\"engine\":\"contexts\""), std::string::npos);
+    EXPECT_NE(A[I].find("\"context_study\""), std::string::npos);
+  }
+}
+
 TEST(ShardedServiceTest, EvictionPointsAreShardCountInvariant) {
   // Force heavy eviction (one resident session per cache bucket): the
   // warm/cold sequence — and with it every response byte — must still

@@ -21,7 +21,7 @@
 //    tests and docs/ROBUSTNESS.md).
 //
 //      ipcp_fuzz [--runs=N] [--seed=S] [--no-mutate] [--optimize]
-//                [--crash-file=PATH]
+//                [--contexts] [--crash-file=PATH]
 //
 //    With --optimize every parsed input additionally runs through the
 //    transform pipeline (docs/TRANSFORMS.md) and the harness asserts
@@ -29,6 +29,12 @@
 //    interpretation agrees with the original (prefix-agreement when the
 //    original trapped or ran out of fuel), and it never executes more
 //    steps. Sanitizer CI jobs run this mode.
+//
+//    With --contexts every analyzable input is additionally solved by
+//    the value-contexts engine (docs/CONTEXTS.md) at the default and a
+//    starvation MaxContexts budget, asserting it never loses a fact the
+//    1986 engine proved, stays dynamically sound, and reports its
+//    budget trips (the fuzz_contexts_smoke test).
 //
 //    Before each input runs, it is written to PATH (default
 //    ipcp_fuzz_crash.mf) so a crash leaves its reproducer on disk; the
@@ -76,6 +82,7 @@
 #include "workload/Programs.h"
 #include "workload/ServiceWorkload.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -95,6 +102,14 @@ namespace {
 /// the harness asserts its behavioral contract (set once in main;
 /// docs/TRANSFORMS.md).
 bool OptimizeInvariants = false;
+
+/// --contexts: every analyzable input is additionally solved by the
+/// value-contexts engine at the default budget and again at a
+/// starvation budget (MaxContexts=2), asserting its contract
+/// (docs/CONTEXTS.md): never a crash, never a constant the 1986 engine
+/// found but the contexts engine lost, sound constants under the
+/// dynamic oracle, and a flagged degradation whenever the budget trips.
+bool ContextsInvariants = false;
 
 ResourceLimits fuzzLimits() {
   ResourceLimits Limits;
@@ -150,6 +165,72 @@ bool runOne(const std::string &Source, bool CheckOracle,
        BG.TotalConstantRefs != R.TotalConstantRefs)) {
     *Failure = "call-graph and binding-graph propagators disagree";
     return false;
+  }
+
+  // Value-contexts invariants (--contexts; docs/CONTEXTS.md): the
+  // tabulating engine refines the 1986 baseline, so its CONSTANTS sets
+  // must contain the jump engine's per procedure — at the default
+  // budget and under a two-context starvation budget alike — and a
+  // tripped budget must be reported, never crash.
+  if (ContextsInvariants) {
+    const unsigned Budgets[] = {0 /* default */, 2};
+    for (unsigned Budget : Budgets) {
+      IPCPOptions CtxOpts = Opts;
+      CtxOpts.Engine = PropagationEngine::Contexts;
+      if (Budget)
+        CtxOpts.MaxContexts = Budget;
+      IPCPResult Ctx = runIPCP(*M, CtxOpts);
+      if (!Ctx.ContextStudy.Enabled) {
+        *Failure = "contexts engine ran without filling its study block";
+        return false;
+      }
+      if (Ctx.Status.Degraded)
+        continue; // guard trip: baseline (or empty) fallback is sound
+      for (const ProcedureResult &PR : R.Procs) {
+        const ProcedureResult *CP = Ctx.findProc(PR.Name);
+        if (!CP) {
+          *Failure = "contexts engine lost procedure " + PR.Name;
+          return false;
+        }
+        for (const auto &Fact : PR.EntryConstants)
+          if (std::find(CP->EntryConstants.begin(), CP->EntryConstants.end(),
+                        Fact) == CP->EntryConstants.end()) {
+            *Failure = "contexts engine (budget " + std::to_string(Budget) +
+                       ") lost " + PR.Name + "." + Fact.first;
+            return false;
+          }
+      }
+      // Refs are deliberately NOT required to be >=: extra entry
+      // constants can prove a branch dead, and refs inside the dead
+      // block stop counting (docs/CONTEXTS.md "What about refs?"). But
+      // when the engines proved the *same* constants, the record stage
+      // sees identical seeds and the refs must match exactly.
+      if (Ctx.TotalEntryConstants == R.TotalEntryConstants &&
+          Ctx.TotalConstantRefs != R.TotalConstantRefs) {
+        *Failure = "identical CONSTANTS sets but different constant refs "
+                   "between the engines";
+        return false;
+      }
+      if (Ctx.ContextStudy.ValConstants <
+          Ctx.ContextStudy.BaselineValConstants) {
+        *Failure = "context study reports a negative precision delta";
+        return false;
+      }
+      if (Ctx.ContextStudy.Merges > 0 && !Ctx.ContextStudy.BudgetTripped) {
+        *Failure = "summary merges happened but the budget trip was not "
+                   "reported";
+        return false;
+      }
+      if (CheckOracle) {
+        ExecutionOptions Exec;
+        Exec.MaxSteps = 2'000'000;
+        OracleReport Oracle = checkSoundness(*M, Ctx, Exec);
+        if (!Oracle.Sound) {
+          *Failure = "contexts oracle violation: " + Oracle.Violations.front();
+          return false;
+        }
+      }
+    }
   }
 
   CompletePropagationResult CP = runCompletePropagation(*M, Opts, 4);
@@ -705,6 +786,8 @@ int main(int argc, char **argv) {
       Mutate = false;
     else if (Arg == "--optimize")
       OptimizeInvariants = true;
+    else if (Arg == "--contexts")
+      ContextsInvariants = true;
     else if (Arg.rfind("--crash-file=", 0) == 0)
       CrashFile = Arg.substr(13);
     else if (Arg.rfind("--chaos=", 0) == 0)
@@ -714,7 +797,7 @@ int main(int argc, char **argv) {
     else {
       std::fprintf(stderr,
                    "usage: ipcp_fuzz [--runs=N] [--seed=S] [--no-mutate] "
-                   "[--optimize] [--crash-file=PATH]\n"
+                   "[--optimize] [--contexts] [--crash-file=PATH]\n"
                    "       ipcp_fuzz --chaos=N [--seed=S] [--chaos-dir=DIR]\n");
       return 1;
     }

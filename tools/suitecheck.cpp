@@ -3,6 +3,7 @@
 //
 //   suitecheck [--jobs=N] [--stats] [--trace[=FILE]] [--report-json=FILE]
 //             [--cache-dir=DIR] [--no-cache] [--scrub-timings]
+//             [--engine=jump|contexts]
 //
 // Programs (and table rows) are analyzed concurrently across N worker
 // threads (default: hardware concurrency; --jobs=1 forces sequential).
@@ -35,13 +36,18 @@ static void usage(std::FILE *Out) {
                        "caches (docs/INCREMENTAL.md)\n"
                        "  --no-cache     ignore --cache-dir\n"
                        "  --scrub-timings  zero wall-clock fields in the "
-                       "JSON report\n");
+                       "JSON report\n"
+                       "  --engine=jump|contexts  propagation engine for "
+                       "the per-program analyses\n"
+                       "                 (contexts runs cache-less; "
+                       "docs/CONTEXTS.md)\n");
 }
 
 int main(int argc, char **argv) {
   bool ShowStats = false, TraceOn = false;
   bool NoCache = false, ScrubTimings = false;
   std::string TraceFile, ReportFile, CacheDir;
+  PropagationEngine Engine = PropagationEngine::Jump;
   unsigned Jobs = ThreadPool::defaultConcurrency();
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -56,6 +62,10 @@ int main(int argc, char **argv) {
       NoCache = true;
     } else if (Arg == "--scrub-timings") {
       ScrubTimings = true;
+    } else if (Arg == "--engine=jump") {
+      Engine = PropagationEngine::Jump;
+    } else if (Arg == "--engine=contexts") {
+      Engine = PropagationEngine::Contexts;
     } else if (Arg == "--trace") {
       TraceOn = true;
     } else if (Arg.rfind("--trace=", 0) == 0) {
@@ -83,8 +93,9 @@ int main(int argc, char **argv) {
     Trace::setActive(&TraceData);
 
   SuiteRunner Runner(Jobs);
-  SuiteStudyResult Study = runSuiteStudy(Runner, !ReportFile.empty(),
-                                         NoCache ? std::string() : CacheDir);
+  SuiteStudyResult Study =
+      runSuiteStudy(Runner, !ReportFile.empty(),
+                    NoCache ? std::string() : CacheDir, Engine);
   for (const std::string &Message : Study.Messages)
     if (!Message.empty())
       std::printf("%s", Message.c_str());
